@@ -1,0 +1,55 @@
+/// bench_ablation_skew — robustness of adaptive when the uniform-probe
+/// primitive is biased (Zipf(s) over the bins, modeling a hash function
+/// with a non-uniform range).
+///
+/// The acceptance rule keeps the max-load guarantee for *any* probe
+/// distribution; what degrades is Theorem 3.1's O(m) allocation time —
+/// cold bins are only reachable through the biased sampler's tail, so the
+/// per-stage endgame inflates with s.
+///
+///   $ ./bench_ablation_skew
+
+#include "bbb/core/protocol.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  bbb::io::ArgParser args("bench_ablation_skew",
+                          "ablation: Zipf-biased probe distribution in adaptive");
+  args.add_flag("n", std::uint64_t{1'024}, "bins");
+  args.add_flag("phi", std::uint64_t{8}, "m/n");
+  bbb::bench::add_common_flags(args, 10);
+  if (!args.parse(argc, argv)) return 0;
+  const auto flags = bbb::bench::read_common_flags(args);
+  const auto n = static_cast<std::uint32_t>(args.get_u64("n"));
+  const std::uint64_t m = args.get_u64("phi") * n;
+
+  bbb::bench::print_header(
+      "Extension: biased probes",
+      "the max-load guarantee of adaptive is distribution-free; the O(m) "
+      "allocation time (Theorem 3.1) requires near-uniform probing.");
+
+  bbb::par::ThreadPool pool(flags.threads);
+  bbb::io::Table table({"zipf s", "probes/m", "vs uniform", "max load", "bound",
+                        "gap", "psi/n"});
+  table.set_title("skewed-adaptive, m = " + std::to_string(m) + ", n = " +
+                  std::to_string(n));
+  double uniform_ppb = 0.0;
+  for (std::uint32_t s100 : {0u, 25u, 50u, 100u, 150u, 200u}) {
+    const auto s = bbb::bench::run_cell("skewed-adaptive[" + std::to_string(s100) + "]",
+                                        m, n, flags, pool);
+    if (s100 == 0) uniform_ppb = s.probes_per_ball();
+    table.begin_row();
+    table.add_num(static_cast<double>(s100) / 100.0, 2);
+    table.add_num(s.probes_per_ball(), 3);
+    table.add_num(s.probes_per_ball() / uniform_ppb, 2);
+    table.add_num(s.max_load.mean(), 2);
+    table.add_int(static_cast<std::int64_t>(bbb::core::ceil_div(m, n) + 1));
+    table.add_num(s.gap.mean(), 2);
+    table.add_num(s.psi.mean() / n, 3);
+  }
+  std::fputs(table.render(flags.format).c_str(), stdout);
+  std::puts("\nexpected shape: max load pinned at ceil(m/n)+1 in every row (the");
+  std::puts("guarantee is free of distributional assumptions); probes/m explodes");
+  std::puts("with s — uniformity is a *time* assumption, not a *balance* one.");
+  return 0;
+}

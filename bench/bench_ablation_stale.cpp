@@ -1,0 +1,58 @@
+/// bench_ablation_stale — how adaptive degrades when the global ball
+/// counter it relies on is published only every delta placements (the
+/// paper's "each ball must know how many balls have been already placed"
+/// assumption, relaxed).
+///
+/// delta = 1 is the paper's protocol; delta = n republishes once per stage,
+/// which pushes most balls down to the slack-0 (coupon collector) bound.
+/// The max-load guarantee survives any delta <= n.
+///
+///   $ ./bench_ablation_stale
+
+#include "bbb/core/protocol.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  bbb::io::ArgParser args("bench_ablation_stale",
+                          "ablation: stale ball-counter broadcasts in adaptive");
+  args.add_flag("n", std::uint64_t{4'096}, "bins");
+  args.add_flag("phi", std::uint64_t{16}, "m/n");
+  bbb::bench::add_common_flags(args, 10);
+  if (!args.parse(argc, argv)) return 0;
+  const auto flags = bbb::bench::read_common_flags(args);
+  const auto n = static_cast<std::uint32_t>(args.get_u64("n"));
+  const std::uint64_t m = args.get_u64("phi") * n;
+
+  bbb::bench::print_header(
+      "Extension: stale counters (paper §1.1 assumption)",
+      "adaptive needs the number of placed balls — but only to within n: "
+      "the bound ceil(i/n) is constant within a stage, so broadcasts every "
+      "delta <= n placements give a bit-identical execution.");
+
+  bbb::par::ThreadPool pool(flags.threads);
+  bbb::io::Table table({"delta", "probes/m", "vs fresh", "max load", "bound",
+                        "gap", "psi/n"});
+  table.set_title("stale-adaptive[delta], m = " + std::to_string(m) + ", n = " +
+                  std::to_string(n));
+  double fresh_ppb = 0.0;
+  for (std::uint32_t delta : {1u, 16u, 256u, 1024u, 4096u}) {
+    const auto s = bbb::bench::run_cell("stale-adaptive[" + std::to_string(delta) + "]",
+                                        m, n, flags, pool);
+    if (delta == 1) fresh_ppb = s.probes_per_ball();
+    table.begin_row();
+    table.add_int(delta);
+    table.add_num(s.probes_per_ball(), 3);
+    table.add_num(s.probes_per_ball() / fresh_ppb, 2);
+    table.add_num(s.max_load.mean(), 2);
+    table.add_int(static_cast<std::int64_t>(bbb::core::ceil_div(m, n) + 1));
+    table.add_num(s.gap.mean(), 2);
+    table.add_num(s.psi.mean() / n, 3);
+  }
+  std::fputs(table.render(flags.format).c_str(), stdout);
+  std::puts("\nexpected shape: every row identical (vs-fresh column = 1.00) — the");
+  std::puts("informational assumption of adaptive is much weaker than it looks:");
+  std::puts("one counter broadcast per stage of n balls suffices, verbatim.");
+  std::puts("delta > n is rejected by the library because both the identity and");
+  std::puts("the termination argument break there.");
+  return 0;
+}

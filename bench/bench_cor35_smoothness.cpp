@@ -1,0 +1,50 @@
+/// bench_cor35_smoothness — Corollary 3.5: for adaptive, at every stage,
+/// E[Phi] = O(n), E[Psi] = O(n), and the max-min gap is O(log n) w.h.p.
+///
+/// Sweep n over powers of two at fixed m/n and print gap/ln(n), Psi/n and
+/// exp-potential/n: all three columns should be flat constants.
+///
+///   $ ./bench_cor35_smoothness
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  bbb::io::ArgParser args("bench_cor35_smoothness",
+                          "Corollary 3.5: adaptive smoothness is O(n)/O(log n)");
+  args.add_flag("phi", std::uint64_t{16}, "m/n");
+  args.add_flag("min-exp", std::uint64_t{10}, "smallest n = 2^min-exp");
+  args.add_flag("max-exp", std::uint64_t{17}, "largest n = 2^max-exp");
+  bbb::bench::add_common_flags(args, 10);
+  if (!args.parse(argc, argv)) return 0;
+  const auto flags = bbb::bench::read_common_flags(args);
+  const auto phi = args.get_u64("phi");
+
+  bbb::bench::print_header(
+      "Corollary 3.5 (SPAA'13)",
+      "adaptive: E[Phi] = O(n), E[Psi] = O(n), gap = O(log n) w.h.p.");
+
+  bbb::par::ThreadPool pool(flags.threads);
+  bbb::io::Table table({"n", "gap (mean)", "gap (worst)", "gap/ln n", "psi/n",
+                        "phi/n", "min load"});
+  table.set_title("m = " + std::to_string(phi) + "n, " + std::to_string(flags.reps) +
+                  " replicates");
+  for (std::uint64_t e = args.get_u64("min-exp"); e <= args.get_u64("max-exp"); ++e) {
+    const auto n = static_cast<std::uint32_t>(std::uint64_t{1} << e);
+    const auto s = bbb::bench::run_cell("adaptive", phi * n, n, flags, pool);
+    table.begin_row();
+    table.add_int(n);
+    table.add_num(s.gap.mean(), 2);
+    table.add_int(static_cast<std::int64_t>(s.gap.max()));
+    table.add_num(s.gap.mean() / std::log(static_cast<double>(n)), 3);
+    table.add_num(s.psi.mean() / n, 3);
+    // log_phi is ln(Phi); Phi/n = exp(log_phi - ln n).
+    table.add_num(std::exp(s.log_phi.mean() - std::log(static_cast<double>(n))), 3);
+    table.add_num(s.min_load.mean(), 2);
+  }
+  std::fputs(table.render(flags.format).c_str(), stdout);
+  std::puts("\nexpected shape: gap/ln n, psi/n and phi/n all flat as n grows 128x —");
+  std::puts("the smoothness half of the paper's adaptive-vs-threshold separation.");
+  return 0;
+}

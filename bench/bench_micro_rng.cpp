@@ -1,0 +1,85 @@
+/// bench_micro_rng — google-benchmark micro benchmarks for the randomness
+/// substrate. The allocation-time results in the paper are probe *counts*;
+/// these benches document what one probe costs in wall time on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include "bbb/rng/alias_table.hpp"
+#include "bbb/rng/distributions.hpp"
+#include "bbb/rng/pcg32.hpp"
+#include "bbb/rng/splitmix64.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace {
+
+void BM_SplitMix64(benchmark::State& state) {
+  bbb::rng::SplitMix64 gen(42);
+  for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_SplitMix64);
+
+void BM_Xoshiro256(benchmark::State& state) {
+  bbb::rng::Xoshiro256PlusPlus gen(42);
+  for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_Xoshiro256);
+
+void BM_Pcg32(benchmark::State& state) {
+  bbb::rng::Pcg32 gen(42);
+  for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_Pcg32);
+
+void BM_UniformBelow(benchmark::State& state) {
+  bbb::rng::Engine gen(42);
+  const auto bound = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(bbb::rng::uniform_below(gen, bound));
+}
+BENCHMARK(BM_UniformBelow)->Arg(10'000)->Arg(1 << 20);
+
+void BM_NextDouble(benchmark::State& state) {
+  bbb::rng::Engine gen(42);
+  for (auto _ : state) benchmark::DoNotOptimize(bbb::rng::next_double(gen));
+}
+BENCHMARK(BM_NextDouble);
+
+void BM_PoissonSmallLambda(benchmark::State& state) {
+  bbb::rng::Engine gen(42);
+  bbb::rng::PoissonDist dist(1.005);  // the 199/198 rate from Lemma 3.2
+  for (auto _ : state) benchmark::DoNotOptimize(dist(gen));
+}
+BENCHMARK(BM_PoissonSmallLambda);
+
+void BM_PoissonLargeLambda(benchmark::State& state) {
+  bbb::rng::Engine gen(42);
+  bbb::rng::PoissonDist dist(512.0);  // PTRS path (access distributions)
+  for (auto _ : state) benchmark::DoNotOptimize(dist(gen));
+}
+BENCHMARK(BM_PoissonLargeLambda);
+
+void BM_Binomial(benchmark::State& state) {
+  bbb::rng::Engine gen(42);
+  bbb::rng::BinomialDist dist(static_cast<std::uint64_t>(state.range(0)), 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(dist(gen));
+}
+BENCHMARK(BM_Binomial)->Arg(16)->Arg(4096);
+
+void BM_Geometric(benchmark::State& state) {
+  bbb::rng::Engine gen(42);
+  bbb::rng::GeometricDist dist(0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(dist(gen));
+}
+BENCHMARK(BM_Geometric);
+
+void BM_AliasTable(benchmark::State& state) {
+  bbb::rng::Engine gen(42);
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>(i + 1);
+  }
+  bbb::rng::AliasTable table(weights);
+  for (auto _ : state) benchmark::DoNotOptimize(table(gen));
+}
+BENCHMARK(BM_AliasTable)->Arg(8)->Arg(1024);
+
+}  // namespace

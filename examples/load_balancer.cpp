@@ -1,0 +1,114 @@
+/// load_balancer — the motivating application from the paper's introduction:
+/// a dispatcher assigning an *unknown, open-ended* stream of jobs to servers.
+///
+/// threshold needs the total job count m in advance; adaptive does not —
+/// that is exactly the scenario where the paper's new protocol matters.
+/// This example streams jobs through three dispatch strategies and snapshots
+/// the imbalance as the day progresses. Job arrivals come in bursts drawn
+/// from a skewed source distribution (alias-method sampler) to show the
+/// balance guarantee does not depend on smooth arrivals.
+///
+///   $ ./load_balancer --jobs=200000 --servers=1000
+
+#include <cstdio>
+#include <string>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/core/protocols/adaptive.hpp"
+#include "bbb/core/protocols/d_choice.hpp"
+#include "bbb/core/protocols/one_choice.hpp"
+#include "bbb/io/argparse.hpp"
+#include "bbb/io/table.hpp"
+#include "bbb/rng/alias_table.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace {
+
+struct Snapshot {
+  std::uint64_t jobs;
+  std::uint32_t max;
+  std::uint32_t gap;
+  double psi;
+  std::uint64_t probes;
+};
+
+template <typename Alloc>
+std::vector<Snapshot> dispatch_stream(Alloc& alloc, std::uint64_t jobs,
+                                      std::uint32_t snapshots, std::uint64_t seed) {
+  bbb::rng::Engine gen(seed);
+  // Bursty arrival pattern: each "tick" delivers 1-64 jobs with a skewed
+  // burst-size distribution. The dispatcher only sees jobs one at a time.
+  bbb::rng::AliasTable burst_sizes({40, 20, 15, 10, 7, 5, 2, 1});
+  std::vector<Snapshot> out;
+  const std::uint64_t stride = jobs / snapshots;
+  std::uint64_t placed = 0;
+  std::uint64_t next_snap = stride;
+  while (placed < jobs) {
+    std::uint64_t burst = (std::uint64_t{1} << burst_sizes(gen));  // 1..128
+    for (; burst > 0 && placed < jobs; --burst) {
+      alloc.place(gen);
+      ++placed;
+      if (placed >= next_snap || placed == jobs) {
+        const auto m = bbb::core::compute_metrics(alloc.state().loads(), placed);
+        out.push_back({placed, m.max, m.gap, m.psi, alloc.probes()});
+        next_snap += stride;
+      }
+    }
+  }
+  return out;
+}
+
+void print_strategy(const std::string& name, const std::vector<Snapshot>& snaps,
+                    bbb::io::Format format) {
+  bbb::io::Table table({"jobs", "max load", "gap", "psi", "probes/job"});
+  table.set_title(name);
+  for (const auto& s : snaps) {
+    table.begin_row();
+    table.add_int(static_cast<std::int64_t>(s.jobs));
+    table.add_int(s.max);
+    table.add_int(s.gap);
+    table.add_num(s.psi, 0);
+    table.add_num(static_cast<double>(s.probes) / static_cast<double>(s.jobs), 3);
+  }
+  std::fputs(table.render(format).c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bbb::io::ArgParser args("load_balancer",
+                          "online job dispatch with adaptive vs. classic strategies");
+  args.add_flag("jobs", std::uint64_t{200'000}, "total jobs in the stream");
+  args.add_flag("servers", std::uint64_t{1'000}, "number of servers");
+  args.add_flag("snapshots", std::uint64_t{8}, "imbalance snapshots to take");
+  args.add_flag("seed", std::uint64_t{7}, "RNG seed");
+  args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto jobs = args.get_u64("jobs");
+  const auto servers = static_cast<std::uint32_t>(args.get_u64("servers"));
+  const auto snapshots = static_cast<std::uint32_t>(args.get_u64("snapshots"));
+  const auto seed = args.get_u64("seed");
+  const auto format = bbb::io::parse_format(args.get_string("format"));
+
+  std::printf("dispatching %llu jobs to %u servers (bursty arrivals)\n\n",
+              static_cast<unsigned long long>(jobs), servers);
+
+  bbb::core::AdaptiveAllocator adaptive(servers);
+  print_strategy("adaptive dispatcher (this paper)",
+                 dispatch_stream(adaptive, jobs, snapshots, seed), format);
+
+  bbb::core::DChoiceAllocator greedy2(servers, 2);
+  print_strategy("greedy[2] dispatcher (power of two choices)",
+                 dispatch_stream(greedy2, jobs, snapshots, seed), format);
+
+  bbb::core::OneChoiceAllocator random(servers);
+  print_strategy("random dispatcher (one-choice)",
+                 dispatch_stream(random, jobs, snapshots, seed), format);
+
+  std::puts("note: adaptive keeps gap = O(log n) at every snapshot without knowing");
+  std::puts("the job count in advance; greedy[2] drifts above average under heavy");
+  std::puts("load; one-choice spreads like sqrt(jobs/servers).");
+  return 0;
+}

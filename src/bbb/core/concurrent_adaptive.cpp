@@ -1,0 +1,53 @@
+#include "bbb/core/concurrent_adaptive.hpp"
+
+#include <stdexcept>
+
+namespace bbb::core {
+
+ConcurrentAdaptiveAllocator::ConcurrentAdaptiveAllocator(std::uint32_t n)
+    : loads_(n) {
+  if (n == 0) {
+    throw std::invalid_argument("ConcurrentAdaptiveAllocator: n must be positive");
+  }
+  for (auto& l : loads_) l.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::uint32_t> ConcurrentAdaptiveAllocator::loads_snapshot() const {
+  std::vector<std::uint32_t> out(loads_.size());
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    out[i] = loads_[i].load(std::memory_order_acquire);
+  }
+  return out;
+}
+
+std::uint32_t ConcurrentAdaptiveAllocator::place(rng::Engine& gen) {
+  const std::uint32_t n = this->n();
+  std::uint64_t local_probes = 0;
+  for (;;) {
+    // Bound from the counter snapshot. The snapshot can lag the true count
+    // by the number of in-flight placements; by the stage-constancy of
+    // ceil(i/n) the computed bound equals the sequential bound whenever the
+    // lag is below n (see file comment).
+    const std::uint64_t placed = balls_.load(std::memory_order_relaxed);
+    const auto bound = static_cast<std::uint32_t>(placed / n) + 1;
+
+    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    ++local_probes;
+    std::uint32_t observed = loads_[bin].load(std::memory_order_relaxed);
+    // CAS loop: accept only if the observed (and hence committed) load is
+    // within the bound at the instant of the increment.
+    while (observed <= bound) {
+      if (loads_[bin].compare_exchange_weak(observed, observed + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        balls_.fetch_add(1, std::memory_order_acq_rel);
+        probes_.fetch_add(local_probes, std::memory_order_relaxed);
+        return bin;
+      }
+      // observed was refreshed by the failed CAS; retry while still under
+      // the bound, otherwise fall through and sample a new bin.
+    }
+  }
+}
+
+}  // namespace bbb::core

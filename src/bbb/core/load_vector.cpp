@@ -1,0 +1,18 @@
+#include "bbb/core/load_vector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bbb::core {
+
+LoadVector::LoadVector(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("LoadVector: n must be positive");
+  loads_.assign(n, 0);
+}
+
+void LoadVector::clear() noexcept {
+  std::fill(loads_.begin(), loads_.end(), 0u);
+  balls_ = 0;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,52 @@
+#pragma once
+/// \file load_vector.hpp
+/// The bin-load state shared by every allocator: n bins, each holding a
+/// count of balls. Kept deliberately small — protocol hot loops touch this
+/// through inline accessors only.
+
+#include <cstdint>
+#include <vector>
+
+namespace bbb::core {
+
+/// Bin loads plus the running ball count.
+class LoadVector {
+ public:
+  /// \param n number of bins. \throws std::invalid_argument if n == 0.
+  explicit LoadVector(std::uint32_t n);
+
+  /// Place one ball into bin `bin` (unchecked in release hot paths; bounds
+  /// are validated by the allocators that own the sampling).
+  void add_ball(std::uint32_t bin) noexcept {
+    ++loads_[bin];
+    ++balls_;
+  }
+
+  /// Remove one ball from bin `bin`. Precondition: load(bin) > 0.
+  void remove_ball(std::uint32_t bin) noexcept {
+    --loads_[bin];
+    --balls_;
+  }
+
+  [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept { return loads_[bin]; }
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+  [[nodiscard]] std::uint64_t balls() const noexcept { return balls_; }
+
+  /// Average load balls/n.
+  [[nodiscard]] double average() const noexcept {
+    return static_cast<double>(balls_) / static_cast<double>(loads_.size());
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept { return loads_; }
+
+  /// Reset all loads to zero.
+  void clear() noexcept;
+
+ private:
+  std::vector<std::uint32_t> loads_;
+  std::uint64_t balls_ = 0;
+};
+
+}  // namespace bbb::core

@@ -1,0 +1,111 @@
+#include "bbb/core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bbb::core {
+
+namespace {
+void require_nonempty(std::span<const std::uint32_t> loads, const char* fn) {
+  if (loads.empty()) {
+    throw std::invalid_argument(std::string(fn) + ": empty load vector");
+  }
+}
+}  // namespace
+
+std::uint32_t max_load(std::span<const std::uint32_t> loads) {
+  require_nonempty(loads, "max_load");
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+std::uint32_t min_load(std::span<const std::uint32_t> loads) {
+  require_nonempty(loads, "min_load");
+  return *std::min_element(loads.begin(), loads.end());
+}
+
+std::uint32_t load_gap(std::span<const std::uint32_t> loads) {
+  require_nonempty(loads, "load_gap");
+  auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  return *hi - *lo;
+}
+
+double quadratic_potential(std::span<const std::uint32_t> loads, std::uint64_t balls) {
+  require_nonempty(loads, "quadratic_potential");
+  const double avg =
+      static_cast<double>(balls) / static_cast<double>(loads.size());
+  double acc = 0.0;
+  for (std::uint32_t l : loads) {
+    const double d = static_cast<double>(l) - avg;
+    acc += d * d;
+  }
+  return acc;
+}
+
+double exponential_potential(std::span<const std::uint32_t> loads, std::uint64_t balls,
+                             double eps) {
+  require_nonempty(loads, "exponential_potential");
+  const double avg =
+      static_cast<double>(balls) / static_cast<double>(loads.size());
+  const double log1pe = std::log1p(eps);
+  double acc = 0.0;
+  for (std::uint32_t l : loads) {
+    acc += std::exp((avg + 2.0 - static_cast<double>(l)) * log1pe);
+  }
+  return acc;
+}
+
+double log_exponential_potential(std::span<const std::uint32_t> loads, std::uint64_t balls,
+                                 double eps) {
+  require_nonempty(loads, "log_exponential_potential");
+  const double avg =
+      static_cast<double>(balls) / static_cast<double>(loads.size());
+  const double log1pe = std::log1p(eps);
+  // log-sum-exp with the max exponent factored out; the max exponent comes
+  // from the *least* loaded bin.
+  const std::uint32_t lmin = min_load(loads);
+  const double emax = (avg + 2.0 - static_cast<double>(lmin)) * log1pe;
+  double acc = 0.0;
+  for (std::uint32_t l : loads) {
+    acc += std::exp((avg + 2.0 - static_cast<double>(l)) * log1pe - emax);
+  }
+  return emax + std::log(acc);
+}
+
+std::uint64_t total_holes(std::span<const std::uint32_t> loads, std::uint32_t capacity) {
+  require_nonempty(loads, "total_holes");
+  std::uint64_t holes = 0;
+  for (std::uint32_t l : loads) {
+    if (l < capacity) holes += capacity - l;
+  }
+  return holes;
+}
+
+std::uint64_t empty_bins(std::span<const std::uint32_t> loads) {
+  require_nonempty(loads, "empty_bins");
+  std::uint64_t k = 0;
+  for (std::uint32_t l : loads) {
+    if (l == 0) ++k;
+  }
+  return k;
+}
+
+stats::IntHistogram load_histogram(std::span<const std::uint32_t> loads) {
+  stats::IntHistogram h;
+  for (std::uint32_t l : loads) h.add(static_cast<std::int64_t>(l));
+  return h;
+}
+
+LoadMetrics compute_metrics(std::span<const std::uint32_t> loads, std::uint64_t balls) {
+  require_nonempty(loads, "compute_metrics");
+  LoadMetrics m;
+  m.max = max_load(loads);
+  m.min = min_load(loads);
+  m.gap = m.max - m.min;
+  m.psi = quadratic_potential(loads, balls);
+  m.log_phi = log_exponential_potential(loads, balls);
+  m.average = static_cast<double>(balls) / static_cast<double>(loads.size());
+  return m;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,71 @@
+#pragma once
+/// \file metrics.hpp
+/// Load-distribution metrics from Section 2 of the paper:
+///
+///   quadratic potential   Psi(l) = sum_i (l_i - t/n)^2
+///   exponential potential Phi(l) = sum_i (1+eps)^(t/n + 2 - l_i), eps = 1/200
+///
+/// plus max/min/gap, hole counts, and the load histogram. Phi can reach
+/// 2^Omega(n^{1/8}) for threshold at m = n^2 (Lemma 4.2), so we also expose
+/// a log-domain evaluation that cannot overflow.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bbb/stats/histogram.hpp"
+
+namespace bbb::core {
+
+/// The epsilon the paper fixes for the exponential potential.
+inline constexpr double kPotentialEpsilon = 1.0 / 200.0;
+
+/// Largest bin load. \throws std::invalid_argument on empty input.
+[[nodiscard]] std::uint32_t max_load(std::span<const std::uint32_t> loads);
+
+/// Smallest bin load. \throws std::invalid_argument on empty input.
+[[nodiscard]] std::uint32_t min_load(std::span<const std::uint32_t> loads);
+
+/// max - min load.
+[[nodiscard]] std::uint32_t load_gap(std::span<const std::uint32_t> loads);
+
+/// Quadratic potential Psi with t = balls (the paper's t/n centering).
+[[nodiscard]] double quadratic_potential(std::span<const std::uint32_t> loads,
+                                         std::uint64_t balls);
+
+/// Exponential potential Phi in the linear domain. May overflow to +inf for
+/// very unbalanced vectors — prefer log_exponential_potential for analysis.
+[[nodiscard]] double exponential_potential(std::span<const std::uint32_t> loads,
+                                           std::uint64_t balls,
+                                           double eps = kPotentialEpsilon);
+
+/// ln(Phi), evaluated stably via log-sum-exp. Never overflows.
+[[nodiscard]] double log_exponential_potential(std::span<const std::uint32_t> loads,
+                                               std::uint64_t balls,
+                                               double eps = kPotentialEpsilon);
+
+/// Total holes w.r.t. capacity ceil(m/n)+1 — the quantity W_t that drives
+/// the proof of Theorem 4.1 (a bin with l balls has cap - l holes).
+[[nodiscard]] std::uint64_t total_holes(std::span<const std::uint32_t> loads,
+                                        std::uint32_t capacity);
+
+/// Number of bins with load zero.
+[[nodiscard]] std::uint64_t empty_bins(std::span<const std::uint32_t> loads);
+
+/// Exact histogram of the load values.
+[[nodiscard]] stats::IntHistogram load_histogram(std::span<const std::uint32_t> loads);
+
+/// One-shot summary of everything above (single pass where possible).
+struct LoadMetrics {
+  std::uint32_t max = 0;
+  std::uint32_t min = 0;
+  std::uint32_t gap = 0;
+  double psi = 0.0;      ///< quadratic potential
+  double log_phi = 0.0;  ///< ln of exponential potential
+  double average = 0.0;  ///< balls / n
+};
+
+[[nodiscard]] LoadMetrics compute_metrics(std::span<const std::uint32_t> loads,
+                                          std::uint64_t balls);
+
+}  // namespace bbb::core

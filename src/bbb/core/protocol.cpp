@@ -1,0 +1,15 @@
+#include "bbb/core/protocol.hpp"
+
+#include <stdexcept>
+
+namespace bbb::core {
+
+Protocol::~Protocol() = default;
+
+void validate_run_args(std::uint64_t m, std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("Protocol::run: n must be positive");
+  // m == 0 is legal and yields an empty allocation; protocols must handle it.
+  (void)m;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,57 @@
+#pragma once
+/// \file protocol.hpp
+/// The batch-allocation interface all protocols implement, and the result
+/// record every experiment consumes.
+///
+/// Two layers of API:
+///  * streaming allocators (one class per protocol, `place(gen)` places one
+///    ball) — what an application embeds;
+///  * `Protocol` (this file) — type-erased batch interface the simulator
+///    sweeps over: `run(m, n, gen)` allocates m balls into n fresh bins.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::core {
+
+/// Everything a single protocol execution produces.
+struct AllocationResult {
+  std::vector<std::uint32_t> loads;  ///< final load of each bin
+  std::uint64_t balls = 0;           ///< balls successfully placed
+  std::uint64_t probes = 0;          ///< random bin choices = "allocation time"
+  std::uint64_t reallocations = 0;   ///< post-placement ball moves (CRS, cuckoo)
+  std::uint64_t rounds = 0;          ///< synchronous rounds (parallel protocols)
+  bool completed = true;             ///< false if a bound (rounds/kicks) was hit
+};
+
+/// Abstract batch protocol. Implementations are immutable and reusable:
+/// `run` owns no state between calls, so one instance can serve many
+/// replicates concurrently (each with its own engine).
+class Protocol {
+ public:
+  virtual ~Protocol();
+
+  /// Short stable identifier, e.g. "adaptive", "greedy[2]".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Allocate m balls into n fresh bins using randomness from `gen`.
+  /// \throws std::invalid_argument if n == 0.
+  [[nodiscard]] virtual AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                             rng::Engine& gen) const = 0;
+};
+
+/// ceil(m/n) in exact integer arithmetic — the quantity the paper's
+/// thresholds compare against (`load < i/n + 1` over integers is
+/// `load <= ceil(i/n)`).
+[[nodiscard]] constexpr std::uint32_t ceil_div(std::uint64_t m, std::uint32_t n) noexcept {
+  return static_cast<std::uint32_t>((m + n - 1) / n);
+}
+
+/// Shared argument validation for run() implementations.
+void validate_run_args(std::uint64_t m, std::uint32_t n);
+
+}  // namespace bbb::core

@@ -1,0 +1,47 @@
+#include "bbb/core/protocols/adaptive.hpp"
+
+namespace bbb::core {
+
+AdaptiveAllocator::AdaptiveAllocator(std::uint32_t n, std::uint32_t slack)
+    : state_(n), slack_(slack) {
+  // Ball 1 has ceil(1/n) = 1, so its bound is 1 + slack - 1 = slack
+  // (slack >= 1), or 0 for the slack == 0 coupon-collector variant.
+  bound_ = slack_ == 0 ? 0 : slack_;
+}
+
+std::uint32_t AdaptiveAllocator::place(rng::Engine& gen) {
+  const std::uint32_t n = state_.n();
+  for (;;) {
+    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    ++probes_;
+    if (state_.load(bin) <= bound_) {
+      state_.add_ball(bin);
+      // ceil(i/n) bumps by one each time a full stage of n balls completes.
+      if (++stage_fill_ == n) {
+        stage_fill_ = 0;
+        ++bound_;
+      }
+      return bin;
+    }
+  }
+}
+
+AdaptiveProtocol::AdaptiveProtocol(std::uint32_t slack) : slack_(slack) {}
+
+std::string AdaptiveProtocol::name() const {
+  return slack_ == 1 ? "adaptive" : "adaptive[" + std::to_string(slack_) + "]";
+}
+
+AllocationResult AdaptiveProtocol::run(std::uint64_t m, std::uint32_t n,
+                                       rng::Engine& gen) const {
+  validate_run_args(m, n);
+  AdaptiveAllocator alloc(n, slack_);
+  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
+  AllocationResult res;
+  res.loads = alloc.state().loads();
+  res.balls = m;
+  res.probes = alloc.probes();
+  return res;
+}
+
+}  // namespace bbb::core

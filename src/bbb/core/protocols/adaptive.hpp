@@ -1,0 +1,71 @@
+#pragma once
+/// \file adaptive.hpp
+/// The adaptive protocol — the paper's primary contribution (Figure 1).
+///
+/// The i-th ball (1-based) samples uniform bins until it finds one with load
+/// strictly less than i/n + 1, and is placed there. Unlike threshold, the
+/// acceptance bound follows the number of balls placed *so far*, so m never
+/// needs to be known in advance, and the load vector stays smooth the whole
+/// way through:
+///   * max load <= ceil(m/n) + 1 by construction;
+///   * Theorem 3.1: expected allocation time O(m);
+///   * Corollary 3.5: E[Phi] = O(n), E[Psi] = O(n) and max-min gap
+///     O(log n) w.h.p. at every stage — versus threshold's polynomial gap
+///     (Lemma 4.2).
+///
+/// Integer form: load < i/n + 1 over integer loads <=> load <= ceil(i/n).
+/// The bound therefore bumps by one exactly when a stage of n balls
+/// completes; the allocator tracks it incrementally (no division per ball).
+/// A generalized integer `slack` c gives acceptance load <= ceil(i/n)+(c-1);
+/// c = 0 is the "no +1" variant the paper notes degenerates to a coupon
+/// collector with Theta(m log n) allocation time.
+
+#include "bbb/core/load_vector.hpp"
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+/// Streaming adaptive allocator: the class applications embed when the
+/// total number of jobs is unknown (dispatchers, hash tables that grow).
+class AdaptiveAllocator {
+ public:
+  /// \param n bins; \param slack integer slack c, default 1 (the paper).
+  /// \throws std::invalid_argument if n == 0.
+  explicit AdaptiveAllocator(std::uint32_t n, std::uint32_t slack = 1);
+
+  /// Place one ball; returns the chosen bin. Always terminates: for slack
+  /// >= 1 a below-average bin always qualifies; for slack == 0 the bound
+  /// ceil(i/n) - 1 still admits at least one bin because i - 1 already
+  /// placed balls cannot fill all n bins to ceil(i/n).
+  std::uint32_t place(rng::Engine& gen);
+
+  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  /// Acceptance bound the *next* ball will use (load <= bound accepted).
+  [[nodiscard]] std::uint32_t accept_bound() const noexcept { return bound_; }
+  /// Balls placed so far.
+  [[nodiscard]] std::uint64_t balls() const noexcept { return state_.balls(); }
+
+ private:
+  LoadVector state_;
+  std::uint32_t slack_;
+  std::uint32_t bound_;            // bound for ball index balls()+1
+  std::uint32_t stage_fill_ = 0;   // balls placed in the current stage of n
+  std::uint64_t probes_ = 0;
+};
+
+/// Batch protocol wrapper: adaptive (slack 1 = the paper's Figure 1).
+class AdaptiveProtocol final : public Protocol {
+ public:
+  explicit AdaptiveProtocol(std::uint32_t slack = 1);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+ private:
+  std::uint32_t slack_;
+};
+
+}  // namespace bbb::core

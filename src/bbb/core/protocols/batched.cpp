@@ -1,0 +1,97 @@
+#include "bbb/core/protocols/batched.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+BatchedProtocol::BatchedProtocol(Params params) : params_(params) {
+  if (params_.capacity == 0 || params_.max_rounds == 0 || params_.max_fanout == 0) {
+    throw std::invalid_argument("BatchedProtocol: capacity/max_rounds/max_fanout > 0");
+  }
+}
+
+std::string BatchedProtocol::name() const {
+  return "batched[" + std::to_string(params_.capacity) + "]";
+}
+
+AllocationResult BatchedProtocol::run(std::uint64_t m, std::uint32_t n,
+                                      rng::Engine& gen) const {
+  validate_run_args(m, n);
+  if (m > static_cast<std::uint64_t>(params_.capacity) * n) {
+    throw std::invalid_argument(
+        "BatchedProtocol: m exceeds capacity * n, allocation impossible");
+  }
+
+  AllocationResult res;
+  res.loads.assign(n, 0);
+  if (m == 0) return res;
+
+  std::vector<std::uint64_t> unplaced(m);
+  for (std::uint64_t i = 0; i < m; ++i) unplaced[i] = i;
+  std::vector<char> placed(m, 0);
+
+  // Per-bin requester lists, rebuilt each round. `touched` tracks which bins
+  // to clear so a sparse late round does not pay O(n).
+  std::vector<std::vector<std::uint64_t>> requesters(n);
+  std::vector<std::uint32_t> touched;
+  touched.reserve(std::min<std::uint64_t>(n, 4 * m));
+
+  std::uint32_t fanout = 1;
+  for (std::uint32_t round = 1; round <= params_.max_rounds; ++round) {
+    res.rounds = round;
+
+    for (std::uint32_t b : touched) requesters[b].clear();
+    touched.clear();
+
+    // Request phase: every unplaced ball contacts `fanout` uniform bins.
+    for (std::uint64_t ball : unplaced) {
+      for (std::uint32_t j = 0; j < fanout; ++j) {
+        const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+        ++res.probes;
+        if (requesters[bin].empty()) touched.push_back(bin);
+        requesters[bin].push_back(ball);
+      }
+    }
+
+    // Accept phase. Bins decide in an arbitrary fixed order (the order they
+    // were first contacted); each shuffles its requesters and admits the
+    // first still-unplaced ones up to its spare capacity. A ball accepted
+    // by an earlier bin is skipped by later bins, which models the ball
+    // acknowledging exactly one acceptance.
+    for (std::uint32_t bin : touched) {
+      auto& req = requesters[bin];
+      std::uint32_t spare =
+          params_.capacity > res.loads[bin] ? params_.capacity - res.loads[bin] : 0;
+      if (spare == 0) continue;
+      // Fisher-Yates shuffle for a uniformly random acceptance order.
+      for (std::size_t i = req.size(); i > 1; --i) {
+        const std::size_t j = rng::uniform_below(gen, i);
+        std::swap(req[i - 1], req[j]);
+      }
+      for (std::uint64_t ball : req) {
+        if (placed[ball]) continue;  // duplicate request or accepted elsewhere
+        placed[ball] = 1;
+        ++res.loads[bin];
+        ++res.balls;
+        if (--spare == 0) break;
+      }
+    }
+
+    if (res.balls == m) {
+      res.completed = true;
+      return res;
+    }
+
+    std::erase_if(unplaced, [&](std::uint64_t ball) { return placed[ball] != 0; });
+    fanout = std::min(fanout * 2, params_.max_fanout);
+  }
+
+  res.completed = unplaced.empty();
+  return res;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,51 @@
+#pragma once
+/// \file batched.hpp
+/// Synchronous parallel allocation in the spirit of Lenzen & Wattenhofer
+/// (STOC'11), the parallel line of work the paper's introduction surveys:
+/// balls and bins act in rounds instead of sequentially.
+///
+/// Round r: every still-unplaced ball sends requests to k_r bins chosen
+/// independently and uniformly at random (k_1 = 1 and k doubles each round,
+/// capped at `max_fanout`). Every bin with spare capacity accepts a uniform
+/// random subset of its requesters, up to `capacity` total balls; everyone
+/// else retries next round. With capacity 2 and m = n this places all balls
+/// within log* n + O(1)-ish rounds using O(n) messages, max load 2.
+///
+/// The protocol cannot place more than capacity * n balls; configurations
+/// violating that are rejected up-front.
+
+#include "bbb/core/protocol.hpp"
+
+namespace bbb::core {
+
+/// Batch-only protocol (there is no meaningful one-ball streaming form).
+class BatchedProtocol final : public Protocol {
+ public:
+  struct Params {
+    std::uint32_t capacity = 2;     ///< max balls a bin will accept in total
+    std::uint32_t max_rounds = 64;  ///< give up after this many rounds
+    std::uint32_t max_fanout = 64;  ///< cap on per-ball requests per round
+  };
+
+  /// \throws std::invalid_argument if capacity == 0, max_rounds == 0, or
+  ///         max_fanout == 0.
+  explicit BatchedProtocol(Params params);
+  BatchedProtocol() : BatchedProtocol(Params{}) {}
+
+  [[nodiscard]] std::string name() const override;
+
+  /// AllocationResult::rounds is the number of rounds used;
+  /// AllocationResult::probes counts every request message;
+  /// completed == false if max_rounds elapsed with balls still unplaced
+  /// (res.balls then reports how many were placed).
+  /// \throws std::invalid_argument if m > capacity * n (impossible).
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace bbb::core

@@ -1,0 +1,92 @@
+#include "bbb/core/protocols/cuckoo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bbb::core {
+
+CuckooTable::CuckooTable(std::uint32_t n, Params params) : params_(params) {
+  if (n == 0) throw std::invalid_argument("CuckooTable: n must be positive");
+  if (params_.d == 0 || params_.bucket_size == 0 || params_.max_kicks == 0) {
+    throw std::invalid_argument("CuckooTable: d/bucket_size/max_kicks must be positive");
+  }
+  if (params_.d > n) throw std::invalid_argument("CuckooTable: d must be <= n");
+  bucket_len_.assign(n, 0);
+  residents_.resize(n);
+}
+
+double CuckooTable::load_factor() const noexcept {
+  return static_cast<double>(items_) /
+         (static_cast<double>(n()) * static_cast<double>(params_.bucket_size));
+}
+
+bool CuckooTable::insert(rng::Engine& gen) {
+  const std::uint64_t id = items_;
+  // Draw and remember this item's d candidate buckets (its "hash values").
+  for (std::uint32_t j = 0; j < params_.d; ++j) {
+    choices_.push_back(static_cast<std::uint32_t>(rng::uniform_below(gen, n())));
+    ++probes_;
+  }
+  ++items_;
+
+  std::uint64_t wanderer = id;
+  for (std::uint32_t kick = 0; kick <= params_.max_kicks; ++kick) {
+    // Any candidate with space takes the wanderer.
+    bool placed = false;
+    for (std::uint32_t j = 0; j < params_.d; ++j) {
+      const std::uint32_t b = choice(wanderer, j);
+      if (bucket_len_[b] < params_.bucket_size) {
+        residents_[b].push_back(wanderer);
+        ++bucket_len_[b];
+        placed = true;
+        break;
+      }
+    }
+    if (placed) return true;
+    if (kick == params_.max_kicks) break;
+
+    // Random walk: evict a random resident of a random candidate bucket.
+    const auto jr = static_cast<std::uint32_t>(rng::uniform_below(gen, params_.d));
+    const std::uint32_t b = choice(wanderer, jr);
+    auto& bucket = residents_[b];
+    const std::size_t victim_slot = rng::uniform_below(gen, bucket.size());
+    std::swap(bucket[victim_slot], bucket.back());
+    const std::uint64_t victim = bucket.back();
+    bucket.back() = wanderer;  // wanderer takes the victim's slot
+    wanderer = victim;
+    ++moves_;
+  }
+  // Budget exhausted: the current wanderer has nowhere to go. Park it.
+  ++stash_;
+  return false;
+}
+
+CuckooProtocol::CuckooProtocol(CuckooTable::Params params) : params_(params) {
+  if (params_.d == 0 || params_.bucket_size == 0 || params_.max_kicks == 0) {
+    throw std::invalid_argument("CuckooProtocol: d/bucket_size/max_kicks must be positive");
+  }
+}
+
+std::string CuckooProtocol::name() const {
+  return "cuckoo[" + std::to_string(params_.d) + "," +
+         std::to_string(params_.bucket_size) + "]";
+}
+
+AllocationResult CuckooProtocol::run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const {
+  validate_run_args(m, n);
+  CuckooTable table(n, params_);
+  bool all_ok = true;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    all_ok = table.insert(gen) && all_ok;
+  }
+  AllocationResult res;
+  res.loads = table.loads();
+  res.balls = m - table.stash();
+  res.probes = table.probes();
+  res.reallocations = table.moves();
+  res.completed = all_ok;
+  return res;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,89 @@
+#pragma once
+/// \file cuckoo.hpp
+/// d-ary cuckoo hashing with buckets of size k (related-work §1 of the
+/// paper): m items, each with d uniformly random candidate buckets out of
+/// n, buckets hold at most k items. Insertion places into the first
+/// candidate with space; if all candidates are full, a random-walk eviction
+/// kicks a random resident of a random candidate bucket and re-inserts it.
+///
+/// This is the reallocation-based end of the design space the paper
+/// contrasts against: perfect bucket bounds, but insertions can cascade
+/// (and fail outright above the load threshold — see Dietzfelbinger et al.
+/// for the exact thresholds).
+
+#include <vector>
+
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+/// Streaming cuckoo table. Items are dense ids assigned by insert order.
+class CuckooTable {
+ public:
+  struct Params {
+    std::uint32_t d = 2;           ///< candidate buckets per item
+    std::uint32_t bucket_size = 4; ///< k, items a bucket can hold
+    std::uint32_t max_kicks = 500; ///< eviction budget per insert
+  };
+
+  /// \throws std::invalid_argument if n == 0, d == 0, bucket_size == 0,
+  ///         max_kicks == 0, or d > n.
+  CuckooTable(std::uint32_t n, Params params);
+
+  /// Insert one item. Returns true on success; false if the eviction budget
+  /// was exhausted (the table is left consistent: the failed item and every
+  /// displaced item are all stored — failure means the *last* displaced
+  /// item could not be placed and is parked in `stash()`).
+  bool insert(rng::Engine& gen);
+
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(bucket_len_.size());
+  }
+  [[nodiscard]] std::uint64_t items() const noexcept { return items_; }
+  /// Bucket occupancy (loads in balls-into-bins terms).
+  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept {
+    return bucket_len_;
+  }
+  /// Items that failed to place (insert() returned false).
+  [[nodiscard]] std::uint64_t stash() const noexcept { return stash_; }
+  /// Random bucket choices drawn so far.
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  /// Evictions performed so far.
+  [[nodiscard]] std::uint64_t moves() const noexcept { return moves_; }
+  /// Occupied fraction m / (n * k).
+  [[nodiscard]] double load_factor() const noexcept;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  [[nodiscard]] std::uint32_t choice(std::uint64_t item, std::uint32_t j) const noexcept {
+    return choices_[item * params_.d + j];
+  }
+
+  Params params_;
+  std::vector<std::uint32_t> bucket_len_;              // items per bucket
+  std::vector<std::vector<std::uint64_t>> residents_;  // item ids per bucket
+  std::vector<std::uint32_t> choices_;                 // d per item, flattened
+  std::uint64_t items_ = 0;
+  std::uint64_t stash_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t moves_ = 0;
+};
+
+/// Batch protocol wrapper: inserts m items; completed == false if any
+/// insertion failed. reallocations reports evictions.
+class CuckooProtocol final : public Protocol {
+ public:
+  explicit CuckooProtocol(CuckooTable::Params params);
+  CuckooProtocol() : CuckooProtocol(CuckooTable::Params{}) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+ private:
+  CuckooTable::Params params_;
+};
+
+}  // namespace bbb::core

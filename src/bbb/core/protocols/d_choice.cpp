@@ -1,0 +1,55 @@
+#include "bbb/core/protocols/d_choice.hpp"
+
+#include <stdexcept>
+
+namespace bbb::core {
+
+DChoiceAllocator::DChoiceAllocator(std::uint32_t n, std::uint32_t d) : state_(n), d_(d) {
+  if (d == 0) throw std::invalid_argument("DChoiceAllocator: d must be positive");
+}
+
+std::uint32_t DChoiceAllocator::place(rng::Engine& gen) {
+  const std::uint32_t n = state_.n();
+  // First candidate.
+  auto best = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+  std::uint32_t best_load = state_.load(best);
+  std::uint32_t ties = 1;  // candidates seen with the current best load
+  for (std::uint32_t j = 1; j < d_; ++j) {
+    const auto c = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    const std::uint32_t l = state_.load(c);
+    if (l < best_load) {
+      best = c;
+      best_load = l;
+      ties = 1;
+    } else if (l == best_load) {
+      // Reservoir-style uniform tie-break across all tied candidates.
+      ++ties;
+      if (rng::uniform_below(gen, ties) == 0) best = c;
+    }
+  }
+  probes_ += d_;
+  state_.add_ball(best);
+  return best;
+}
+
+DChoiceProtocol::DChoiceProtocol(std::uint32_t d) : d_(d) {
+  if (d == 0) throw std::invalid_argument("DChoiceProtocol: d must be positive");
+}
+
+std::string DChoiceProtocol::name() const {
+  return "greedy[" + std::to_string(d_) + "]";
+}
+
+AllocationResult DChoiceProtocol::run(std::uint64_t m, std::uint32_t n,
+                                      rng::Engine& gen) const {
+  validate_run_args(m, n);
+  DChoiceAllocator alloc(n, d_);
+  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
+  AllocationResult res;
+  res.loads = alloc.state().loads();
+  res.balls = m;
+  res.probes = alloc.probes();
+  return res;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,48 @@
+#pragma once
+/// \file d_choice.hpp
+/// greedy[d] (Azar, Broder, Karlin, Upfal): each ball samples d bins
+/// independently and uniformly (with replacement) and joins the least
+/// loaded, ties broken uniformly at random among the tied candidates.
+/// Max load: m/n + ln ln n / ln d + O(1) (Berenbrink et al. 2006).
+/// Allocation time: exactly d probes per ball.
+
+#include "bbb/core/load_vector.hpp"
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+/// Streaming greedy[d] allocator.
+class DChoiceAllocator {
+ public:
+  /// \throws std::invalid_argument if n == 0 or d == 0.
+  DChoiceAllocator(std::uint32_t n, std::uint32_t d);
+
+  /// Place one ball; returns the chosen bin.
+  std::uint32_t place(rng::Engine& gen);
+
+  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
+
+ private:
+  LoadVector state_;
+  std::uint32_t d_;
+  std::uint64_t probes_ = 0;
+};
+
+/// Batch protocol wrapper: greedy[d].
+class DChoiceProtocol final : public Protocol {
+ public:
+  /// \throws std::invalid_argument if d == 0.
+  explicit DChoiceProtocol(std::uint32_t d);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+ private:
+  std::uint32_t d_;
+};
+
+}  // namespace bbb::core

@@ -1,0 +1,49 @@
+#include "bbb/core/protocols/doubling_threshold.hpp"
+
+#include <stdexcept>
+
+namespace bbb::core {
+
+DoublingThresholdAllocator::DoublingThresholdAllocator(std::uint32_t n,
+                                                       std::uint64_t initial_guess)
+    : state_(n), guess_(initial_guess == 0 ? n : initial_guess) {
+  bound_ = ceil_div(guess_, n);
+}
+
+std::uint32_t DoublingThresholdAllocator::place(rng::Engine& gen) {
+  const std::uint32_t n = state_.n();
+  // Guess exhausted: double and recompute the bound before placing.
+  while (state_.balls() >= guess_) {
+    guess_ *= 2;
+    bound_ = ceil_div(guess_, n);
+  }
+  for (;;) {
+    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    ++probes_;
+    if (state_.load(bin) <= bound_) {
+      state_.add_ball(bin);
+      return bin;
+    }
+  }
+}
+
+DoublingThresholdProtocol::DoublingThresholdProtocol(std::uint64_t initial_guess)
+    : initial_guess_(initial_guess) {}
+
+std::string DoublingThresholdProtocol::name() const {
+  return "doubling-threshold[" + std::to_string(initial_guess_) + "]";
+}
+
+AllocationResult DoublingThresholdProtocol::run(std::uint64_t m, std::uint32_t n,
+                                                rng::Engine& gen) const {
+  validate_run_args(m, n);
+  DoublingThresholdAllocator alloc(n, initial_guess_);
+  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
+  AllocationResult res;
+  res.loads = alloc.state().loads();
+  res.balls = m;
+  res.probes = alloc.probes();
+  return res;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,58 @@
+#pragma once
+/// \file doubling_threshold.hpp
+/// The *wrong* fix for threshold's known-m requirement, included to make
+/// the paper's design point concrete.
+///
+/// threshold needs m up-front. The folklore remedy is guess-and-double:
+/// run threshold with a guess M, and when M balls have arrived, double M
+/// and continue. This keeps O(m) allocation time, but the acceptance bound
+/// jumps to ceil(M/n) for the *current* guess M, which can be nearly 2m/n —
+/// so the final max load degrades to roughly 2·ceil(m/n) + 1 whenever m
+/// lands just past a doubling boundary. adaptive (threshold i/n + 1) is the
+/// correct fix: same O(m) time, bound ceil(m/n) + 1 for every m, no
+/// schedule cliff. bench_ablation_unknown_m measures the gap.
+
+#include "bbb/core/load_vector.hpp"
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+/// Streaming guess-and-double threshold allocator.
+class DoublingThresholdAllocator {
+ public:
+  /// \param n bins; \param initial_guess starting M (defaults to n).
+  /// \throws std::invalid_argument if n == 0 or initial_guess == 0.
+  explicit DoublingThresholdAllocator(std::uint32_t n, std::uint64_t initial_guess = 0);
+
+  /// Place one ball; returns the chosen bin.
+  std::uint32_t place(rng::Engine& gen);
+
+  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  /// Current guess M (doubles each time the ball count reaches it).
+  [[nodiscard]] std::uint64_t guess() const noexcept { return guess_; }
+  /// Acceptance bound in force: load <= ceil(M/n).
+  [[nodiscard]] std::uint32_t accept_bound() const noexcept { return bound_; }
+
+ private:
+  LoadVector state_;
+  std::uint64_t guess_;
+  std::uint32_t bound_;
+  std::uint64_t probes_ = 0;
+};
+
+/// Batch wrapper: doubling-threshold[initial_guess] (0 = default n).
+class DoublingThresholdProtocol final : public Protocol {
+ public:
+  explicit DoublingThresholdProtocol(std::uint64_t initial_guess = 0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+ private:
+  std::uint64_t initial_guess_;
+};
+
+}  // namespace bbb::core

@@ -1,0 +1,58 @@
+#pragma once
+/// \file memory_dk.hpp
+/// The (d,k)-memory protocol (Mitzenmacher, Prabhakar, Shah 2002): each ball
+/// examines d fresh uniform bins plus the k best bins remembered from the
+/// previous ball, joins the least loaded of the d+k, and the k least loaded
+/// of the candidate set (after placement) are remembered for the next ball.
+/// For d = k = 1 and m = n the max load is ln ln n / (2 ln phi_2) + O(1),
+/// matching Vöcking's lower bound — with only d probes of *fresh* randomness
+/// per ball, so allocation time Theta(m) for constant d.
+
+#include <vector>
+
+#include "bbb/core/load_vector.hpp"
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+/// Streaming (d,k)-memory allocator.
+class MemoryDKAllocator {
+ public:
+  /// \throws std::invalid_argument if n == 0, d == 0, or k == 0.
+  MemoryDKAllocator(std::uint32_t n, std::uint32_t d, std::uint32_t k);
+
+  /// Place one ball; returns the chosen bin.
+  std::uint32_t place(rng::Engine& gen);
+
+  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
+  /// Fresh random probes only (memory lookups are free).
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  /// Currently remembered bins (size <= k; empty before the first ball).
+  [[nodiscard]] const std::vector<std::uint32_t>& memory() const noexcept { return memory_; }
+
+ private:
+  LoadVector state_;
+  std::uint32_t d_;
+  std::uint32_t k_;
+  std::uint64_t probes_ = 0;
+  std::vector<std::uint32_t> memory_;
+  std::vector<std::uint32_t> candidates_;  // scratch, avoids per-ball allocs
+};
+
+/// Batch protocol wrapper: memory(d,k).
+class MemoryDKProtocol final : public Protocol {
+ public:
+  /// \throws std::invalid_argument if d == 0 or k == 0.
+  MemoryDKProtocol(std::uint32_t d, std::uint32_t k);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+ private:
+  std::uint32_t d_;
+  std::uint32_t k_;
+};
+
+}  // namespace bbb::core

@@ -1,0 +1,17 @@
+#include "bbb/core/protocols/one_choice.hpp"
+
+namespace bbb::core {
+
+AllocationResult OneChoiceProtocol::run(std::uint64_t m, std::uint32_t n,
+                                        rng::Engine& gen) const {
+  validate_run_args(m, n);
+  OneChoiceAllocator alloc(n);
+  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
+  AllocationResult res;
+  res.loads = alloc.state().loads();
+  res.balls = m;
+  res.probes = alloc.probes();
+  return res;
+}
+
+}  // namespace bbb::core

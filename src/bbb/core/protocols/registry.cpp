@@ -1,0 +1,137 @@
+#include "bbb/core/protocols/registry.hpp"
+
+#include <stdexcept>
+
+#include "bbb/core/protocols/adaptive.hpp"
+#include "bbb/core/protocols/batched.hpp"
+#include "bbb/core/protocols/cuckoo.hpp"
+#include "bbb/core/protocols/d_choice.hpp"
+#include "bbb/core/protocols/doubling_threshold.hpp"
+#include "bbb/core/protocols/left_d.hpp"
+#include "bbb/core/protocols/memory_dk.hpp"
+#include "bbb/core/protocols/one_choice.hpp"
+#include "bbb/core/protocols/self_balancing.hpp"
+#include "bbb/core/protocols/skewed_adaptive.hpp"
+#include "bbb/core/protocols/stale_adaptive.hpp"
+#include "bbb/core/protocols/threshold.hpp"
+
+namespace bbb::core {
+
+namespace {
+
+// Split "name[a,b]" into name and integer args. "name" alone gives no args.
+struct Spec {
+  std::string name;
+  std::vector<std::uint64_t> args;
+};
+
+Spec parse_spec(const std::string& spec) {
+  Spec out;
+  const auto bracket = spec.find('[');
+  if (bracket == std::string::npos) {
+    out.name = spec;
+    return out;
+  }
+  if (spec.back() != ']') {
+    throw std::invalid_argument("protocol spec '" + spec + "': missing ']'");
+  }
+  out.name = spec.substr(0, bracket);
+  std::string args = spec.substr(bracket + 1, spec.size() - bracket - 2);
+  std::size_t pos = 0;
+  while (pos < args.size()) {
+    const auto comma = args.find(',', pos);
+    const std::string tok =
+        args.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    try {
+      std::size_t used = 0;
+      out.args.push_back(std::stoull(tok, &used));
+      if (used != tok.size()) throw std::invalid_argument("junk");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("protocol spec '" + spec + "': bad integer '" + tok +
+                                  "'");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::uint32_t arg_at(const Spec& s, std::size_t i, const std::string& spec) {
+  if (i >= s.args.size()) {
+    throw std::invalid_argument("protocol spec '" + spec + "': missing argument " +
+                                std::to_string(i + 1));
+  }
+  return static_cast<std::uint32_t>(s.args[i]);
+}
+
+// The slack-style specs accept zero or one argument.
+std::uint32_t optional_slack(const Spec& s, const std::string& spec) {
+  if (s.args.empty()) return 1;
+  if (s.args.size() > 1) {
+    throw std::invalid_argument("protocol spec '" + spec + "': too many arguments");
+  }
+  return static_cast<std::uint32_t>(s.args[0]);
+}
+
+}  // namespace
+
+std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
+  const Spec s = parse_spec(spec);
+  if (s.name == "one-choice") {
+    if (!s.args.empty()) {
+      throw std::invalid_argument("protocol spec '" + spec + "': takes no arguments");
+    }
+    return std::make_unique<OneChoiceProtocol>();
+  }
+  if (s.name == "greedy") return std::make_unique<DChoiceProtocol>(arg_at(s, 0, spec));
+  if (s.name == "left") return std::make_unique<LeftDProtocol>(arg_at(s, 0, spec));
+  if (s.name == "memory") {
+    return std::make_unique<MemoryDKProtocol>(arg_at(s, 0, spec), arg_at(s, 1, spec));
+  }
+  if (s.name == "threshold") {
+    return std::make_unique<ThresholdProtocol>(optional_slack(s, spec));
+  }
+  if (s.name == "doubling-threshold") {
+    if (s.args.size() > 1) {
+      throw std::invalid_argument("protocol spec '" + spec + "': too many arguments");
+    }
+    return std::make_unique<DoublingThresholdProtocol>(s.args.empty() ? 0 : s.args[0]);
+  }
+  if (s.name == "adaptive") {
+    return std::make_unique<AdaptiveProtocol>(optional_slack(s, spec));
+  }
+  if (s.name == "stale-adaptive") {
+    return std::make_unique<StaleAdaptiveProtocol>(arg_at(s, 0, spec));
+  }
+  if (s.name == "skewed-adaptive") {
+    return std::make_unique<SkewedAdaptiveProtocol>(arg_at(s, 0, spec));
+  }
+  if (s.name == "batched") {
+    BatchedProtocol::Params p;
+    if (!s.args.empty()) p.capacity = static_cast<std::uint32_t>(s.args[0]);
+    return std::make_unique<BatchedProtocol>(p);
+  }
+  if (s.name == "self-balancing") {
+    if (!s.args.empty()) {
+      throw std::invalid_argument("protocol spec '" + spec + "': takes no arguments");
+    }
+    return std::make_unique<SelfBalancingProtocol>();
+  }
+  if (s.name == "cuckoo") {
+    CuckooTable::Params p;
+    p.d = arg_at(s, 0, spec);
+    p.bucket_size = arg_at(s, 1, spec);
+    return std::make_unique<CuckooProtocol>(p);
+  }
+  throw std::invalid_argument("unknown protocol '" + s.name + "'");
+}
+
+std::vector<std::string> protocol_specs() {
+  return {"one-choice",     "greedy[d]",  "left[d]",          "memory[d,k]",
+          "threshold",      "threshold[slack]", "doubling-threshold[guess]",
+          "adaptive",       "adaptive[slack]",
+          "stale-adaptive[delta]", "skewed-adaptive[s*100]", "batched[capacity]",
+          "self-balancing", "cuckoo[d,k]"};
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,39 @@
+#pragma once
+/// \file registry.hpp
+/// String-spec protocol factory so benches and examples can take protocols
+/// on the command line. A spec is a name plus optional bracketed integer
+/// arguments; `Protocol::name()` of every built protocol parses back to an
+/// equivalent protocol (round-trip property, tested).
+///
+/// Recognized specs:
+///   one-choice
+///   greedy[d]            e.g. greedy[2]
+///   left[d]              e.g. left[4]
+///   memory[d,k]          e.g. memory[1,1]
+///   threshold            = threshold[1]
+///   threshold[slack]
+///   doubling-threshold[guess]   guess-and-double unknown-m variant (0 = n)
+///   adaptive             = adaptive[1]
+///   adaptive[slack]
+///   stale-adaptive[delta]
+///   skewed-adaptive[s*100]   Zipf(s) probe bias, s scaled by 100
+///   batched[capacity]
+///   self-balancing
+///   cuckoo[d,k]          e.g. cuckoo[2,4]
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bbb/core/protocol.hpp"
+
+namespace bbb::core {
+
+/// Build a protocol from a spec string.
+/// \throws std::invalid_argument for unknown names or malformed/missing args.
+[[nodiscard]] std::unique_ptr<Protocol> make_protocol(const std::string& spec);
+
+/// All recognized spec shapes, for --help output.
+[[nodiscard]] std::vector<std::string> protocol_specs();
+
+}  // namespace bbb::core

@@ -1,0 +1,73 @@
+#include "bbb/core/protocols/self_balancing.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+SelfBalancingProtocol::SelfBalancingProtocol(std::uint32_t max_passes)
+    : max_passes_(max_passes) {
+  if (max_passes == 0) {
+    throw std::invalid_argument("SelfBalancingProtocol: max_passes must be positive");
+  }
+}
+
+AllocationResult SelfBalancingProtocol::run(std::uint64_t m, std::uint32_t n,
+                                            rng::Engine& gen) const {
+  validate_run_args(m, n);
+  AllocationResult res;
+  res.loads.assign(n, 0);
+  if (m == 0) return res;
+
+  // Phase 1: greedy[2], remembering both choices of every ball.
+  std::vector<std::uint32_t> choice_a(m), choice_b(m);
+  std::vector<std::uint32_t> current(m);  // which bin the ball sits in
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    const auto b = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    res.probes += 2;
+    choice_a[i] = a;
+    choice_b[i] = b;
+    std::uint32_t pick;
+    if (res.loads[a] < res.loads[b]) {
+      pick = a;
+    } else if (res.loads[b] < res.loads[a]) {
+      pick = b;
+    } else {
+      pick = rng::uniform_below(gen, 2) == 0 ? a : b;
+    }
+    current[i] = pick;
+    ++res.loads[pick];
+  }
+  res.balls = m;
+
+  // Phase 2: self-balancing sweeps. A move is made when the alternative
+  // choice is at least 2 lighter, so every move strictly decreases
+  // max(load_src, load_dst) — the passes monotonically descend and must
+  // reach a fixpoint.
+  for (std::uint32_t pass = 1; pass <= max_passes_; ++pass) {
+    res.rounds = pass;
+    bool moved = false;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const std::uint32_t cur = current[i];
+      const std::uint32_t alt = choice_a[i] == cur ? choice_b[i] : choice_a[i];
+      if (res.loads[alt] + 1 < res.loads[cur]) {
+        --res.loads[cur];
+        ++res.loads[alt];
+        current[i] = alt;
+        ++res.reallocations;
+        moved = true;
+      }
+    }
+    if (!moved) {
+      res.completed = true;
+      return res;
+    }
+  }
+  res.completed = false;  // max_passes hit before fixpoint
+  return res;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,36 @@
+#pragma once
+/// \file self_balancing.hpp
+/// Self-balancing allocation after Czumaj, Riley & Scheideler (RANDOM'03):
+/// an initial greedy[2] pass records both bin choices of every ball, then
+/// iterative *self-balancing steps* let balls switch to their alternative
+/// choice whenever that strictly improves balance (alternative load at
+/// least 2 below the current bin — after the move the maximum of the pair
+/// has strictly decreased). CRS prove the fixpoint reaches max load
+/// ceil(m/n) (+1 in a parameter regime) with O(m) + poly(n) reallocations.
+///
+/// AllocationResult::reallocations counts ball moves,
+/// AllocationResult::rounds counts full passes over the balls, and
+/// completed == false if `max_passes` elapsed before the fixpoint.
+
+#include "bbb/core/protocol.hpp"
+
+namespace bbb::core {
+
+/// Batch protocol: greedy[2] placement + local switching to a fixpoint.
+class SelfBalancingProtocol final : public Protocol {
+ public:
+  /// \param max_passes bound on full self-balancing sweeps.
+  /// \throws std::invalid_argument if max_passes == 0.
+  explicit SelfBalancingProtocol(std::uint32_t max_passes = 64);
+
+  [[nodiscard]] std::string name() const override { return "self-balancing"; }
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+  [[nodiscard]] std::uint32_t max_passes() const noexcept { return max_passes_; }
+
+ private:
+  std::uint32_t max_passes_;
+};
+
+}  // namespace bbb::core

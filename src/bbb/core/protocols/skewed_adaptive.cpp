@@ -1,0 +1,43 @@
+#include "bbb/core/protocols/skewed_adaptive.hpp"
+
+namespace bbb::core {
+
+SkewedAdaptiveAllocator::SkewedAdaptiveAllocator(std::uint32_t n, double s)
+    : state_(n), zipf_(n, s) {}
+
+std::uint32_t SkewedAdaptiveAllocator::place(rng::Engine& gen) {
+  const std::uint32_t n = state_.n();
+  for (;;) {
+    const std::uint32_t bin = zipf_(gen);
+    ++probes_;
+    if (state_.load(bin) <= bound_) {
+      state_.add_ball(bin);
+      if (++stage_fill_ == n) {
+        stage_fill_ = 0;
+        ++bound_;
+      }
+      return bin;
+    }
+  }
+}
+
+SkewedAdaptiveProtocol::SkewedAdaptiveProtocol(std::uint32_t s_times_100)
+    : s_times_100_(s_times_100) {}
+
+std::string SkewedAdaptiveProtocol::name() const {
+  return "skewed-adaptive[" + std::to_string(s_times_100_) + "]";
+}
+
+AllocationResult SkewedAdaptiveProtocol::run(std::uint64_t m, std::uint32_t n,
+                                             rng::Engine& gen) const {
+  validate_run_args(m, n);
+  SkewedAdaptiveAllocator alloc(n, static_cast<double>(s_times_100_) / 100.0);
+  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
+  AllocationResult res;
+  res.loads = alloc.state().loads();
+  res.balls = m;
+  res.probes = alloc.probes();
+  return res;
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,57 @@
+#pragma once
+/// \file skewed_adaptive.hpp
+/// adaptive with a *biased* probe distribution — what happens when the
+/// "choose a bin uniformly at random" primitive is really a hash with a
+/// skewed range (Zipf(s) over the bins).
+///
+/// The acceptance rule is distribution-free, so the paper's max-load bound
+/// ceil(m/n) + 1 survives arbitrary skew by construction. What breaks is
+/// the *allocation time*: rarely-probed bins fill only when everything else
+/// is saturated, so probes blow up with s (each stage's endgame must find
+/// the cold bins through the biased sampler). bench_ablation_skew measures
+/// the degradation curve; the takeaway is that Theorem 3.1's O(m) leans on
+/// near-uniform sampling while the load guarantee does not.
+
+#include "bbb/core/load_vector.hpp"
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/zipf.hpp"
+
+namespace bbb::core {
+
+/// Streaming adaptive allocator probing bins ~ Zipf(s).
+class SkewedAdaptiveAllocator {
+ public:
+  /// \param n bins; \param s Zipf exponent (0 = uniform = plain adaptive).
+  /// \throws std::invalid_argument if n == 0 or s < 0.
+  SkewedAdaptiveAllocator(std::uint32_t n, double s);
+
+  /// Place one ball; returns the chosen bin.
+  std::uint32_t place(rng::Engine& gen);
+
+  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] double s() const noexcept { return zipf_.s(); }
+
+ private:
+  LoadVector state_;
+  rng::ZipfDist zipf_;
+  std::uint32_t bound_ = 1;
+  std::uint32_t stage_fill_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+/// Batch wrapper: skewed-adaptive[s*100] in registry specs (integer arg).
+class SkewedAdaptiveProtocol final : public Protocol {
+ public:
+  /// \param s_times_100 Zipf exponent scaled by 100 (e.g. 50 -> s = 0.5).
+  explicit SkewedAdaptiveProtocol(std::uint32_t s_times_100);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+ private:
+  std::uint32_t s_times_100_;
+};
+
+}  // namespace bbb::core

@@ -1,0 +1,59 @@
+#include "bbb/core/protocols/stale_adaptive.hpp"
+
+#include <stdexcept>
+
+namespace bbb::core {
+
+StaleAdaptiveAllocator::StaleAdaptiveAllocator(std::uint32_t n, std::uint32_t delta)
+    : state_(n), delta_(delta) {
+  if (delta == 0) {
+    throw std::invalid_argument("StaleAdaptiveAllocator: delta must be positive");
+  }
+  if (delta > n) {
+    throw std::invalid_argument(
+        "StaleAdaptiveAllocator: delta must be <= n (else the stale bound can "
+        "lag more than one stage and termination is no longer guaranteed)");
+  }
+}
+
+std::uint32_t StaleAdaptiveAllocator::place(rng::Engine& gen) {
+  const std::uint32_t n = state_.n();
+  for (;;) {
+    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    ++probes_;
+    if (state_.load(bin) <= bound_) {
+      state_.add_ball(bin);
+      if (state_.balls() - published_ >= delta_) {
+        published_ = state_.balls();
+        // Bound for the next ball under the published count p:
+        // ceil((p+1)/n) = p/n + 1 in integer arithmetic.
+        bound_ = static_cast<std::uint32_t>(published_ / n) + 1;
+      }
+      return bin;
+    }
+  }
+}
+
+StaleAdaptiveProtocol::StaleAdaptiveProtocol(std::uint32_t delta) : delta_(delta) {
+  if (delta == 0) {
+    throw std::invalid_argument("StaleAdaptiveProtocol: delta must be positive");
+  }
+}
+
+std::string StaleAdaptiveProtocol::name() const {
+  return "stale-adaptive[" + std::to_string(delta_) + "]";
+}
+
+AllocationResult StaleAdaptiveProtocol::run(std::uint64_t m, std::uint32_t n,
+                                            rng::Engine& gen) const {
+  validate_run_args(m, n);
+  StaleAdaptiveAllocator alloc(n, delta_);
+  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
+  AllocationResult res;
+  res.loads = alloc.state().loads();
+  res.balls = m;
+  res.probes = alloc.probes();
+  return res;
+}
+
+}  // namespace bbb::core

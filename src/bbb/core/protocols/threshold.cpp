@@ -1,0 +1,61 @@
+#include "bbb/core/protocols/threshold.hpp"
+
+#include <stdexcept>
+
+namespace bbb::core {
+
+ThresholdAllocator::ThresholdAllocator(std::uint32_t n, std::uint64_t m,
+                                       std::uint32_t slack)
+    : state_(n), m_(m) {
+  // Acceptance: load < m/n + slack over integers <=> load <= ceil(m/n) + slack - 1.
+  // slack == 0 (bound ceil(m/n) - 1) can deadlock once every bin holds
+  // exactly ceil(m/n): reject it for m > 0 when m is a multiple of n and the
+  // last stage would need a hole that may not exist. We allow slack == 0 —
+  // the bound below still guarantees termination because the first m balls
+  // leave total load m - 1 < n * ceil(m/n), i.e. some bin is below average —
+  // except the degenerate m == 0 case where bound would underflow.
+  if (slack == 0 && m == 0) {
+    throw std::invalid_argument("ThresholdAllocator: slack 0 needs m > 0");
+  }
+  const std::uint32_t base = ceil_div(m, n);
+  bound_ = slack == 0 ? (base == 0 ? 0 : base - 1) : base + (slack - 1);
+}
+
+std::uint32_t ThresholdAllocator::place(rng::Engine& gen) {
+  if (state_.balls() >= m_) {
+    throw std::logic_error("ThresholdAllocator: all m balls already placed");
+  }
+  const std::uint32_t n = state_.n();
+  for (;;) {
+    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    ++probes_;
+    if (state_.load(bin) <= bound_) {
+      state_.add_ball(bin);
+      return bin;
+    }
+  }
+}
+
+ThresholdProtocol::ThresholdProtocol(std::uint32_t slack) : slack_(slack) {}
+
+std::string ThresholdProtocol::name() const {
+  return slack_ == 1 ? "threshold" : "threshold[" + std::to_string(slack_) + "]";
+}
+
+AllocationResult ThresholdProtocol::run(std::uint64_t m, std::uint32_t n,
+                                        rng::Engine& gen) const {
+  validate_run_args(m, n);
+  AllocationResult res;
+  if (m == 0) {
+    res.loads.assign(n, 0);
+    return res;
+  }
+  ThresholdAllocator alloc(n, m, slack_);
+  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
+  res.loads = alloc.state().loads();
+  res.balls = m;
+  res.probes = alloc.probes();
+  return res;
+}
+
+}  // namespace bbb::core

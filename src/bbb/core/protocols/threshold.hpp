@@ -1,0 +1,64 @@
+#pragma once
+/// \file threshold.hpp
+/// The threshold protocol (Czumaj & Stemann 2001; Figure 2 of the paper):
+/// every ball repeatedly samples uniform bins until it finds one with load
+/// strictly less than m/n + 1, and is placed there. The max load is
+/// ceil(m/n) + 1 by construction; Theorem 4.1 of the paper shows the
+/// allocation time is m + O(m^{3/4} n^{1/4}) w.h.p. for every m >= n.
+///
+/// Integer form of the acceptance test: for integer loads,
+///   load < m/n + 1   <=>   load <= ceil(m/n),
+/// so the hot loop is a single integer comparison. A generalized integer
+/// `slack` c replaces the test with load <= ceil(m/n) + (c-1):
+///   c = 1 is the paper's protocol; c = 0 demands a *perfectly* tight
+///   allocation (max load ceil(m/n)) at coupon-collector cost; larger c
+///   trades balance for fewer probes.
+
+#include "bbb/core/load_vector.hpp"
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+/// Streaming threshold allocator. Needs the total ball count m up-front
+/// (that is the protocol's defining limitation vs. adaptive).
+class ThresholdAllocator {
+ public:
+  /// \param n bins; \param m total balls that will be placed;
+  /// \param slack integer slack c (see file comment), default 1 (paper).
+  /// \throws std::invalid_argument if n == 0, or if slack == 0 with m == 0.
+  ThresholdAllocator(std::uint32_t n, std::uint64_t m, std::uint32_t slack = 1);
+
+  /// Place one ball; returns the chosen bin. Loops until an acceptable bin
+  /// is sampled; each sample counts one probe.
+  /// \throws std::logic_error if all m balls were already placed (the
+  ///         acceptance bound guarantees termination only for the first m).
+  std::uint32_t place(rng::Engine& gen);
+
+  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  /// The integer acceptance bound: a bin is accepted iff load <= bound.
+  [[nodiscard]] std::uint32_t accept_bound() const noexcept { return bound_; }
+  [[nodiscard]] std::uint64_t m() const noexcept { return m_; }
+
+ private:
+  LoadVector state_;
+  std::uint64_t m_;
+  std::uint32_t bound_;
+  std::uint64_t probes_ = 0;
+};
+
+/// Batch protocol wrapper: threshold (slack 1 = the paper's Figure 2).
+class ThresholdProtocol final : public Protocol {
+ public:
+  explicit ThresholdProtocol(std::uint32_t slack = 1);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override;
+
+ private:
+  std::uint32_t slack_;
+};
+
+}  // namespace bbb::core

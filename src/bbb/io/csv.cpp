@@ -1,0 +1,48 @@
+#include "bbb/io/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace bbb::io {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out_ << escape(header[i]) << (i + 1 == header.size() ? '\n' : ',');
+  }
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) throw std::invalid_argument("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << escape(cells[i]) << (i + 1 == cells.size() ? '\n' : ',');
+  }
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    cells.push_back(os.str());
+  }
+  write_row(cells);
+}
+
+}  // namespace bbb::io

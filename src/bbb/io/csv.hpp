@@ -1,0 +1,37 @@
+#pragma once
+/// \file csv.hpp
+/// Append-oriented CSV writer for raw per-replicate dumps (plotting inputs).
+/// Distinct from Table: Table renders finished summaries, CsvWriter streams
+/// rows to disk as replicates complete.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace bbb::io {
+
+/// Streams CSV rows to a file. The header is written on construction.
+class CsvWriter {
+ public:
+  /// \throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Write one row; must match the header width.
+  /// \throws std::invalid_argument on width mismatch.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: all-numeric row.
+  void write_row(const std::vector<double>& values, int precision = 6);
+
+  /// Rows written so far (excluding header).
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace bbb::io

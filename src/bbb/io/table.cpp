@@ -1,0 +1,144 @@
+#include "bbb/io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bbb::io {
+
+Format parse_format(const std::string& name) {
+  if (name == "ascii") return Format::kAscii;
+  if (name == "markdown") return Format::kMarkdown;
+  if (name == "csv") return Format::kCsv;
+  throw std::invalid_argument("unknown format '" + name + "' (want ascii|markdown|csv)");
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::begin_row() {
+  if (!cells_.empty() && cells_.back().size() != columns_.size()) {
+    throw std::logic_error("Table: previous row incomplete");
+  }
+  cells_.emplace_back();
+  cells_.back().reserve(columns_.size());
+}
+
+void Table::add_cell(std::string value) {
+  if (cells_.empty()) throw std::logic_error("Table: begin_row() before add_cell()");
+  if (cells_.back().size() >= columns_.size()) {
+    throw std::logic_error("Table: row already full");
+  }
+  cells_.back().push_back(std::move(value));
+}
+
+void Table::add_num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  add_cell(os.str());
+}
+
+void Table::add_int(std::int64_t value) { add_cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  return cells_.at(row).at(col);
+}
+
+void Table::check_complete() const {
+  for (const auto& row : cells_) {
+    if (row.size() != columns_.size()) {
+      throw std::logic_error("Table: render() with incomplete row");
+    }
+  }
+}
+
+std::string Table::render(Format format) const {
+  check_complete();
+  std::ostringstream os;
+
+  if (format == Format::kCsv) {
+    // CSV: no title line (keeps files directly loadable); quote cells
+    // containing separators.
+    auto emit = [&os](const std::string& cell, bool last) {
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        os << '"';
+        for (char c : cell) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+      os << (last ? '\n' : ',');
+    };
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      emit(columns_[c], c + 1 == columns_.size());
+    }
+    for (const auto& row : cells_) {
+      for (std::size_t c = 0; c < row.size(); ++c) emit(row[c], c + 1 == row.size());
+    }
+    return os.str();
+  }
+
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+
+  if (!title_.empty()) os << "# " << title_ << '\n';
+
+  if (format == Format::kMarkdown) {
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << ' ' << pad(columns_[c], widths[c]) << " |";
+    }
+    os << '\n' << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << ' ' << std::string(widths[c], '-') << " |";
+    }
+    os << '\n';
+    for (const auto& row : cells_) {
+      os << '|';
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << ' ' << pad(row[c], widths[c]) << " |";
+      }
+      os << '\n';
+    }
+    return os.str();
+  }
+
+  // Ascii.
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < columns_.size(); ++c) total += widths[c] + 2;
+  const std::string rule(total + columns_.size() + 1, '-');
+  os << rule << '\n' << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << ' ' << pad(columns_[c], widths[c]) << " |";
+  }
+  os << '\n' << rule << '\n';
+  for (const auto& row : cells_) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << pad(row[c], widths[c]) << " |";
+    }
+    os << '\n';
+  }
+  os << rule << '\n';
+  return os.str();
+}
+
+void Table::print(std::ostream& os, Format format) const { os << render(format); }
+
+}  // namespace bbb::io

@@ -1,0 +1,58 @@
+#pragma once
+/// \file table.hpp
+/// Column-oriented result tables with ascii / markdown / CSV renderers.
+/// Every bench harness prints its paper table/figure series through this,
+/// so output format is uniform and machine-parseable with --format=csv.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bbb::io {
+
+/// Output format for Table::render.
+enum class Format { kAscii, kMarkdown, kCsv };
+
+/// Parse "ascii" / "markdown" / "csv" (case-sensitive).
+/// \throws std::invalid_argument for anything else.
+[[nodiscard]] Format parse_format(const std::string& name);
+
+/// A rectangular table built row by row. Cells are strings; numeric
+/// convenience setters format with fixed precision.
+class Table {
+ public:
+  /// \param columns header labels, defines the width of every row.
+  explicit Table(std::vector<std::string> columns);
+
+  /// Optional table title printed above ascii/markdown output.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Begin a new row. Cells are filled left to right via add_*.
+  void begin_row();
+  void add_cell(std::string value);
+  void add_num(double value, int precision = 3);
+  void add_int(std::int64_t value);
+
+  /// Number of completed + in-progress rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_.size(); }
+  /// Cell accessor (row-major). \throws std::out_of_range.
+  [[nodiscard]] const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Render to string.
+  /// \throws std::logic_error if any row is not completely filled.
+  [[nodiscard]] std::string render(Format format) const;
+
+  /// Render and write to a stream.
+  void print(std::ostream& os, Format format) const;
+
+ private:
+  void check_complete() const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace bbb::io

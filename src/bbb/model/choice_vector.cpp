@@ -1,0 +1,42 @@
+#include "bbb/model/choice_vector.hpp"
+
+#include <stdexcept>
+
+#include "bbb/core/protocol.hpp"
+
+namespace bbb::model {
+
+ChoiceVector::ChoiceVector(std::uint32_t n, std::uint64_t seed, std::size_t block)
+    : n_(n), block_(block), gen_(seed) {
+  if (n == 0) throw std::invalid_argument("ChoiceVector: n must be positive");
+  if (block == 0) throw std::invalid_argument("ChoiceVector: block must be positive");
+}
+
+std::uint32_t ChoiceVector::at(std::uint64_t i) {
+  while (i >= entries_.size()) {
+    for (std::size_t k = 0; k < block_; ++k) {
+      entries_.push_back(static_cast<std::uint32_t>(rng::uniform_below(gen_, n_)));
+    }
+  }
+  return entries_[i];
+}
+
+std::vector<std::uint32_t> run_threshold_on_choices(std::uint64_t m,
+                                                    ChoiceVector& choices,
+                                                    std::uint32_t slack) {
+  const std::uint32_t n = choices.n();
+  std::vector<std::uint32_t> loads(n, 0);
+  if (m == 0) return loads;
+  const std::uint32_t base = core::ceil_div(m, n);
+  const std::uint32_t bound = slack == 0 ? (base == 0 ? 0 : base - 1) : base + slack - 1;
+  for (std::uint64_t placed = 0; placed < m;) {
+    const std::uint32_t bin = choices.next();
+    if (loads[bin] <= bound) {
+      ++loads[bin];
+      ++placed;
+    }
+  }
+  return loads;
+}
+
+}  // namespace bbb::model

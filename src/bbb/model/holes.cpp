@@ -1,0 +1,44 @@
+#include "bbb/model/holes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bbb/core/protocol.hpp"
+
+namespace bbb::model {
+
+std::vector<HolesPoint> holes_trajectory(std::uint64_t m, ChoiceVector& choices,
+                                         std::uint64_t stride) {
+  if (m == 0) throw std::invalid_argument("holes_trajectory: m must be positive");
+  if (stride == 0) stride = 1;
+  const std::uint32_t n = choices.n();
+  const std::uint32_t cap = core::ceil_div(m, n) + 1;
+  const std::uint32_t bound = cap - 1;  // accept iff load <= ceil(m/n)
+
+  std::vector<std::uint32_t> loads(n, 0);
+  std::uint64_t holes = static_cast<std::uint64_t>(cap) * n;
+  std::uint64_t placed = 0;
+  std::vector<HolesPoint> points;
+
+  for (std::uint64_t t = 1; placed < m; ++t) {
+    const std::uint32_t bin = choices.next();
+    if (loads[bin] <= bound) {
+      ++loads[bin];
+      --holes;
+      ++placed;
+    }
+    if (t % stride == 0 || placed == m) {
+      points.push_back({t, holes, placed});
+    }
+  }
+  return points;
+}
+
+std::uint64_t theorem41_probe_budget(std::uint64_t m, std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("theorem41_probe_budget: n must be positive");
+  const auto phi = static_cast<double>(core::ceil_div(m, n));
+  const double alpha = phi + std::pow(phi, 0.75) + 1.0;
+  return static_cast<std::uint64_t>(std::ceil(alpha * static_cast<double>(n)));
+}
+
+}  // namespace bbb::model

@@ -1,0 +1,109 @@
+#include "bbb/model/stage_drift.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::model {
+
+namespace {
+
+// Phi at a stage boundary tau with the paper's stage form:
+// Phi(l) = sum_i (1+eps)^{tau + 2 - l_i}.
+double stage_phi(const std::vector<std::uint32_t>& loads, std::uint64_t tau) {
+  const double log1pe = std::log1p(core::kPotentialEpsilon);
+  double acc = 0.0;
+  for (std::uint32_t l : loads) {
+    acc += std::exp((static_cast<double>(tau) + 2.0 - static_cast<double>(l)) * log1pe);
+  }
+  return acc;
+}
+
+struct InstrumentedRun {
+  // Runs `stages` stages of adaptive over n bins, invoking the callback at
+  // the end of each stage with (tau, loads_before, loads_after, probes).
+  template <typename Callback>
+  static void run(std::uint32_t n, std::uint32_t stages, rng::Engine& gen,
+                  Callback&& cb) {
+    if (n == 0) throw std::invalid_argument("stage run: n must be positive");
+    if (stages == 0) throw std::invalid_argument("stage run: stages must be positive");
+    std::vector<std::uint32_t> loads(n, 0);
+    for (std::uint32_t tau = 1; tau <= stages; ++tau) {
+      const std::vector<std::uint32_t> before = loads;
+      // Ball i in stage tau accepts bins with load <= ceil(i/n) = tau.
+      std::uint64_t probes = 0;
+      for (std::uint32_t b = 0; b < n; ++b) {
+        for (;;) {
+          const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+          ++probes;
+          if (loads[bin] <= tau) {
+            ++loads[bin];
+            break;
+          }
+        }
+      }
+      cb(tau, before, loads, probes);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<StageRecord> adaptive_stage_records(std::uint32_t n, std::uint32_t stages,
+                                                rng::Engine& gen,
+                                                std::uint32_t deep_hole) {
+  std::vector<StageRecord> records;
+  records.reserve(stages);
+  InstrumentedRun::run(
+      n, stages, gen,
+      [&](std::uint32_t tau, const std::vector<std::uint32_t>& before,
+          const std::vector<std::uint32_t>& after, std::uint64_t probes) {
+        StageRecord rec;
+        rec.stage = tau;
+        // Phi "before" the stage is the end of stage tau-1 with exponent
+        // (tau-1) + 2 - l; "after" uses exponent tau + 2 - l.
+        rec.phi_before = stage_phi(before, tau - 1);
+        rec.phi_after = stage_phi(after, tau);
+        rec.drift = rec.phi_before > 0 ? rec.phi_after / rec.phi_before : 1.0;
+        rec.probes = probes;
+        std::uint64_t deep = 0, arrivals = 0;
+        for (std::uint32_t i = 0; i < before.size(); ++i) {
+          // Underloaded at the end of stage tau-1: load <= (tau-1) + 2 - C1.
+          if (static_cast<std::int64_t>(before[i]) <=
+              static_cast<std::int64_t>(tau) + 1 - static_cast<std::int64_t>(deep_hole)) {
+            ++deep;
+            arrivals += after[i] - before[i];
+          }
+        }
+        rec.underloaded = deep;
+        rec.mean_arrivals_deep =
+            deep > 0 ? static_cast<double>(arrivals) / static_cast<double>(deep) : 0.0;
+        records.push_back(rec);
+      });
+  return records;
+}
+
+std::vector<std::uint64_t> underloaded_arrival_histogram(std::uint32_t n,
+                                                         std::uint32_t stages,
+                                                         rng::Engine& gen,
+                                                         std::uint32_t deep_hole,
+                                                         std::uint32_t max_k) {
+  std::vector<std::uint64_t> counts(max_k + 1, 0);
+  InstrumentedRun::run(
+      n, stages, gen,
+      [&](std::uint32_t tau, const std::vector<std::uint32_t>& before,
+          const std::vector<std::uint32_t>& after, std::uint64_t) {
+        for (std::uint32_t i = 0; i < before.size(); ++i) {
+          if (static_cast<std::int64_t>(before[i]) <=
+              static_cast<std::int64_t>(tau) + 1 - static_cast<std::int64_t>(deep_hole)) {
+            const std::uint32_t y = after[i] - before[i];
+            ++counts[std::min(y, max_k)];
+          }
+        }
+      });
+  return counts;
+}
+
+}  // namespace bbb::model

@@ -1,0 +1,39 @@
+#include "bbb/par/parallel_for.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace bbb::par {
+
+void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  const std::function<void(std::uint64_t)>& body) {
+  if (begin >= end) return;
+  const std::uint64_t total = end - begin;
+  const std::uint64_t workers = pool.num_threads();
+  // One block per worker; blocks differ in size by at most 1.
+  const std::uint64_t blocks = total < workers ? total : workers;
+  const std::uint64_t base = total / blocks;
+  const std::uint64_t rem = total % blocks;
+
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  std::uint64_t lo = begin;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t len = base + (b < rem ? 1 : 0);
+    const std::uint64_t hi = lo + len;
+    pool.submit([&, lo, hi] {
+      try {
+        for (std::uint64_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::scoped_lock lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+    lo = hi;
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace bbb::par

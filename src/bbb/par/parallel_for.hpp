@@ -1,0 +1,32 @@
+#pragma once
+/// \file parallel_for.hpp
+/// Index-range parallelism on top of ThreadPool: static block partitioning
+/// (deterministic work assignment) and a map-reduce helper whose reduction
+/// order is fixed by index, not by completion time — so floating-point
+/// reductions are bit-identical across thread counts.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "bbb/par/thread_pool.hpp"
+
+namespace bbb::par {
+
+/// Invoke body(i) for i in [begin, end). Blocks until complete.
+/// Exceptions from bodies are captured and the first is rethrown.
+void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  const std::function<void(std::uint64_t)>& body);
+
+/// Map each index through `map` into a pre-sized results vector, then fold
+/// the results in index order. Deterministic regardless of scheduling.
+template <typename T>
+std::vector<T> parallel_map(ThreadPool& pool, std::uint64_t count,
+                            const std::function<T(std::uint64_t)>& map) {
+  std::vector<T> results(count);
+  parallel_for(pool, 0, count, [&](std::uint64_t i) { results[i] = map(i); });
+  return results;
+}
+
+}  // namespace bbb::par

@@ -1,0 +1,59 @@
+#include "bbb/rng/alias_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bbb::rng {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("AliasTable: weights must be non-empty");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("AliasTable: weights must not all be zero");
+  }
+
+  const std::size_t k = weights.size();
+  norm_.resize(k);
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+
+  // Vose's stable two-worklist construction.
+  std::vector<double> scaled(k);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    norm_[i] = weights[i] / total;
+    scaled[i] = norm_[i] * static_cast<double>(k);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1.0 up to rounding.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::uint32_t AliasTable::operator()(Engine& gen) const {
+  const auto i =
+      static_cast<std::uint32_t>(uniform_below(gen, static_cast<std::uint64_t>(prob_.size())));
+  return next_double(gen) < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace bbb::rng

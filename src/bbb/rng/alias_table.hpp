@@ -1,0 +1,40 @@
+#pragma once
+/// \file alias_table.hpp
+/// Walker/Vose alias method: O(1) sampling from an arbitrary discrete
+/// distribution after O(K) preprocessing.
+///
+/// Used by the workload generators in the examples (skewed job-source
+/// distributions) and by tests as a reference sampler.
+
+#include <cstdint>
+#include <vector>
+
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::rng {
+
+/// Immutable alias table over outcomes {0, ..., K-1}.
+class AliasTable {
+ public:
+  /// Build from non-negative weights (need not be normalized).
+  /// \throws std::invalid_argument if weights is empty, contains a negative
+  ///         or non-finite entry, or sums to zero.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draw one outcome in O(1): one bounded uniform + one comparison.
+  [[nodiscard]] std::uint32_t operator()(Engine& gen) const;
+
+  /// Number of outcomes.
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalized probability of outcome i (for tests).
+  [[nodiscard]] double probability(std::size_t i) const { return norm_.at(i); }
+
+ private:
+  std::vector<double> prob_;          // acceptance thresholds
+  std::vector<std::uint32_t> alias_;  // fallback outcomes
+  std::vector<double> norm_;          // normalized input weights
+};
+
+}  // namespace bbb::rng

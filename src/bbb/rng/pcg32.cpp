@@ -1,0 +1,49 @@
+#include "bbb/rng/pcg32.hpp"
+
+#include <bit>
+
+namespace bbb::rng {
+
+namespace {
+constexpr std::uint64_t kMult = 6364136223846793005ULL;
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * kMult + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<unsigned>(old >> 59u);
+  return std::rotr(xorshifted, static_cast<int>(rot));
+}
+
+Pcg32::result_type Pcg32::operator()() noexcept {
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  return (hi << 32) | lo;
+}
+
+void Pcg32::advance(std::uint64_t delta) noexcept {
+  // Brown's O(log n) LCG skip-ahead: compute mult^delta and the matching
+  // accumulated increment by repeated squaring.
+  std::uint64_t acc_mult = 1, acc_plus = 0;
+  std::uint64_t cur_mult = kMult, cur_plus = inc_;
+  while (delta > 0) {
+    if (delta & 1u) {
+      acc_mult *= cur_mult;
+      acc_plus = acc_plus * cur_mult + cur_plus;
+    }
+    cur_plus = (cur_mult + 1) * cur_plus;
+    cur_mult *= cur_mult;
+    delta >>= 1u;
+  }
+  state_ = acc_mult * state_ + acc_plus;
+}
+
+}  // namespace bbb::rng

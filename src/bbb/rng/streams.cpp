@@ -1,0 +1,21 @@
+#include "bbb/rng/streams.hpp"
+
+namespace bbb::rng {
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept {
+  // Two scramble rounds over (master ⊕ mixed index): one round already
+  // decorrelates, the second guards against the structured inputs
+  // (0, 1, 2, ...) that replicate indices are.
+  const std::uint64_t mixed = splitmix64_scramble(index + 0x632be59bd9b4e019ULL);
+  return splitmix64_scramble(splitmix64_scramble(master ^ mixed));
+}
+
+Engine SeedSequence::engine(std::uint64_t index) const noexcept {
+  return Engine(derive_seed(master_, index));
+}
+
+std::uint64_t SeedSequence::seed(std::uint64_t index) const noexcept {
+  return derive_seed(master_, index);
+}
+
+}  // namespace bbb::rng

@@ -1,0 +1,39 @@
+#pragma once
+/// \file streams.hpp
+/// Deterministic parallel stream derivation.
+///
+/// The Monte-Carlo runner executes replicates on worker threads in arbitrary
+/// order; for reproducibility every replicate's engine must depend only on
+/// (master seed, replicate index) — never on scheduling. `derive_seed`
+/// provides a statistically independent 64-bit seed per index via double
+/// SplitMix64 scrambling, and `SeedSequence` wraps the pattern.
+
+#include <cstdint>
+
+#include "bbb/rng/splitmix64.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::rng {
+
+/// A 64-bit child seed that is (to statistical precision) independent across
+/// both `master` and `index`. Stable across platforms and thread counts.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept;
+
+/// Factory for per-replicate engines derived from one master seed.
+class SeedSequence {
+ public:
+  explicit constexpr SeedSequence(std::uint64_t master) noexcept : master_(master) {}
+
+  /// Engine for replicate `index`; identical engines for identical inputs.
+  [[nodiscard]] Engine engine(std::uint64_t index) const noexcept;
+
+  /// Raw child seed (for nesting: a replicate can itself fan out).
+  [[nodiscard]] std::uint64_t seed(std::uint64_t index) const noexcept;
+
+  [[nodiscard]] constexpr std::uint64_t master() const noexcept { return master_; }
+
+ private:
+  std::uint64_t master_;
+};
+
+}  // namespace bbb::rng

@@ -1,0 +1,25 @@
+#include "bbb/rng/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bbb::rng {
+
+std::vector<double> zipf_weights(std::size_t k, double s) {
+  if (k == 0) throw std::invalid_argument("zipf_weights: k must be positive");
+  if (!(s >= 0.0) || !std::isfinite(s)) {
+    throw std::invalid_argument("zipf_weights: s must be finite and >= 0");
+  }
+  std::vector<double> w(k);
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += w[i];
+  }
+  for (auto& x : w) x /= total;
+  return w;
+}
+
+ZipfDist::ZipfDist(std::size_t k, double s) : s_(s), table_(zipf_weights(k, s)) {}
+
+}  // namespace bbb::rng

@@ -1,0 +1,39 @@
+#pragma once
+/// \file zipf.hpp
+/// Zipf(s) distribution over {0, ..., K-1}: P(i) proportional to 1/(i+1)^s.
+///
+/// Used by the skewed-probe experiments (what happens to the paper's
+/// protocols when the "uniformly random bin" primitive is biased, e.g. a
+/// hash function with a non-uniform range) and by the examples' bursty
+/// workload generators. Backed by an alias table: O(K) build, O(1) sample.
+
+#include <cstdint>
+#include <vector>
+
+#include "bbb/rng/alias_table.hpp"
+
+namespace bbb::rng {
+
+/// Normalized Zipf weights 1/(i+1)^s for i in [0, k).
+/// \throws std::invalid_argument if k == 0 or s < 0.
+[[nodiscard]] std::vector<double> zipf_weights(std::size_t k, double s);
+
+/// O(1) Zipf sampler. s = 0 degenerates to the uniform distribution.
+class ZipfDist {
+ public:
+  /// \throws std::invalid_argument if k == 0 or s < 0 (via zipf_weights).
+  ZipfDist(std::size_t k, double s);
+
+  [[nodiscard]] std::uint32_t operator()(Engine& gen) const { return table_(gen); }
+
+  [[nodiscard]] std::size_t k() const noexcept { return table_.size(); }
+  [[nodiscard]] double s() const noexcept { return s_; }
+  /// Normalized probability of outcome i.
+  [[nodiscard]] double probability(std::size_t i) const { return table_.probability(i); }
+
+ private:
+  double s_;
+  AliasTable table_;
+};
+
+}  // namespace bbb::rng

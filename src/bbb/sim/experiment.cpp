@@ -1,0 +1,14 @@
+#include "bbb/sim/experiment.hpp"
+
+#include <sstream>
+
+namespace bbb::sim {
+
+std::string ExperimentConfig::describe() const {
+  std::ostringstream os;
+  os << protocol_spec << " m=" << m << " n=" << n << " reps=" << replicates
+     << " seed=" << seed;
+  return os.str();
+}
+
+}  // namespace bbb::sim

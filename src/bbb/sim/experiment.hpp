@@ -1,0 +1,37 @@
+#pragma once
+/// \file experiment.hpp
+/// Experiment configuration and per-replicate records — the vocabulary
+/// shared by the Monte-Carlo runner, the sweep helpers, and every bench.
+
+#include <cstdint>
+#include <string>
+
+namespace bbb::sim {
+
+/// One experiment: a protocol at a fixed (m, n), repeated `replicates`
+/// times with independent derived seeds.
+struct ExperimentConfig {
+  std::string protocol_spec = "adaptive";  ///< registry spec, see registry.hpp
+  std::uint64_t m = 0;                     ///< balls
+  std::uint32_t n = 1;                     ///< bins
+  std::uint32_t replicates = 20;           ///< independent runs
+  std::uint64_t seed = 42;                 ///< master seed
+
+  /// Human-readable "spec m=... n=... reps=..." line for logs.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The per-replicate scalar outputs every analysis consumes.
+struct ReplicateRecord {
+  double probes = 0.0;         ///< allocation time (bin samples / messages)
+  double max_load = 0.0;
+  double min_load = 0.0;
+  double gap = 0.0;            ///< max - min
+  double psi = 0.0;            ///< quadratic potential at t = m
+  double log_phi = 0.0;        ///< ln of exponential potential at t = m
+  double reallocations = 0.0;  ///< post-placement moves (CRS, cuckoo)
+  double rounds = 0.0;         ///< synchronous rounds (parallel protocols)
+  bool completed = true;
+};
+
+}  // namespace bbb::sim

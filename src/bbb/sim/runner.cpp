@@ -1,0 +1,73 @@
+#include "bbb/sim/runner.hpp"
+
+#include <stdexcept>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/core/protocols/registry.hpp"
+#include "bbb/par/parallel_for.hpp"
+#include "bbb/rng/streams.hpp"
+
+namespace bbb::sim {
+
+double RunSummary::probes_per_ball() const {
+  return config.m > 0 ? probes.mean() / static_cast<double>(config.m) : 0.0;
+}
+
+ReplicateRecord run_replicate(const ExperimentConfig& config,
+                              std::uint32_t replicate_index) {
+  const auto protocol = core::make_protocol(config.protocol_spec);
+  rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
+  const core::AllocationResult result = protocol->run(config.m, config.n, gen);
+
+  ReplicateRecord rec;
+  rec.probes = static_cast<double>(result.probes);
+  rec.reallocations = static_cast<double>(result.reallocations);
+  rec.rounds = static_cast<double>(result.rounds);
+  rec.completed = result.completed;
+  const core::LoadMetrics metrics =
+      core::compute_metrics(result.loads, result.balls);
+  rec.max_load = metrics.max;
+  rec.min_load = metrics.min;
+  rec.gap = metrics.gap;
+  rec.psi = metrics.psi;
+  rec.log_phi = metrics.log_phi;
+  return rec;
+}
+
+RunSummary run_experiment(const ExperimentConfig& config, par::ThreadPool& pool) {
+  if (config.replicates == 0) {
+    throw std::invalid_argument("run_experiment: replicates must be positive");
+  }
+  // Validate the spec (and capture the canonical name) before spawning work.
+  const std::string canonical = core::make_protocol(config.protocol_spec)->name();
+
+  RunSummary summary;
+  summary.config = config;
+  summary.protocol_name = canonical;
+  summary.records = par::parallel_map<ReplicateRecord>(
+      pool, config.replicates,
+      [&config](std::uint64_t r) {
+        return run_replicate(config, static_cast<std::uint32_t>(r));
+      });
+
+  // Fold in replicate order: summaries are independent of scheduling.
+  for (const ReplicateRecord& rec : summary.records) {
+    summary.probes.add(rec.probes);
+    summary.max_load.add(rec.max_load);
+    summary.min_load.add(rec.min_load);
+    summary.gap.add(rec.gap);
+    summary.psi.add(rec.psi);
+    summary.log_phi.add(rec.log_phi);
+    summary.reallocations.add(rec.reallocations);
+    summary.rounds.add(rec.rounds);
+    if (!rec.completed) ++summary.failures;
+  }
+  return summary;
+}
+
+RunSummary run_experiment(const ExperimentConfig& config) {
+  par::ThreadPool pool;
+  return run_experiment(config, pool);
+}
+
+}  // namespace bbb::sim

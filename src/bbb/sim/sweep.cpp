@@ -1,0 +1,60 @@
+#include "bbb/sim/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bbb::sim {
+
+std::vector<std::uint64_t> geometric_range(std::uint64_t lo, std::uint64_t hi,
+                                           double factor) {
+  if (lo == 0) throw std::invalid_argument("geometric_range: lo must be positive");
+  if (!(factor > 1.0)) throw std::invalid_argument("geometric_range: factor must be > 1");
+  if (hi < lo) throw std::invalid_argument("geometric_range: hi < lo");
+  std::vector<std::uint64_t> out;
+  double v = static_cast<double>(lo);
+  while (v < static_cast<double>(hi)) {
+    const auto iv = static_cast<std::uint64_t>(std::llround(v));
+    if (out.empty() || iv != out.back()) out.push_back(iv);
+    v *= factor;
+  }
+  if (out.empty() || out.back() != hi) out.push_back(hi);
+  return out;
+}
+
+std::vector<std::uint64_t> linear_range(std::uint64_t lo, std::uint64_t hi,
+                                        std::uint64_t step) {
+  if (step == 0) throw std::invalid_argument("linear_range: step must be positive");
+  if (hi < lo) throw std::invalid_argument("linear_range: hi < lo");
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t v = lo; v <= hi; v += step) {
+    out.push_back(v);
+    if (hi - v < step) break;  // avoid overflow at the top of the range
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> pow2_range(std::uint32_t lo_exp, std::uint32_t hi_exp) {
+  if (hi_exp < lo_exp) throw std::invalid_argument("pow2_range: hi_exp < lo_exp");
+  if (hi_exp > 62) throw std::invalid_argument("pow2_range: hi_exp > 62");
+  std::vector<std::uint64_t> out;
+  out.reserve(hi_exp - lo_exp + 1);
+  for (std::uint32_t e = lo_exp; e <= hi_exp; ++e) {
+    out.push_back(std::uint64_t{1} << e);
+  }
+  return out;
+}
+
+std::vector<RunSummary> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                  par::ThreadPool& pool) {
+  std::vector<RunSummary> out;
+  out.reserve(configs.size());
+  for (const auto& cfg : configs) out.push_back(run_experiment(cfg, pool));
+  return out;
+}
+
+std::vector<RunSummary> run_sweep(const std::vector<ExperimentConfig>& configs) {
+  par::ThreadPool pool;
+  return run_sweep(configs, pool);
+}
+
+}  // namespace bbb::sim

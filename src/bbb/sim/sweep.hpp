@@ -1,0 +1,38 @@
+#pragma once
+/// \file sweep.hpp
+/// Parameter-sweep helpers: value grids plus a driver that runs a list of
+/// experiments (reusing one pool) — the backbone of every bench binary.
+
+#include <cstdint>
+#include <vector>
+
+#include "bbb/par/thread_pool.hpp"
+#include "bbb/sim/runner.hpp"
+
+namespace bbb::sim {
+
+/// {lo, lo*factor, ...} up to and including hi (hi appended if overshot).
+/// \throws std::invalid_argument if lo == 0, factor <= 1, or hi < lo.
+[[nodiscard]] std::vector<std::uint64_t> geometric_range(std::uint64_t lo,
+                                                         std::uint64_t hi,
+                                                         double factor);
+
+/// {lo, lo+step, ...} up to and including hi.
+/// \throws std::invalid_argument if step == 0 or hi < lo.
+[[nodiscard]] std::vector<std::uint64_t> linear_range(std::uint64_t lo, std::uint64_t hi,
+                                                      std::uint64_t step);
+
+/// Powers of two from 2^lo_exp to 2^hi_exp inclusive.
+/// \throws std::invalid_argument if hi_exp < lo_exp or hi_exp > 62.
+[[nodiscard]] std::vector<std::uint64_t> pow2_range(std::uint32_t lo_exp,
+                                                    std::uint32_t hi_exp);
+
+/// Run every config in order on a shared pool.
+[[nodiscard]] std::vector<RunSummary> run_sweep(
+    const std::vector<ExperimentConfig>& configs, par::ThreadPool& pool);
+
+/// Overload owning a transient pool.
+[[nodiscard]] std::vector<RunSummary> run_sweep(
+    const std::vector<ExperimentConfig>& configs);
+
+}  // namespace bbb::sim

@@ -1,0 +1,19 @@
+#include "bbb/sim/trace.hpp"
+
+namespace bbb::sim {
+
+io::Table trace_table(const std::vector<TracePoint>& points) {
+  io::Table table({"balls", "probes", "max", "min", "psi", "ln_phi"});
+  for (const TracePoint& p : points) {
+    table.begin_row();
+    table.add_int(static_cast<std::int64_t>(p.balls));
+    table.add_int(static_cast<std::int64_t>(p.probes));
+    table.add_int(p.max_load);
+    table.add_int(p.min_load);
+    table.add_num(p.psi, 1);
+    table.add_num(p.log_phi, 3);
+  }
+  return table;
+}
+
+}  // namespace bbb::sim

@@ -1,0 +1,58 @@
+#pragma once
+/// \file trace.hpp
+/// Time-series recording for streaming allocators: snapshot the load
+/// metrics every `stride` balls. This is how the smoothness claims
+/// (Corollary 3.5 vs. Lemma 4.2) become a curve over t rather than a single
+/// end-of-run number.
+
+#include <cstdint>
+#include <vector>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/io/table.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::sim {
+
+/// One snapshot of a running allocation.
+struct TracePoint {
+  std::uint64_t balls = 0;
+  std::uint64_t probes = 0;
+  std::uint32_t max_load = 0;
+  std::uint32_t min_load = 0;
+  double psi = 0.0;
+  double log_phi = 0.0;
+};
+
+/// Drive a streaming allocator for m balls, snapshotting every `stride`
+/// balls (and always at t = m). Works with any class exposing
+/// place(Engine&), state() -> LoadVector-like, and probes().
+template <typename Allocator>
+std::vector<TracePoint> trace_allocation(Allocator& alloc, rng::Engine& gen,
+                                         std::uint64_t m, std::uint64_t stride) {
+  std::vector<TracePoint> points;
+  if (stride == 0) stride = 1;
+  points.reserve(static_cast<std::size_t>(m / stride) + 2);
+  for (std::uint64_t i = 1; i <= m; ++i) {
+    alloc.place(gen);
+    if (i % stride == 0 || i == m) {
+      TracePoint p;
+      p.balls = alloc.state().balls();
+      p.probes = alloc.probes();
+      const auto& loads = alloc.state().loads();
+      const core::LoadMetrics metrics = core::compute_metrics(loads, p.balls);
+      p.max_load = metrics.max;
+      p.min_load = metrics.min;
+      p.psi = metrics.psi;
+      p.log_phi = metrics.log_phi;
+      points.push_back(p);
+      if (i == m) break;
+    }
+  }
+  return points;
+}
+
+/// Render a trace as a Table (balls, probes, max, min, psi, ln_phi).
+[[nodiscard]] io::Table trace_table(const std::vector<TracePoint>& points);
+
+}  // namespace bbb::sim

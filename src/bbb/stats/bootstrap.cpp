@@ -1,0 +1,52 @@
+#include "bbb/stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+#include "bbb/stats/quantile.hpp"
+
+namespace bbb::stats {
+
+Interval bootstrap_ci(const std::vector<double>& data,
+                      const std::function<double(const std::vector<double>&)>& statistic,
+                      std::uint32_t resamples, double confidence, std::uint64_t seed) {
+  if (data.empty()) throw std::invalid_argument("bootstrap_ci: empty data");
+  if (resamples == 0) throw std::invalid_argument("bootstrap_ci: zero resamples");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap_ci: confidence not in (0,1)");
+  }
+
+  rng::Engine gen(seed);
+  const std::size_t n = data.size();
+  std::vector<double> resample(n);
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::uint32_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      resample[i] = data[rng::uniform_below(gen, n)];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = 1.0 - confidence;
+  Interval iv;
+  iv.point = statistic(data);
+  iv.lo = exact_quantile(stats, alpha / 2.0);
+  iv.hi = exact_quantile(std::move(stats), 1.0 - alpha / 2.0);
+  return iv;
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& data, std::uint32_t resamples,
+                           double confidence, std::uint64_t seed) {
+  return bootstrap_ci(
+      data,
+      [](const std::vector<double>& xs) {
+        double s = 0.0;
+        for (double x : xs) s += x;
+        return s / static_cast<double>(xs.size());
+      },
+      resamples, confidence, seed);
+}
+
+}  // namespace bbb::stats

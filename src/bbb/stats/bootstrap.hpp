@@ -1,0 +1,40 @@
+#pragma once
+/// \file bootstrap.hpp
+/// Percentile bootstrap confidence intervals. Replicate counts in the paper's
+/// Figure 3 are ~100, small enough that normal-theory CIs can be optimistic
+/// for the skewed allocation-time distribution; the bootstrap does not
+/// assume a shape.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bbb::stats {
+
+/// A two-sided confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  ///< point estimate on the original sample
+};
+
+/// Percentile bootstrap CI for an arbitrary statistic.
+/// \param data       the sample (copied into resamples)
+/// \param statistic  functional mapping a sample to a scalar
+/// \param resamples  number of bootstrap resamples (e.g. 2000)
+/// \param confidence e.g. 0.95
+/// \param seed       RNG seed for resampling
+/// \throws std::invalid_argument if data empty, resamples == 0, or
+///         confidence outside (0,1).
+[[nodiscard]] Interval bootstrap_ci(
+    const std::vector<double>& data,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    std::uint32_t resamples, double confidence, std::uint64_t seed);
+
+/// Convenience overload: CI for the mean.
+[[nodiscard]] Interval bootstrap_mean_ci(const std::vector<double>& data,
+                                         std::uint32_t resamples = 2000,
+                                         double confidence = 0.95,
+                                         std::uint64_t seed = 0x9e3779b9ULL);
+
+}  // namespace bbb::stats

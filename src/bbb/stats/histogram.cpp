@@ -1,0 +1,78 @@
+#include "bbb/stats/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bbb::stats {
+
+void IntHistogram::add(std::int64_t v, std::uint64_t count) {
+  if (count == 0) return;
+  if (total_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  counts_[v] += count;
+  total_ += count;
+  sum_ += static_cast<double>(v) * static_cast<double>(count);
+}
+
+void IntHistogram::add_all(const std::vector<std::uint32_t>& values) {
+  for (auto v : values) add(static_cast<std::int64_t>(v));
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  for (const auto& [v, c] : other.counts_) add(v, c);
+}
+
+std::uint64_t IntHistogram::count(std::int64_t v) const noexcept {
+  const auto it = counts_.find(v);
+  return it != counts_.end() ? it->second : 0;
+}
+
+double IntHistogram::fraction(std::int64_t v) const noexcept {
+  return total_ > 0 ? static_cast<double>(count(v)) / static_cast<double>(total_) : 0.0;
+}
+
+double IntHistogram::mean() const noexcept {
+  return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::int64_t IntHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t acc = 0;
+  for (const auto& [v, c] : counts_) {
+    acc += c;
+    if (acc >= target && acc > 0) return v;
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>> IntHistogram::items() const {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> out;
+  if (total_ == 0) return out;
+  out.reserve(static_cast<std::size_t>(max_ - min_ + 1));
+  for (std::int64_t v = min_; v <= max_; ++v) out.emplace_back(v, count(v));
+  return out;
+}
+
+std::string IntHistogram::render_ascii(std::size_t width) const {
+  std::ostringstream os;
+  if (total_ == 0) return "(empty histogram)\n";
+  std::uint64_t peak = 0;
+  for (const auto& [v, c] : counts_) peak = std::max(peak, c);
+  for (const auto& [v, c] : items()) {
+    const auto bar = static_cast<std::size_t>(
+        peak > 0 ? (static_cast<double>(c) / static_cast<double>(peak)) *
+                       static_cast<double>(width)
+                 : 0.0);
+    os << (v >= 0 && v < 10 ? " " : "") << v << " | " << std::string(bar, '#') << ' ' << c
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bbb::stats

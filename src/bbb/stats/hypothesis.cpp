@@ -1,0 +1,156 @@
+#include "bbb/stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bbb/stats/special_functions.hpp"
+
+namespace bbb::stats {
+
+ChiSquareResult chi_square_gof(const std::vector<std::uint64_t>& observed,
+                               const std::vector<double>& expected_prob,
+                               double min_expected) {
+  if (observed.empty()) throw std::invalid_argument("chi_square_gof: empty input");
+  if (observed.size() != expected_prob.size()) {
+    throw std::invalid_argument("chi_square_gof: size mismatch");
+  }
+
+  std::uint64_t total = 0;
+  double prob_sum = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected_prob[i] < 0.0) {
+      throw std::invalid_argument("chi_square_gof: negative probability");
+    }
+    total += observed[i];
+    prob_sum += expected_prob[i];
+  }
+  if (total == 0) throw std::invalid_argument("chi_square_gof: zero total count");
+
+  // Build working cells; append a residual cell for un-listed outcomes.
+  std::vector<double> exp_counts;
+  std::vector<double> obs_counts;
+  exp_counts.reserve(observed.size() + 1);
+  obs_counts.reserve(observed.size() + 1);
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    exp_counts.push_back(expected_prob[i] * static_cast<double>(total));
+    obs_counts.push_back(static_cast<double>(observed[i]));
+  }
+  const double residual = 1.0 - prob_sum;
+  if (residual > 1e-12) {
+    exp_counts.push_back(residual * static_cast<double>(total));
+    obs_counts.push_back(0.0);
+  }
+
+  // Pool sparse cells left-to-right: a cell below the threshold is merged
+  // into its successor (the final cell absorbs leftovers backwards).
+  std::vector<double> pe, po;
+  double carry_e = 0.0, carry_o = 0.0;
+  std::size_t pooled = 0;
+  for (std::size_t i = 0; i < exp_counts.size(); ++i) {
+    carry_e += exp_counts[i];
+    carry_o += obs_counts[i];
+    if (carry_e >= min_expected) {
+      pe.push_back(carry_e);
+      po.push_back(carry_o);
+      carry_e = carry_o = 0.0;
+    } else {
+      ++pooled;
+    }
+  }
+  if (carry_e > 0.0 || carry_o > 0.0) {
+    if (!pe.empty()) {
+      pe.back() += carry_e;
+      po.back() += carry_o;
+    } else {
+      pe.push_back(carry_e);
+      po.push_back(carry_o);
+    }
+  }
+  if (pe.size() < 2) {
+    throw std::invalid_argument(
+        "chi_square_gof: fewer than 2 cells after pooling; increase samples");
+  }
+
+  ChiSquareResult res;
+  res.pooled_cells = pooled;
+  for (std::size_t i = 0; i < pe.size(); ++i) {
+    const double diff = po[i] - pe[i];
+    res.statistic += diff * diff / pe[i];
+  }
+  res.df = static_cast<double>(pe.size() - 1);
+  res.p_value = chi_square_sf(res.statistic, res.df);
+  return res;
+}
+
+ChiSquareResult chi_square_fit_discrete(const std::function<std::uint64_t()>& sampler,
+                                        const std::function<double(std::uint64_t)>& pmf,
+                                        std::uint64_t samples, std::uint64_t max_cell) {
+  if (samples == 0 || max_cell == 0) {
+    throw std::invalid_argument("chi_square_fit_discrete: zero samples or cells");
+  }
+  std::vector<std::uint64_t> observed(max_cell + 1, 0);  // last cell = overflow
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const std::uint64_t v = sampler();
+    ++observed[v < max_cell ? v : max_cell];
+  }
+  std::vector<double> expected(max_cell + 1, 0.0);
+  double head = 0.0;
+  for (std::uint64_t k = 0; k < max_cell; ++k) {
+    expected[k] = pmf(k);
+    head += expected[k];
+  }
+  expected[max_cell] = head < 1.0 ? 1.0 - head : 0.0;
+  return chi_square_gof(observed, expected);
+}
+
+namespace {
+
+// Kolmogorov survival function Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} e^{-2 k^2 lambda^2}.
+double kolmogorov_sf(double lambda) {
+  if (lambda < 1e-6) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult ks_two_sample(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  double d = 0.0;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const double xa = a[ia], xb = b[ib];
+    // Advance past ties in either sample before comparing the CDFs.
+    if (xa <= xb) {
+      while (ia < a.size() && a[ia] == xa) ++ia;
+    }
+    if (xb <= xa) {
+      while (ib < b.size() && b[ib] == xb) ++ib;
+    }
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+
+  KsResult res;
+  res.statistic = d;
+  const double ne = std::sqrt(na * nb / (na + nb));
+  res.p_value = kolmogorov_sf((ne + 0.12 + 0.11 / ne) * d);
+  return res;
+}
+
+}  // namespace bbb::stats

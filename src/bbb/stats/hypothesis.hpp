@@ -1,0 +1,55 @@
+#pragma once
+/// \file hypothesis.hpp
+/// Goodness-of-fit testing used to validate the distribution samplers and
+/// the Poissonization claims: chi-square against a discrete pmf with
+/// automatic tail pooling (cells with small expected counts are merged so
+/// the chi-square approximation is valid).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bbb::stats {
+
+/// Outcome of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double df = 0.0;       ///< degrees of freedom after pooling
+  double p_value = 1.0;  ///< P(chi2_df >= statistic)
+  std::size_t pooled_cells = 0;
+};
+
+/// Chi-square GOF of observed counts against expected probabilities.
+/// Cells with expected count below `min_expected` are pooled with their
+/// neighbor to the right (the classic rule of thumb is 5).
+/// \param observed  observed counts per cell
+/// \param expected_prob  expected probability per cell; any residual
+///        probability (1 - sum) is treated as one extra "everything else"
+///        cell with 0 observations unless it is negligible (< 1e-12).
+/// \throws std::invalid_argument on size mismatch, empty input, or
+///         negative probabilities.
+[[nodiscard]] ChiSquareResult chi_square_gof(const std::vector<std::uint64_t>& observed,
+                                             const std::vector<double>& expected_prob,
+                                             double min_expected = 5.0);
+
+/// Convenience: draw `samples` variates via `sampler`, bucket them into
+/// {0..max_cell-1, overflow}, and test against `pmf` over the same cells.
+[[nodiscard]] ChiSquareResult chi_square_fit_discrete(
+    const std::function<std::uint64_t()>& sampler,
+    const std::function<double(std::uint64_t)>& pmf, std::uint64_t samples,
+    std::uint64_t max_cell);
+
+/// Outcome of a two-sample Kolmogorov-Smirnov test.
+struct KsResult {
+  double statistic = 0.0;  ///< D = sup |F1 - F2|
+  double p_value = 1.0;    ///< asymptotic Kolmogorov distribution
+};
+
+/// Two-sample KS test: are `a` and `b` draws from the same distribution?
+/// Used by the Poissonization experiments to compare the exact and the
+/// Poisson access distributions. Asymptotic p-value (Numerical Recipes
+/// form); fine for the sample sizes the benches use (>= 100 each).
+/// \throws std::invalid_argument if either sample is empty.
+[[nodiscard]] KsResult ks_two_sample(std::vector<double> a, std::vector<double> b);
+
+}  // namespace bbb::stats

@@ -1,0 +1,60 @@
+#include "bbb/stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bbb::stats {
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("linear_fit: size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) throw std::invalid_argument("linear_fit: need at least 2 points");
+
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("linear_fit: x values are all equal");
+
+  LinearFit fit;
+  fit.n = n;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+PowerLawFit power_law_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("power_law_fit: size mismatch");
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] > 0.0) || !(y[i] > 0.0)) {
+      throw std::invalid_argument("power_law_fit: x and y must be positive");
+    }
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  const LinearFit lin = linear_fit(lx, ly);
+  PowerLawFit fit;
+  fit.exponent = lin.slope;
+  fit.coefficient = std::exp(lin.intercept);
+  fit.r_squared = lin.r_squared;
+  fit.n = lin.n;
+  return fit;
+}
+
+}  // namespace bbb::stats

@@ -1,0 +1,40 @@
+#pragma once
+/// \file regression.hpp
+/// Ordinary least squares and log-log power-law fitting.
+///
+/// The benches verify *scaling shapes* from the paper's theorems (e.g.
+/// Theorem 4.1's m^{3/4} n^{1/4} overhead, Lemma 4.2's n^{9/8} potential):
+/// fitting y = c * x^alpha on log-log axes recovers alpha, and R^2 tells us
+/// whether a power law describes the data at all.
+
+#include <cstddef>
+#include <vector>
+
+namespace bbb::stats {
+
+/// Result of a simple linear regression y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination in [0, 1]
+  std::size_t n = 0;       ///< number of points
+};
+
+/// OLS fit. \throws std::invalid_argument if sizes differ or n < 2.
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Result of fitting y = coefficient * x^exponent.
+struct PowerLawFit {
+  double exponent = 0.0;     ///< alpha in y ~ x^alpha
+  double coefficient = 0.0;  ///< c in y = c * x^alpha
+  double r_squared = 0.0;    ///< of the underlying log-log linear fit
+  std::size_t n = 0;
+};
+
+/// Fit y = c * x^alpha by OLS on (ln x, ln y).
+/// \throws std::invalid_argument if sizes differ, n < 2, or any x or y <= 0.
+[[nodiscard]] PowerLawFit power_law_fit(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+}  // namespace bbb::stats

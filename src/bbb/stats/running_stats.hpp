@@ -1,0 +1,47 @@
+#pragma once
+/// \file running_stats.hpp
+/// Welford streaming moments: numerically stable mean/variance accumulation
+/// with O(1) state, plus parallel merge (Chan et al.) so per-thread
+/// accumulators can be combined deterministically.
+
+#include <cstdint>
+#include <limits>
+
+namespace bbb::stats {
+
+/// Streaming count/mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Fold one observation into the accumulator.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (parallel reduction step). Equivalent to
+  /// having added all of `other`'s observations to *this.
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean: stddev / sqrt(n).
+  [[nodiscard]] double stderr_mean() const noexcept;
+
+  /// Half-width of a ~95% confidence interval for the mean
+  /// (1.96 * standard error; adequate for the replicate counts we run).
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace bbb::stats

@@ -1,0 +1,77 @@
+#include "bbb/theory/bounds.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bbb/theory/phi_d.hpp"
+
+namespace bbb::theory {
+
+double harmonic(std::uint64_t n) {
+  if (n == 0) return 0.0;
+  if (n <= 10'000'000ULL) {
+    double h = 0.0;
+    // Sum smallest-first for accuracy.
+    for (std::uint64_t k = n; k >= 1; --k) h += 1.0 / static_cast<double>(k);
+    return h;
+  }
+  constexpr double kEulerGamma = 0.57721566490153286;
+  const auto nd = static_cast<double>(n);
+  return std::log(nd) + kEulerGamma + 1.0 / (2.0 * nd) - 1.0 / (12.0 * nd * nd);
+}
+
+double coupon_collector_time(std::uint64_t n) {
+  return static_cast<double>(n) * harmonic(n);
+}
+
+double one_choice_max_load(std::uint64_t m, std::uint64_t n) {
+  if (n < 2) throw std::invalid_argument("one_choice_max_load: n >= 2 required");
+  const auto nd = static_cast<double>(n);
+  const double avg = static_cast<double>(m) / nd;
+  if (m <= n) {
+    return std::log(nd) / std::log(std::log(nd));
+  }
+  return avg + std::sqrt(2.0 * avg * std::log(nd));
+}
+
+double greedy_d_max_load(std::uint64_t m, std::uint64_t n, std::uint32_t d) {
+  if (d < 2) throw std::invalid_argument("greedy_d_max_load: d >= 2 required");
+  if (n < 3) throw std::invalid_argument("greedy_d_max_load: n >= 3 required");
+  const auto nd = static_cast<double>(n);
+  return static_cast<double>(m) / nd +
+         std::log(std::log(nd)) / std::log(static_cast<double>(d));
+}
+
+double left_d_max_load(std::uint64_t m, std::uint64_t n, std::uint32_t d) {
+  if (d < 2) throw std::invalid_argument("left_d_max_load: d >= 2 required");
+  if (n < 3) throw std::invalid_argument("left_d_max_load: n >= 3 required");
+  const auto nd = static_cast<double>(n);
+  return static_cast<double>(m) / nd +
+         std::log(std::log(nd)) /
+             (static_cast<double>(d) * std::log(phi_d(d)));
+}
+
+std::uint64_t paper_max_load_bound(std::uint64_t m, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("paper_max_load_bound: n >= 1 required");
+  return (m + n - 1) / n + 1;
+}
+
+double threshold_time_bound(std::uint64_t m, std::uint64_t n, double constant) {
+  return static_cast<double>(m) + constant * threshold_overhead_scale(m, n);
+}
+
+double threshold_overhead_scale(std::uint64_t m, std::uint64_t n) {
+  return std::pow(static_cast<double>(m), 0.75) * std::pow(static_cast<double>(n), 0.25);
+}
+
+std::uint32_t log_star(double x) {
+  std::uint32_t k = 0;
+  while (x > 1.0) {
+    x = std::log(x);
+    ++k;
+    if (k > 64) break;  // unreachable for finite doubles; safety net
+  }
+  return k;
+}
+
+}  // namespace bbb::theory

@@ -1,0 +1,49 @@
+#pragma once
+/// \file bounds.hpp
+/// Closed-form predictions from the paper (Table 1 and the theorems) and
+/// classic balls-into-bins results. Benches print these next to measured
+/// values; tests check the measured side tracks the predicted *shape*.
+
+#include <cstdint>
+
+namespace bbb::theory {
+
+/// Harmonic number H_n = sum_{k=1..n} 1/k (exact summation up to 10^7,
+/// asymptotic expansion ln n + gamma + 1/(2n) beyond).
+[[nodiscard]] double harmonic(std::uint64_t n);
+
+/// Expected coupon-collector time n * H_n: the allocation time of one
+/// stage of adaptive when run with slack 0 ("threshold i/n" — the remark
+/// under Figure 1 of the paper).
+[[nodiscard]] double coupon_collector_time(std::uint64_t n);
+
+/// Classic one-choice max load prediction: for m = n,
+/// log n / log log n (Raab & Steger leading term); for m >> n log n,
+/// m/n + sqrt(2 (m/n) ln n).
+[[nodiscard]] double one_choice_max_load(std::uint64_t m, std::uint64_t n);
+
+/// greedy[d] heavy-load max load (Berenbrink et al. 2006):
+/// m/n + ln ln n / ln d. Requires d >= 2.
+[[nodiscard]] double greedy_d_max_load(std::uint64_t m, std::uint64_t n, std::uint32_t d);
+
+/// left[d] heavy-load max load (Vöcking; Berenbrink et al. 2006):
+/// m/n + ln ln n / (d * ln phi_d). Requires d >= 2.
+[[nodiscard]] double left_d_max_load(std::uint64_t m, std::uint64_t n, std::uint32_t d);
+
+/// Both threshold and adaptive guarantee max load <= ceil(m/n) + 1.
+[[nodiscard]] std::uint64_t paper_max_load_bound(std::uint64_t m, std::uint64_t n);
+
+/// Theorem 4.1's allocation-time form for threshold:
+/// m + constant * m^{3/4} * n^{1/4}.
+[[nodiscard]] double threshold_time_bound(std::uint64_t m, std::uint64_t n,
+                                          double constant = 1.0);
+
+/// The overhead scale m^{3/4} n^{1/4} alone (for normalized plots).
+[[nodiscard]] double threshold_overhead_scale(std::uint64_t m, std::uint64_t n);
+
+/// Iterated logarithm log*(x): number of times ln must be applied before
+/// the value drops to <= 1. The round complexity scale of
+/// Lenzen–Wattenhofer parallel allocation.
+[[nodiscard]] std::uint32_t log_star(double x);
+
+}  // namespace bbb::theory

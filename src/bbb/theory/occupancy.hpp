@@ -1,0 +1,35 @@
+#pragma once
+/// \file occupancy.hpp
+/// Classic occupancy quantities for the one-choice process — the exact
+/// reference values the baseline tests and Table-1 columns compare against.
+/// (The paper's Table 1 cites these results; having the closed forms lets
+/// the benches print prediction columns instead of hand-waving.)
+
+#include <cstdint>
+
+namespace bbb::theory {
+
+/// E[# empty bins] after m uniform throws into n bins: n (1 - 1/n)^m.
+[[nodiscard]] double expected_empty_bins(std::uint64_t m, std::uint64_t n);
+
+/// E[# bins with exactly k balls]: n * C(m,k) (1/n)^k (1-1/n)^{m-k},
+/// evaluated in the log domain (stable for large m).
+[[nodiscard]] double expected_bins_with_load(std::uint64_t m, std::uint64_t n,
+                                             std::uint32_t k);
+
+/// Probability that a *fixed* bin receives at least k balls (binomial upper
+/// tail, exact summation in the log domain; k must be <= m).
+[[nodiscard]] double bin_load_at_least(std::uint64_t m, std::uint64_t n,
+                                       std::uint32_t k);
+
+/// First-moment upper bound on Pr[max load >= k]: n * Pr[Bin(m,1/n) >= k],
+/// clamped to 1. The union-bound workhorse of every balls-into-bins proof.
+[[nodiscard]] double max_load_union_bound(std::uint64_t m, std::uint64_t n,
+                                          std::uint32_t k);
+
+/// Expected fraction of balls landing in bins that already hold >= k balls
+/// at the end (collision pressure; used by the hashing example's analysis).
+[[nodiscard]] double expected_overflow_mass(std::uint64_t m, std::uint64_t n,
+                                            std::uint32_t k);
+
+}  // namespace bbb::theory

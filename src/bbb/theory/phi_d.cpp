@@ -1,0 +1,36 @@
+#include "bbb/theory/phi_d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bbb::theory {
+
+namespace {
+
+// f(x) = x^d - (x^d - 1)/(x - 1); the root of f in (1, 2) is phi_d.
+// Negative below the root, positive above.
+double characteristic(double x, std::uint32_t d) {
+  const double xd = std::pow(x, static_cast<double>(d));
+  return xd - (xd - 1.0) / (x - 1.0);
+}
+
+}  // namespace
+
+double phi_d(std::uint32_t d) {
+  if (d < 2) throw std::invalid_argument("phi_d: d >= 2 required");
+  double lo = 1.5, hi = 2.0;
+  // characteristic(1.5, d) < 0 for all d >= 2 and characteristic(2, d) = 1 > 0,
+  // so the bracket is valid; 100 bisections give ~2^-100 interval width
+  // (double precision saturates well before that).
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (characteristic(mid, d) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace bbb::theory

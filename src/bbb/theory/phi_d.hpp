@@ -1,0 +1,17 @@
+#pragma once
+/// \file phi_d.hpp
+/// The generalized golden ratio phi_d: the unique root in (1, 2) of
+///   x^d = 1 + x + x^2 + ... + x^{d-1}.
+/// Vöcking's lower bound and the left[d] upper bound are both
+/// ln ln n / (d ln phi_d); the paper's Table 1 cites 1.61 <= phi_d < 2.
+
+#include <cstdint>
+
+namespace bbb::theory {
+
+/// phi_d to ~1e-14 accuracy via bisection. phi_2 is the golden ratio
+/// 1.6180339887...; phi_d increases toward 2 as d grows.
+/// \throws std::invalid_argument if d < 2.
+[[nodiscard]] double phi_d(std::uint32_t d);
+
+}  // namespace bbb::theory

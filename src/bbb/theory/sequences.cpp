@@ -1,0 +1,57 @@
+#include "bbb/theory/sequences.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bbb::theory {
+
+std::vector<double> convolve(const std::vector<double>& p, const std::vector<double>& q) {
+  if (p.empty() || q.empty()) throw std::invalid_argument("convolve: empty input");
+  std::vector<double> out(p.size() + q.size() - 1, 0.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      out[i + j] += p[i] * q[j];
+    }
+  }
+  return out;
+}
+
+bool majorizes(const std::vector<double>& p, const std::vector<double>& q,
+               double tolerance) {
+  const std::size_t len = std::max(p.size(), q.size());
+  double sp = 0.0, sq = 0.0;
+  // Walk suffix sums from the tail; check dominance at every cut.
+  for (std::size_t idx = len; idx-- > 0;) {
+    if (idx < p.size()) sp += p[idx];
+    if (idx < q.size()) sq += q[idx];
+    if (sp + tolerance < sq) return false;
+  }
+  return true;
+}
+
+bool is_nonincreasing(const std::vector<double>& r, double tolerance) {
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    if (r[i] > r[i - 1] + tolerance) return false;
+  }
+  return true;
+}
+
+double dot(const std::vector<double>& p, const std::vector<double>& r) {
+  const std::size_t len = std::min(p.size(), r.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < len; ++i) acc += p[i] * r[i];
+  return acc;
+}
+
+std::vector<double> poisson_pmf_vector(double lambda, std::uint32_t kmax) {
+  if (!(lambda >= 0.0)) throw std::invalid_argument("poisson_pmf_vector: lambda >= 0");
+  std::vector<double> pmf(kmax + 1);
+  pmf[0] = std::exp(-lambda);
+  for (std::uint32_t k = 1; k <= kmax; ++k) {
+    pmf[k] = pmf[k - 1] * lambda / static_cast<double>(k);
+  }
+  return pmf;
+}
+
+}  // namespace bbb::theory

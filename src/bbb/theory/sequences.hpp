@@ -1,0 +1,36 @@
+#pragma once
+/// \file sequences.hpp
+/// The sequence toolbox behind Lemma A.1 of the paper: convolution,
+/// majorization, and the dominance inequality
+///   p majorizes q and r non-increasing  =>  sum p_k r_k <= sum q_k r_k.
+/// The proof of Lemma 3.3 rests on exactly this structure (comparing the
+/// stage-arrival distribution against a Poisson(199/198) reference), so we
+/// implement it and property-test it directly.
+
+#include <cstdint>
+#include <vector>
+
+namespace bbb::theory {
+
+/// Discrete convolution (p * q)_k = sum_i p_i q_{k-i}.
+/// \throws std::invalid_argument if either input is empty.
+[[nodiscard]] std::vector<double> convolve(const std::vector<double>& p,
+                                           const std::vector<double>& q);
+
+/// True iff suffix sums of p dominate those of q at every index
+/// (sequences are implicitly zero-padded to equal length):
+/// for all j, sum_{k>=j} p_k >= sum_{k>=j} q_k.
+[[nodiscard]] bool majorizes(const std::vector<double>& p, const std::vector<double>& q,
+                             double tolerance = 1e-12);
+
+/// True iff r is non-increasing (within tolerance).
+[[nodiscard]] bool is_nonincreasing(const std::vector<double>& r,
+                                    double tolerance = 1e-12);
+
+/// sum_k p_k r_k over the common length.
+[[nodiscard]] double dot(const std::vector<double>& p, const std::vector<double>& r);
+
+/// Poisson(lambda) pmf truncated to {0..kmax} (for reference sequences).
+[[nodiscard]] std::vector<double> poisson_pmf_vector(double lambda, std::uint32_t kmax);
+
+}  // namespace bbb::theory

@@ -1,0 +1,46 @@
+#include "bbb/theory/tails.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bbb::theory {
+
+double poisson_lower_tail_bound(double mu, double eps) {
+  if (!(mu > 0.0)) throw std::invalid_argument("poisson_lower_tail_bound: mu > 0");
+  if (!(eps > 0.0 && eps <= 1.0)) {
+    throw std::invalid_argument("poisson_lower_tail_bound: eps in (0, 1]");
+  }
+  return std::exp(-eps * eps * mu / 2.0);
+}
+
+double poisson_upper_tail_bound(double mu, double eps) {
+  if (!(mu > 0.0)) throw std::invalid_argument("poisson_upper_tail_bound: mu > 0");
+  if (!(eps > 0.0)) throw std::invalid_argument("poisson_upper_tail_bound: eps > 0");
+  // [e^eps (1+eps)^{-(1+eps)}]^mu, evaluated in the log domain.
+  const double log_base = eps - (1.0 + eps) * std::log1p(eps);
+  return std::exp(mu * log_base);
+}
+
+double hoeffding_bound(std::uint64_t n, double lambda) {
+  if (n == 0) throw std::invalid_argument("hoeffding_bound: n > 0");
+  if (lambda < 0.0) throw std::invalid_argument("hoeffding_bound: lambda >= 0");
+  return std::min(1.0, 2.0 * std::exp(-lambda * lambda / static_cast<double>(n)));
+}
+
+double geometric_sum_tail_bound(std::uint64_t n, double eps) {
+  if (n == 0) throw std::invalid_argument("geometric_sum_tail_bound: n > 0");
+  if (!(eps > 0.0)) throw std::invalid_argument("geometric_sum_tail_bound: eps > 0");
+  return std::exp(-eps * eps * static_cast<double>(n) / (2.0 * (1.0 + eps)));
+}
+
+double binomial_upper_tail_bound(std::uint64_t n, double p, double eps) {
+  if (!(eps > 0.0)) throw std::invalid_argument("binomial_upper_tail_bound: eps > 0");
+  if (!(p > 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("binomial_upper_tail_bound: p in (0, 1]");
+  }
+  const double np = static_cast<double>(n) * p;
+  return std::exp(-std::min(eps, eps * eps) * np / 3.0);
+}
+
+}  // namespace bbb::theory

@@ -1,0 +1,35 @@
+#pragma once
+/// \file tails.hpp
+/// The concentration inequalities from Appendix A of the paper, as
+/// evaluatable upper bounds. The tests confirm each bound dominates the
+/// empirical tail of the matching sampler — which is exactly how the
+/// paper's proofs consume them.
+
+#include <cstdint>
+
+namespace bbb::theory {
+
+/// Theorem A.4 lower tail: Pr[Poi(mu) <= (1-eps) mu] <= exp(-eps^2 mu / 2).
+/// \throws std::invalid_argument if mu <= 0 or eps outside (0, 1].
+[[nodiscard]] double poisson_lower_tail_bound(double mu, double eps);
+
+/// Theorem A.4 upper tail: Pr[Poi(mu) >= (1+eps) mu] <= [e^eps (1+eps)^-(1+eps)]^mu.
+/// \throws std::invalid_argument if mu <= 0 or eps <= 0.
+[[nodiscard]] double poisson_upper_tail_bound(double mu, double eps);
+
+/// Theorem A.2 (Hoeffding, binary variables):
+/// Pr[|X - E X| >= lambda] <= 2 exp(-lambda^2 / n).
+/// \throws std::invalid_argument if n == 0 or lambda < 0.
+[[nodiscard]] double hoeffding_bound(std::uint64_t n, double lambda);
+
+/// Theorem A.5 (sum of n iid geometrics, mean mu = n/delta):
+/// Pr[X >= (1+eps) mu] <= exp(-eps^2 n / (2 (1+eps))).
+/// \throws std::invalid_argument if n == 0 or eps <= 0.
+[[nodiscard]] double geometric_sum_tail_bound(std::uint64_t n, double eps);
+
+/// Multiplicative Chernoff for Bin(n, p), upper tail:
+/// Pr[X >= (1+eps) np] <= exp(-min(eps, eps^2) np / 3).
+/// \throws std::invalid_argument if eps <= 0 or p outside (0, 1].
+[[nodiscard]] double binomial_upper_tail_bound(std::uint64_t n, double p, double eps);
+
+}  // namespace bbb::theory

@@ -1,0 +1,101 @@
+#include "bbb/core/concurrent_adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/streams.hpp"
+
+namespace bbb::core {
+namespace {
+
+TEST(ConcurrentAdaptive, Validation) {
+  EXPECT_THROW(ConcurrentAdaptiveAllocator(0), std::invalid_argument);
+}
+
+TEST(ConcurrentAdaptive, SingleThreadBehavesLikeAdaptive) {
+  // One thread, no races: the guarantee and the probe accounting must look
+  // exactly like sequential adaptive's.
+  constexpr std::uint32_t n = 128;
+  constexpr std::uint64_t m = 16ULL * n;
+  ConcurrentAdaptiveAllocator alloc(n);
+  rng::Engine gen(3);
+  for (std::uint64_t i = 0; i < m; ++i) (void)alloc.place(gen);
+  EXPECT_EQ(alloc.balls(), m);
+  EXPECT_GE(alloc.probes(), m);
+  const auto loads = alloc.loads_snapshot();
+  EXPECT_LE(max_load(loads), ceil_div(m, n) + 1);
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}), m);
+}
+
+struct ThreadCase {
+  std::uint32_t threads;
+  std::uint32_t n;
+  std::uint64_t balls_per_thread;
+};
+
+void PrintTo(const ThreadCase& c, std::ostream* os) {
+  *os << c.threads << "thr,n=" << c.n << ",per=" << c.balls_per_thread;
+}
+
+class ConcurrentPlacementTest : public ::testing::TestWithParam<ThreadCase> {};
+
+TEST_P(ConcurrentPlacementTest, GuaranteeHoldsUnderConcurrency) {
+  const auto& [threads, n, per_thread] = GetParam();
+  const std::uint64_t m = static_cast<std::uint64_t>(threads) * per_thread;
+  ConcurrentAdaptiveAllocator alloc(n);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  rng::SeedSequence seq(99);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&alloc, per_thread, engine = seq.engine(t)]() mutable {
+      for (std::uint64_t i = 0; i < per_thread; ++i) (void)alloc.place(engine);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Conservation: every placement incremented exactly one load and the
+  // counter exactly once.
+  EXPECT_EQ(alloc.balls(), m);
+  const auto loads = alloc.loads_snapshot();
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}), m);
+  // The paper's bound survives any interleaving.
+  EXPECT_LE(max_load(loads), ceil_div(m, n) + 1);
+  // Probes at least one per ball.
+  EXPECT_GE(alloc.probes(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadGrid, ConcurrentPlacementTest,
+    ::testing::Values(ThreadCase{2, 64, 512}, ThreadCase{4, 64, 512},
+                      ThreadCase{4, 256, 2048}, ThreadCase{8, 128, 1024},
+                      ThreadCase{3, 33, 700}  // odd shapes
+                      ));
+
+TEST(ConcurrentAdaptive, SmoothnessSurvivesConcurrency) {
+  // Corollary 3.5's gap bound is a property of the acceptance rule; check it
+  // empirically under 4 placers.
+  constexpr std::uint32_t n = 1 << 10;
+  constexpr std::uint32_t threads = 4;
+  constexpr std::uint64_t per = 8ULL * n / threads;
+  ConcurrentAdaptiveAllocator alloc(n);
+  std::vector<std::thread> workers;
+  rng::SeedSequence seq(7);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&alloc, engine = seq.engine(t)]() mutable {
+      for (std::uint64_t i = 0; i < per; ++i) (void)alloc.place(engine);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto loads = alloc.loads_snapshot();
+  EXPECT_LE(load_gap(loads), 6.0 * std::log(static_cast<double>(n)) + 6.0);
+}
+
+}  // namespace
+}  // namespace bbb::core

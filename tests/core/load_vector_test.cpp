@@ -1,0 +1,54 @@
+#include "bbb/core/load_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbb::core {
+namespace {
+
+TEST(LoadVector, RejectsZeroBins) {
+  EXPECT_THROW(LoadVector(0), std::invalid_argument);
+}
+
+TEST(LoadVector, StartsEmpty) {
+  LoadVector v(4);
+  EXPECT_EQ(v.n(), 4u);
+  EXPECT_EQ(v.balls(), 0u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(v.load(i), 0u);
+  EXPECT_DOUBLE_EQ(v.average(), 0.0);
+}
+
+TEST(LoadVector, AddAndRemove) {
+  LoadVector v(3);
+  v.add_ball(1);
+  v.add_ball(1);
+  v.add_ball(2);
+  EXPECT_EQ(v.balls(), 3u);
+  EXPECT_EQ(v.load(0), 0u);
+  EXPECT_EQ(v.load(1), 2u);
+  EXPECT_EQ(v.load(2), 1u);
+  EXPECT_DOUBLE_EQ(v.average(), 1.0);
+  v.remove_ball(1);
+  EXPECT_EQ(v.balls(), 2u);
+  EXPECT_EQ(v.load(1), 1u);
+}
+
+TEST(LoadVector, ClearResets) {
+  LoadVector v(2);
+  v.add_ball(0);
+  v.add_ball(1);
+  v.clear();
+  EXPECT_EQ(v.balls(), 0u);
+  EXPECT_EQ(v.load(0), 0u);
+  EXPECT_EQ(v.load(1), 0u);
+}
+
+TEST(LoadVector, LoadsViewMatchesState) {
+  LoadVector v(3);
+  v.add_ball(2);
+  v.add_ball(2);
+  const auto& loads = v.loads();
+  EXPECT_EQ(loads, (std::vector<std::uint32_t>{0, 0, 2}));
+}
+
+}  // namespace
+}  // namespace bbb::core

@@ -1,0 +1,126 @@
+#include "bbb/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::core {
+namespace {
+
+TEST(Metrics, MaxMinGapKnownVector) {
+  const std::vector<std::uint32_t> loads{3, 1, 4, 1, 5};
+  EXPECT_EQ(max_load(loads), 5u);
+  EXPECT_EQ(min_load(loads), 1u);
+  EXPECT_EQ(load_gap(loads), 4u);
+}
+
+TEST(Metrics, EmptyInputThrows) {
+  const std::vector<std::uint32_t> empty;
+  EXPECT_THROW((void)max_load(empty), std::invalid_argument);
+  EXPECT_THROW((void)min_load(empty), std::invalid_argument);
+  EXPECT_THROW((void)quadratic_potential(empty, 0), std::invalid_argument);
+  EXPECT_THROW((void)log_exponential_potential(empty, 0), std::invalid_argument);
+}
+
+TEST(Metrics, QuadraticPotentialByHand) {
+  // loads {0, 2}, t = 2, avg = 1: Psi = 1 + 1 = 2.
+  EXPECT_DOUBLE_EQ(quadratic_potential(std::vector<std::uint32_t>{0, 2}, 2), 2.0);
+  // Perfectly balanced: Psi = 0.
+  EXPECT_DOUBLE_EQ(quadratic_potential(std::vector<std::uint32_t>{3, 3, 3}, 9), 0.0);
+}
+
+TEST(Metrics, ExponentialPotentialByHand) {
+  // loads {1, 1}, t = 2, avg = 1, eps = 1/200:
+  // Phi = 2 * (1.005)^(1 + 2 - 1) = 2 * 1.005^2.
+  const double expected = 2.0 * std::pow(1.005, 2.0);
+  EXPECT_NEAR(exponential_potential(std::vector<std::uint32_t>{1, 1}, 2), expected,
+              1e-12);
+}
+
+TEST(Metrics, LogPhiMatchesDirectPhi) {
+  rng::Engine gen(5);
+  std::vector<std::uint32_t> loads(64);
+  std::uint64_t balls = 0;
+  for (auto& l : loads) {
+    l = static_cast<std::uint32_t>(rng::uniform_below(gen, 10));
+    balls += l;
+  }
+  const double direct = exponential_potential(loads, balls);
+  const double logged = log_exponential_potential(loads, balls);
+  EXPECT_NEAR(logged, std::log(direct), 1e-9);
+}
+
+TEST(Metrics, LogPhiStableWhereDirectOverflows) {
+  // A single huge hole: direct Phi overflows to inf, log form must not.
+  std::vector<std::uint32_t> loads(4, 500'000);
+  loads[0] = 0;  // hole of depth ~500000
+  const std::uint64_t balls = 3 * 500'000ULL;
+  const double direct = exponential_potential(loads, balls);
+  EXPECT_TRUE(std::isinf(direct));
+  const double logged = log_exponential_potential(loads, balls);
+  EXPECT_TRUE(std::isfinite(logged));
+  // Dominant term: (avg + 2 - 0) * ln(1.005), avg = 375000.
+  EXPECT_NEAR(logged, (375'000.0 + 2.0) * std::log1p(0.005), 1.0);
+}
+
+TEST(Metrics, HolesAgainstCapacity) {
+  const std::vector<std::uint32_t> loads{0, 1, 3, 2};
+  // capacity 3: holes = 3 + 2 + 0 + 1 = 6.
+  EXPECT_EQ(total_holes(loads, 3), 6u);
+  // capacity 1: only bins below 1 contribute: bin0 -> 1.
+  EXPECT_EQ(total_holes(loads, 1), 1u);
+}
+
+TEST(Metrics, EmptyBinsCount) {
+  EXPECT_EQ(empty_bins(std::vector<std::uint32_t>{0, 1, 0, 2}), 2u);
+  EXPECT_EQ(empty_bins(std::vector<std::uint32_t>{1, 1}), 0u);
+}
+
+TEST(Metrics, LoadHistogramMatchesCounts) {
+  const std::vector<std::uint32_t> loads{2, 2, 3, 0};
+  const auto h = load_histogram(loads);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(Metrics, ComputeMetricsConsistentWithPieces) {
+  const std::vector<std::uint32_t> loads{1, 4, 2, 1};
+  const std::uint64_t balls = 8;
+  const LoadMetrics m = compute_metrics(loads, balls);
+  EXPECT_EQ(m.max, max_load(loads));
+  EXPECT_EQ(m.min, min_load(loads));
+  EXPECT_EQ(m.gap, load_gap(loads));
+  EXPECT_DOUBLE_EQ(m.psi, quadratic_potential(loads, balls));
+  EXPECT_DOUBLE_EQ(m.log_phi, log_exponential_potential(loads, balls));
+  EXPECT_DOUBLE_EQ(m.average, 2.0);
+}
+
+TEST(Metrics, PsiBoundedByPhiForBoundedAboveLoads) {
+  // Section 2 of the paper: if max load <= t/n + O(1) then Psi = O(Phi).
+  // Empirically check Psi <= Phi on balanced-ish random vectors where the
+  // max is at most avg + 2 (the +2 in Phi's exponent guarantees each bin's
+  // Phi term is >= 1 while its Psi term is (l - avg)^2 <= Phi_i for holes).
+  rng::Engine gen(17);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<std::uint32_t> loads(100);
+    std::uint64_t balls = 0;
+    for (auto& l : loads) {
+      l = static_cast<std::uint32_t>(10 + rng::uniform_below(gen, 3));  // 10..12
+      balls += l;
+    }
+    const double psi = quadratic_potential(loads, balls);
+    const double phi = exponential_potential(loads, balls);
+    // O(Phi) with a generous constant: here loads deviate by <= 2 from avg,
+    // so Psi <= 4n while Phi >= n.
+    EXPECT_LE(psi, 4.0 * phi);
+  }
+}
+
+}  // namespace
+}  // namespace bbb::core

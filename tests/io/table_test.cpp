@@ -1,0 +1,107 @@
+#include "bbb/io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace bbb::io {
+namespace {
+
+Table sample_table() {
+  Table t({"name", "value"});
+  t.begin_row();
+  t.add_cell("alpha");
+  t.add_num(1.5, 2);
+  t.begin_row();
+  t.add_cell("beta");
+  t.add_int(42);
+  return t;
+}
+
+TEST(Table, ParseFormat) {
+  EXPECT_EQ(parse_format("ascii"), Format::kAscii);
+  EXPECT_EQ(parse_format("markdown"), Format::kMarkdown);
+  EXPECT_EQ(parse_format("csv"), Format::kCsv);
+  EXPECT_THROW((void)parse_format("yaml"), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvRendering) {
+  const std::string csv = sample_table().render(Format::kCsv);
+  EXPECT_EQ(csv, "name,value\nalpha,1.50\nbeta,42\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"a"});
+  t.begin_row();
+  t.add_cell("x,y");
+  t.begin_row();
+  t.add_cell("he said \"hi\"");
+  const std::string csv = t.render(Format::kCsv);
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, MarkdownRendering) {
+  const std::string md = sample_table().render(Format::kMarkdown);
+  EXPECT_NE(md.find("| name"), std::string::npos);
+  EXPECT_NE(md.find("| ----"), std::string::npos);
+  EXPECT_NE(md.find("| alpha"), std::string::npos);
+}
+
+TEST(Table, AsciiRenderingAligned) {
+  const std::string ascii = sample_table().render(Format::kAscii);
+  EXPECT_NE(ascii.find("| name "), std::string::npos);
+  EXPECT_NE(ascii.find("| alpha"), std::string::npos);
+  // Rule lines top and bottom.
+  EXPECT_GE(std::count(ascii.begin(), ascii.end(), '\n'), 5);
+}
+
+TEST(Table, TitleAppearsInAsciiAndMarkdownOnly) {
+  Table t({"c"});
+  t.set_title("My Title");
+  t.begin_row();
+  t.add_cell("v");
+  EXPECT_NE(t.render(Format::kAscii).find("# My Title"), std::string::npos);
+  EXPECT_NE(t.render(Format::kMarkdown).find("# My Title"), std::string::npos);
+  EXPECT_EQ(t.render(Format::kCsv).find("My Title"), std::string::npos);
+}
+
+TEST(Table, IncompleteRowFailsRender) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.add_cell("only-one");
+  EXPECT_THROW((void)t.render(Format::kAscii), std::logic_error);
+}
+
+TEST(Table, OverfullRowThrows) {
+  Table t({"a"});
+  t.begin_row();
+  t.add_cell("x");
+  EXPECT_THROW((void)t.add_cell("y"), std::logic_error);
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW((void)t.add_cell("x"), std::logic_error);
+}
+
+TEST(Table, AtAccessor) {
+  const Table t = sample_table();
+  EXPECT_EQ(t.at(0, 0), "alpha");
+  EXPECT_EQ(t.at(1, 1), "42");
+  EXPECT_THROW((void)t.at(2, 0), std::out_of_range);
+}
+
+TEST(Table, PrintWritesToStream) {
+  std::ostringstream os;
+  sample_table().print(os, Format::kCsv);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace bbb::io

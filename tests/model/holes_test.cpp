@@ -1,0 +1,68 @@
+#include "bbb/model/holes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbb::model {
+namespace {
+
+TEST(Holes, Validation) {
+  ChoiceVector c(8, 1);
+  EXPECT_THROW((void)holes_trajectory(0, c, 10), std::invalid_argument);
+  EXPECT_THROW((void)theorem41_probe_budget(10, 0), std::invalid_argument);
+}
+
+TEST(Holes, StartsAtCapTimesNAndEndsBelowN) {
+  constexpr std::uint32_t n = 64;
+  constexpr std::uint64_t m = 8 * n;
+  ChoiceVector c(n, 3);
+  const auto traj = holes_trajectory(m, c, 1);
+  ASSERT_FALSE(traj.empty());
+  // First processed entry: either a placement (holes = cap*n - 1) or not.
+  const std::uint32_t cap = 8 + 1;
+  EXPECT_LE(traj.front().holes, static_cast<std::uint64_t>(cap) * n);
+  // Endgame identity: holes = cap*n - m = n when all m are placed.
+  EXPECT_EQ(traj.back().placed, m);
+  EXPECT_EQ(traj.back().holes, static_cast<std::uint64_t>(cap) * n - m);
+  EXPECT_EQ(traj.back().holes, n);  // m divisible by n
+}
+
+TEST(Holes, HolesAreMonotoneNonincreasing) {
+  ChoiceVector c(32, 4);
+  const auto traj = holes_trajectory(320, c, 7);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_LE(traj[i].holes, traj[i - 1].holes);
+    EXPECT_GE(traj[i].placed, traj[i - 1].placed);
+    EXPECT_GT(traj[i].t, traj[i - 1].t);
+  }
+}
+
+TEST(Holes, PlacedPlusHolesIsInvariant) {
+  constexpr std::uint32_t n = 16;
+  constexpr std::uint64_t m = 100;
+  ChoiceVector c(n, 5);
+  const std::uint32_t cap = (100 + 15) / 16 + 1;  // ceil + 1 = 8
+  const auto traj = holes_trajectory(m, c, 3);
+  for (const auto& p : traj) {
+    EXPECT_EQ(p.placed + p.holes, static_cast<std::uint64_t>(cap) * n);
+  }
+}
+
+TEST(Holes, Theorem41BudgetForm) {
+  // phi = 16, n = 1024: budget = (16 + 16^0.75 + 1) * 1024 = (17 + 8) * 1024.
+  EXPECT_EQ(theorem41_probe_budget(16 * 1024, 1024), (17 + 8) * 1024u);
+  // Budget is always more than m.
+  EXPECT_GT(theorem41_probe_budget(500, 100), 500u);
+}
+
+TEST(Holes, FinishesWithinTheorem41BudgetTypically) {
+  // The w.h.p. statement at a comfortable size: a single run with a fixed
+  // seed must finish within the budget (failure probability O(n^-2)).
+  constexpr std::uint32_t n = 1 << 10;
+  constexpr std::uint64_t m = 64ULL * n;
+  ChoiceVector c(n, 13);
+  const auto traj = holes_trajectory(m, c, 1ULL << 20);
+  EXPECT_LE(traj.back().t, theorem41_probe_budget(m, n));
+}
+
+}  // namespace
+}  // namespace bbb::model

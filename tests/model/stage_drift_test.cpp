@@ -1,0 +1,92 @@
+#include "bbb/model/stage_drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/rng/distributions.hpp"
+
+namespace bbb::model {
+namespace {
+
+TEST(StageDrift, Validation) {
+  rng::Engine gen(1);
+  EXPECT_THROW((void)adaptive_stage_records(0, 4, gen), std::invalid_argument);
+  EXPECT_THROW((void)adaptive_stage_records(8, 0, gen), std::invalid_argument);
+}
+
+TEST(StageDrift, OneRecordPerStage) {
+  rng::Engine gen(2);
+  const auto recs = adaptive_stage_records(128, 10, gen);
+  ASSERT_EQ(recs.size(), 10u);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].stage, i + 1);
+    EXPECT_GT(recs[i].phi_before, 0.0);
+    EXPECT_GT(recs[i].phi_after, 0.0);
+    EXPECT_GE(recs[i].probes, 128u);  // n balls need >= n probes
+  }
+}
+
+TEST(StageDrift, PhiStaysLinearInN) {
+  // Corollary 3.5 at stage granularity: Phi never blows past O(n). Allow a
+  // generous constant (the proof's rho-region is ~ (eps+kappa)/(kappa/2) n).
+  rng::Engine gen(3);
+  constexpr std::uint32_t n = 1 << 12;
+  const auto recs = adaptive_stage_records(n, 24, gen);
+  for (const auto& r : recs) {
+    EXPECT_LT(r.phi_after, 16.0 * n) << "stage " << r.stage;
+  }
+}
+
+TEST(StageDrift, DriftIsBoundedByOnePlusEps) {
+  // Phi(L^{tau+1}) <= (1+eps) Phi(L^tau) holds deterministically (Section 3):
+  // loads only grow, and re-centering costs at most the (1+eps) factor.
+  rng::Engine gen(4);
+  const auto recs = adaptive_stage_records(512, 16, gen);
+  for (const auto& r : recs) {
+    EXPECT_LE(r.drift, 1.0 + core::kPotentialEpsilon + 1e-9) << "stage " << r.stage;
+  }
+}
+
+// Lemma 3.2: underloaded bins receive stochastically at least
+// Poi(199/198) - 2e-10 balls in the next stage. Empirically their mean
+// arrivals must clear 1 (the Poisson mean is 199/198 ~ 1.005).
+TEST(StageDrift, UnderloadedBinsCatchUp) {
+  rng::Engine gen(5);
+  constexpr std::uint32_t n = 1 << 12;
+  const auto recs = adaptive_stage_records(n, 32, gen, /*deep_hole=*/4);
+  double weighted_mean = 0.0;
+  std::uint64_t total_bins = 0;
+  for (const auto& r : recs) {
+    weighted_mean += r.mean_arrivals_deep * static_cast<double>(r.underloaded);
+    total_bins += r.underloaded;
+  }
+  ASSERT_GT(total_bins, 50u) << "not enough underloaded bins to measure";
+  weighted_mean /= static_cast<double>(total_bins);
+  EXPECT_GT(weighted_mean, 1.0);
+}
+
+TEST(StageDrift, ArrivalHistogramDominatesPoissonTail) {
+  // Pr[Y >= k] >= Pr[Poi(199/198) >= k] - 2e-10 for k <= C1 (Lemma 3.2).
+  // Check the first few k with sampling slack.
+  rng::Engine gen(6);
+  constexpr std::uint32_t n = 1 << 12;
+  const auto counts = underloaded_arrival_histogram(n, 32, gen, 4, 16);
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  ASSERT_GT(total, 200u);
+  const rng::PoissonDist poi(199.0 / 198.0);
+  double emp_tail = 1.0;
+  double poi_tail = 1.0;
+  for (std::uint32_t k = 1; k <= 3; ++k) {
+    emp_tail -= static_cast<double>(counts[k - 1]) / static_cast<double>(total);
+    poi_tail -= poi.pmf(k - 1);
+    const double slack = 4.0 / std::sqrt(static_cast<double>(total));
+    EXPECT_GE(emp_tail, poi_tail - slack) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace bbb::model

@@ -1,0 +1,134 @@
+/// Cross-protocol invariants, swept over every registered protocol and a
+/// grid of (m, n) shapes via TEST_P. These are the properties that must
+/// hold for *any* correct balls-into-bins implementation:
+///   * conservation: sum of loads == balls reported placed
+///   * determinism: identical seeds give identical loads and probes
+///   * independence: different seeds give different outcomes (statistically)
+///   * sanity: probe counts are at least the work performed
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include "bbb/core/protocols/registry.hpp"
+#include "bbb/rng/streams.hpp"
+
+namespace bbb::core {
+namespace {
+
+struct GridCase {
+  std::string spec;
+  std::uint64_t m;
+  std::uint32_t n;
+};
+
+void PrintTo(const GridCase& c, std::ostream* os) {
+  *os << c.spec << "{m=" << c.m << ",n=" << c.n << "}";
+}
+
+class ProtocolInvariantTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ProtocolInvariantTest, ConservationOfBalls) {
+  const auto& [spec, m, n] = GetParam();
+  const auto protocol = make_protocol(spec);
+  rng::Engine gen(1234);
+  const AllocationResult res = protocol->run(m, n, gen);
+  ASSERT_EQ(res.loads.size(), n);
+  const std::uint64_t total =
+      std::accumulate(res.loads.begin(), res.loads.end(), std::uint64_t{0});
+  EXPECT_EQ(total, res.balls);
+  EXPECT_LE(res.balls, m);
+  if (res.completed) EXPECT_EQ(res.balls, m);
+}
+
+TEST_P(ProtocolInvariantTest, DeterministicForSameSeed) {
+  const auto& [spec, m, n] = GetParam();
+  const auto protocol = make_protocol(spec);
+  rng::Engine g1(77), g2(77);
+  const AllocationResult a = protocol->run(m, n, g1);
+  const AllocationResult b = protocol->run(m, n, g2);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.balls, b.balls);
+  EXPECT_EQ(a.reallocations, b.reallocations);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST_P(ProtocolInvariantTest, DifferentSeedsUsuallyDiffer) {
+  const auto& [spec, m, n] = GetParam();
+  if (m < 16) GTEST_SKIP() << "too few balls for the outcome to vary reliably";
+  const auto protocol = make_protocol(spec);
+  rng::Engine g1(1), g2(2);
+  const AllocationResult a = protocol->run(m, n, g1);
+  const AllocationResult b = protocol->run(m, n, g2);
+  EXPECT_NE(a.loads, b.loads);
+}
+
+TEST_P(ProtocolInvariantTest, ProbesCoverPlacedBalls) {
+  const auto& [spec, m, n] = GetParam();
+  const auto protocol = make_protocol(spec);
+  rng::Engine gen(99);
+  const AllocationResult res = protocol->run(m, n, gen);
+  // Every placement consumed at least one random bin choice.
+  EXPECT_GE(res.probes, res.balls);
+}
+
+TEST_P(ProtocolInvariantTest, RerunIsIndependentOfInstanceState) {
+  const auto& [spec, m, n] = GetParam();
+  const auto protocol = make_protocol(spec);
+  rng::Engine g1(5);
+  const AllocationResult first = protocol->run(m, n, g1);
+  rng::Engine g2(5);
+  const AllocationResult second = protocol->run(m, n, g2);  // same instance reused
+  EXPECT_EQ(first.loads, second.loads) << "protocol run() must be stateless";
+}
+
+std::vector<GridCase> build_grid() {
+  const std::vector<std::string> specs = {
+      "one-choice",  "greedy[2]",      "greedy[4]",   "left[2]",   "left[4]",
+      "memory[1,1]", "memory[2,2]",    "threshold",   "adaptive",  "adaptive[2]",
+      "batched[4]",  "self-balancing", "cuckoo[2,4]", "stale-adaptive[1]"};
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>> shapes = {
+      {0, 7},        // no balls
+      {1, 1},        // single everything
+      {5, 64},       // sparse m << n
+      {256, 256},    // m = n
+      {2048, 256},   // heavy m = 8n
+      {1000, 33},    // non-divisible m/n
+  };
+  // Structural constraints documented by each protocol: left/cuckoo need
+  // d <= n; batched cannot place more than capacity * n balls; cuckoo's
+  // outcome is degenerate (all buckets full) above ~0.8 load factor.
+  const auto feasible = [](const std::string& spec, std::uint64_t m, std::uint32_t n) {
+    if (spec.rfind("left[", 0) == 0) return n >= spec[5] - '0';
+    if (spec.rfind("cuckoo", 0) == 0) return n >= 2 && m <= 3ULL * n;
+    if (spec.rfind("batched[", 0) == 0) return m <= 4ULL * n;
+    return true;
+  };
+  std::vector<GridCase> grid;
+  for (const auto& spec : specs) {
+    for (const auto& [m, n] : shapes) {
+      if (feasible(spec, m, n)) grid.push_back({spec, m, n});
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocolsAllShapes, ProtocolInvariantTest,
+                         ::testing::ValuesIn(build_grid()));
+
+TEST(ProtocolInvariants, ZeroBinsRejectedEverywhere) {
+  for (const auto& spec :
+       {"one-choice", "greedy[2]", "left[2]", "memory[1,1]", "threshold", "adaptive",
+        "batched[2]", "self-balancing", "cuckoo[2,4]"}) {
+    const auto protocol = make_protocol(spec);
+    rng::Engine gen(1);
+    EXPECT_THROW((void)protocol->run(10, 0, gen), std::invalid_argument) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace bbb::core

@@ -1,0 +1,71 @@
+#include "bbb/core/protocols/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::core {
+namespace {
+
+TEST(Registry, BuildsEveryListedShape) {
+  for (const auto& spec :
+       {"one-choice", "greedy[2]", "left[3]", "memory[1,1]", "threshold",
+        "threshold[2]", "adaptive", "adaptive[0]", "batched[2]", "self-balancing",
+        "cuckoo[2,4]"}) {
+    EXPECT_NO_THROW((void)make_protocol(spec)) << spec;
+  }
+}
+
+// Round-trip: the canonical name() of a built protocol must itself be a
+// valid spec that builds an equivalent protocol.
+class RegistryRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryRoundTripTest, NameParsesBack) {
+  const auto p1 = make_protocol(GetParam());
+  const auto p2 = make_protocol(p1->name());
+  EXPECT_EQ(p1->name(), p2->name());
+  // Equivalence beyond the name: same seed, same result. (m = 100, n = 32
+  // satisfies every protocol's feasibility constraints, e.g. batched[4].)
+  rng::Engine g1(5), g2(5);
+  const auto r1 = p1->run(100, 32, g1);
+  const auto r2 = p2->run(100, 32, g2);
+  EXPECT_EQ(r1.loads, r2.loads);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, RegistryRoundTripTest,
+                         ::testing::Values("one-choice", "greedy[3]", "left[2]",
+                                           "memory[2,1]", "threshold", "threshold[3]",
+                                           "adaptive", "adaptive[2]", "batched[4]",
+                                           "self-balancing", "cuckoo[2,4]",
+                                           "stale-adaptive[16]"));
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_protocol("nonsense"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol(""), std::invalid_argument);
+}
+
+TEST(Registry, MalformedSpecsThrow) {
+  EXPECT_THROW((void)make_protocol("greedy["), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("greedy[]"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("greedy[x]"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("greedy"), std::invalid_argument);  // missing d
+  EXPECT_THROW((void)make_protocol("memory[1]"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("threshold[1,2]"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("one-choice[1]"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("self-balancing[2]"), std::invalid_argument);
+}
+
+TEST(Registry, InvalidParametersPropagate) {
+  EXPECT_THROW((void)make_protocol("greedy[0]"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("memory[0,1]"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("batched[0]"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("cuckoo[0,4]"), std::invalid_argument);
+}
+
+TEST(Registry, SpecListNonEmptyAndDocumentsShapes) {
+  const auto specs = protocol_specs();
+  EXPECT_GE(specs.size(), 10u);
+}
+
+}  // namespace
+}  // namespace bbb::core

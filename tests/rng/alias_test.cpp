@@ -1,0 +1,70 @@
+#include "bbb/rng/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "bbb/stats/hypothesis.hpp"
+
+namespace bbb::rng {
+namespace {
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({1.0, -0.5}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(AliasTable({1.0, inf}), std::invalid_argument);
+}
+
+TEST(AliasTable, SingleOutcome) {
+  AliasTable t({5.0});
+  Engine gen(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t(gen), 0u);
+  EXPECT_DOUBLE_EQ(t.probability(0), 1.0);
+}
+
+TEST(AliasTable, NormalizesWeights) {
+  AliasTable t({2.0, 6.0});
+  EXPECT_DOUBLE_EQ(t.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.probability(1), 0.75);
+}
+
+TEST(AliasTable, ZeroWeightOutcomeNeverDrawn) {
+  AliasTable t({0.0, 1.0, 0.0, 1.0});
+  Engine gen(2);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto v = t(gen);
+    EXPECT_TRUE(v == 1 || v == 3);
+  }
+}
+
+TEST(AliasTable, UniformWeightsChiSquare) {
+  AliasTable t(std::vector<double>(8, 1.0));
+  Engine gen(3);
+  std::vector<std::uint64_t> counts(8, 0);
+  for (int i = 0; i < 80'000; ++i) ++counts[t(gen)];
+  const auto res = stats::chi_square_gof(counts, std::vector<double>(8, 0.125));
+  EXPECT_GT(res.p_value, 1e-4);
+}
+
+TEST(AliasTable, SkewedWeightsChiSquare) {
+  const std::vector<double> w{1.0, 2.0, 4.0, 8.0, 16.0};
+  AliasTable t(w);
+  Engine gen(4);
+  std::vector<std::uint64_t> counts(w.size(), 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[t(gen)];
+  std::vector<double> expected;
+  for (double x : w) expected.push_back(x / 31.0);
+  const auto res = stats::chi_square_gof(counts, expected);
+  EXPECT_GT(res.p_value, 1e-4) << "stat=" << res.statistic;
+}
+
+TEST(AliasTable, SizeReported) {
+  AliasTable t({1.0, 1.0, 1.0});
+  EXPECT_EQ(t.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bbb::rng

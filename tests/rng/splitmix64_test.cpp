@@ -1,0 +1,58 @@
+#include "bbb/rng/splitmix64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bbb::rng {
+namespace {
+
+// Reference values for seed 0, as published with Java's SplittableRandom
+// and the xoshiro seeding recipe.
+TEST(SplitMix64, KnownAnswerSeedZero) {
+  SplitMix64 g(0);
+  EXPECT_EQ(g(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(g(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(g(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, StateAdvancesByGoldenGamma) {
+  SplitMix64 g(7);
+  const std::uint64_t before = g.state();
+  (void)g();
+  EXPECT_EQ(g.state(), before + 0x9e3779b97f4a7c15ULL);
+}
+
+TEST(SplitMix64, ScrambleIsInjectiveOnSample) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    outputs.insert(splitmix64_scramble(x));
+  }
+  EXPECT_EQ(outputs.size(), 4096u);
+}
+
+TEST(SplitMix64, EqualityComparesState) {
+  SplitMix64 a(9), b(9);
+  EXPECT_EQ(a, b);
+  (void)a();
+  EXPECT_NE(a, b);
+  (void)b();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bbb::rng

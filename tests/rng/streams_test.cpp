@@ -1,0 +1,52 @@
+#include "bbb/rng/streams.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bbb::rng {
+namespace {
+
+TEST(Streams, DeriveSeedIsDeterministic) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+}
+
+TEST(Streams, DeriveSeedVariesWithIndex) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 10'000; ++i) seeds.insert(derive_seed(42, i));
+  EXPECT_EQ(seeds.size(), 10'000u);
+}
+
+TEST(Streams, DeriveSeedVariesWithMaster) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t m = 0; m < 10'000; ++m) seeds.insert(derive_seed(m, 0));
+  EXPECT_EQ(seeds.size(), 10'000u);
+}
+
+TEST(Streams, SequentialIndicesAreDecorrelated) {
+  // Child engines of adjacent indices should not produce matching prefixes.
+  SeedSequence seq(123);
+  Engine a = seq.engine(0);
+  Engine b = seq.engine(1);
+  int equal = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Streams, EngineReproducible) {
+  SeedSequence seq(9);
+  Engine a = seq.engine(5);
+  Engine b = seq.engine(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Streams, SeedMatchesDeriveSeed) {
+  SeedSequence seq(77);
+  EXPECT_EQ(seq.seed(3), derive_seed(77, 3));
+  EXPECT_EQ(seq.master(), 77u);
+}
+
+}  // namespace
+}  // namespace bbb::rng

@@ -1,0 +1,54 @@
+#include "bbb/rng/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bbb/stats/hypothesis.hpp"
+
+namespace bbb::rng {
+namespace {
+
+TEST(Zipf, Validation) {
+  EXPECT_THROW((void)zipf_weights(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)zipf_weights(4, -0.5), std::invalid_argument);
+  EXPECT_THROW(ZipfDist(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, WeightsNormalizedAndDecreasing) {
+  const auto w = zipf_weights(10, 1.2);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(Zipf, SZeroIsUniform) {
+  const auto w = zipf_weights(8, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 0.125);
+}
+
+TEST(Zipf, ClassicRatio) {
+  // s = 1: weight of outcome 0 is twice that of outcome 1.
+  const auto w = zipf_weights(100, 1.0);
+  EXPECT_NEAR(w[0] / w[1], 2.0, 1e-12);
+  EXPECT_NEAR(w[0] / w[9], 10.0, 1e-9);
+}
+
+TEST(Zipf, SamplerMatchesWeightsChiSquare) {
+  ZipfDist dist(6, 0.8);
+  Engine gen(5);
+  std::vector<std::uint64_t> counts(6, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[dist(gen)];
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < 6; ++i) expected.push_back(dist.probability(i));
+  const auto res = stats::chi_square_gof(counts, expected);
+  EXPECT_GT(res.p_value, 1e-4) << "stat=" << res.statistic;
+}
+
+TEST(Zipf, AccessorsReport) {
+  ZipfDist dist(16, 1.5);
+  EXPECT_EQ(dist.k(), 16u);
+  EXPECT_DOUBLE_EQ(dist.s(), 1.5);
+}
+
+}  // namespace
+}  // namespace bbb::rng

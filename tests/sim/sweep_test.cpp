@@ -1,0 +1,66 @@
+#include "bbb/sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbb::sim {
+namespace {
+
+TEST(Ranges, GeometricKnownValues) {
+  EXPECT_EQ(geometric_range(1, 16, 2.0),
+            (std::vector<std::uint64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(geometric_range(10, 10, 3.0), (std::vector<std::uint64_t>{10}));
+  // Overshooting top is clamped to hi.
+  EXPECT_EQ(geometric_range(1, 10, 3.0), (std::vector<std::uint64_t>{1, 3, 9, 10}));
+}
+
+TEST(Ranges, GeometricValidation) {
+  EXPECT_THROW(geometric_range(0, 10, 2.0), std::invalid_argument);
+  EXPECT_THROW(geometric_range(1, 10, 1.0), std::invalid_argument);
+  EXPECT_THROW(geometric_range(10, 1, 2.0), std::invalid_argument);
+}
+
+TEST(Ranges, LinearKnownValues) {
+  EXPECT_EQ(linear_range(2, 10, 4), (std::vector<std::uint64_t>{2, 6, 10}));
+  EXPECT_EQ(linear_range(1, 3, 1), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(linear_range(5, 5, 7), (std::vector<std::uint64_t>{5}));
+  // Step overshoots the end: stop before hi.
+  EXPECT_EQ(linear_range(1, 10, 4), (std::vector<std::uint64_t>{1, 5, 9}));
+}
+
+TEST(Ranges, LinearValidation) {
+  EXPECT_THROW(linear_range(1, 10, 0), std::invalid_argument);
+  EXPECT_THROW(linear_range(10, 1, 1), std::invalid_argument);
+}
+
+TEST(Ranges, Pow2KnownValues) {
+  EXPECT_EQ(pow2_range(3, 6), (std::vector<std::uint64_t>{8, 16, 32, 64}));
+  EXPECT_EQ(pow2_range(0, 0), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(Ranges, Pow2Validation) {
+  EXPECT_THROW(pow2_range(5, 3), std::invalid_argument);
+  EXPECT_THROW(pow2_range(1, 63), std::invalid_argument);
+}
+
+TEST(Sweep, RunsEveryConfigInOrder) {
+  std::vector<ExperimentConfig> configs;
+  for (std::uint64_t m : {100ULL, 200ULL, 300ULL}) {
+    ExperimentConfig cfg;
+    cfg.protocol_spec = "threshold";
+    cfg.m = m;
+    cfg.n = 50;
+    cfg.replicates = 3;
+    configs.push_back(cfg);
+  }
+  const auto summaries = run_sweep(configs);
+  ASSERT_EQ(summaries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(summaries[i].config.m, configs[i].m);
+    EXPECT_EQ(summaries[i].probes.count(), 3u);
+  }
+  // More balls, more probes.
+  EXPECT_LT(summaries[0].probes.mean(), summaries[2].probes.mean());
+}
+
+}  // namespace
+}  // namespace bbb::sim

@@ -1,0 +1,74 @@
+#include "bbb/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bbb/core/protocols/adaptive.hpp"
+#include "bbb/core/protocols/one_choice.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::sim {
+namespace {
+
+TEST(Trace, SnapshotsAtStrideAndEnd) {
+  core::AdaptiveAllocator alloc(32);
+  rng::Engine gen(1);
+  const auto points = trace_allocation(alloc, gen, 100, 30);
+  // Snapshots at 30, 60, 90, 100.
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].balls, 30u);
+  EXPECT_EQ(points[1].balls, 60u);
+  EXPECT_EQ(points[2].balls, 90u);
+  EXPECT_EQ(points[3].balls, 100u);
+}
+
+TEST(Trace, ExactMultipleDoesNotDuplicateFinalPoint) {
+  core::OneChoiceAllocator alloc(16);
+  rng::Engine gen(2);
+  const auto points = trace_allocation(alloc, gen, 60, 20);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points.back().balls, 60u);
+}
+
+TEST(Trace, MonotoneBallsAndProbes) {
+  core::AdaptiveAllocator alloc(64);
+  rng::Engine gen(3);
+  const auto points = trace_allocation(alloc, gen, 1000, 100);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].balls, points[i - 1].balls);
+    EXPECT_GE(points[i].probes, points[i - 1].probes);
+  }
+}
+
+TEST(Trace, ZeroStrideTreatedAsOne) {
+  core::OneChoiceAllocator alloc(8);
+  rng::Engine gen(4);
+  const auto points = trace_allocation(alloc, gen, 5, 0);
+  EXPECT_EQ(points.size(), 5u);
+}
+
+TEST(Trace, MetricsMatchFinalState) {
+  core::AdaptiveAllocator alloc(32);
+  rng::Engine gen(5);
+  const auto points = trace_allocation(alloc, gen, 320, 100);
+  const auto& last = points.back();
+  EXPECT_EQ(last.balls, 320u);
+  EXPECT_EQ(last.probes, alloc.probes());
+  const auto metrics = core::compute_metrics(alloc.state().loads(), 320);
+  EXPECT_EQ(last.max_load, metrics.max);
+  EXPECT_DOUBLE_EQ(last.psi, metrics.psi);
+}
+
+TEST(Trace, TableHasOneRowPerPoint) {
+  core::OneChoiceAllocator alloc(8);
+  rng::Engine gen(6);
+  const auto points = trace_allocation(alloc, gen, 50, 10);
+  const io::Table table = trace_table(points);
+  EXPECT_EQ(table.rows(), points.size());
+  EXPECT_EQ(table.columns(), 6u);
+  // Renders without throwing in all formats.
+  EXPECT_NO_THROW((void)table.render(io::Format::kAscii));
+  EXPECT_NO_THROW((void)table.render(io::Format::kCsv));
+}
+
+}  // namespace
+}  // namespace bbb::sim

@@ -1,0 +1,59 @@
+#include "bbb/stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bbb/rng/distributions.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+#include "bbb/stats/quantile.hpp"
+
+namespace bbb::stats {
+namespace {
+
+TEST(Bootstrap, MeanCiCoversTrueMean) {
+  rng::Engine gen(11);
+  rng::NormalDist normal(5.0, 2.0);
+  std::vector<double> data;
+  for (int i = 0; i < 400; ++i) data.push_back(normal(gen));
+  const Interval iv = bootstrap_mean_ci(data, 2000, 0.95, 7);
+  EXPECT_LT(iv.lo, 5.0);
+  EXPECT_GT(iv.hi, 5.0);
+  EXPECT_LT(iv.lo, iv.point);
+  EXPECT_GT(iv.hi, iv.point);
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval) {
+  rng::Engine gen(12);
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(rng::next_double(gen));
+  const Interval narrow = bootstrap_mean_ci(data, 2000, 0.80, 3);
+  const Interval wide = bootstrap_mean_ci(data, 2000, 0.99, 3);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  std::vector<double> data{1, 2, 3, 4, 100};
+  const Interval iv = bootstrap_ci(
+      data, [](const std::vector<double>& xs) { return exact_quantile(xs, 0.5); }, 1000,
+      0.95, 5);
+  // Median resamples stay within the data range.
+  EXPECT_GE(iv.lo, 1.0);
+  EXPECT_LE(iv.hi, 100.0);
+  EXPECT_DOUBLE_EQ(iv.point, 3.0);
+}
+
+TEST(Bootstrap, DeterministicForFixedSeed) {
+  std::vector<double> data{3, 1, 4, 1, 5, 9, 2, 6};
+  const Interval a = bootstrap_mean_ci(data, 500, 0.9, 42);
+  const Interval b = bootstrap_mean_ci(data, 500, 0.9, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, Validation) {
+  EXPECT_THROW((void)bootstrap_mean_ci({}, 100, 0.9, 1), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci({1.0}, 0, 0.9, 1), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci({1.0}, 100, 1.5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbb::stats

@@ -1,0 +1,85 @@
+#include "bbb/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbb::stats {
+namespace {
+
+TEST(IntHistogram, EmptyState) {
+  IntHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_EQ(h.render_ascii(), "(empty histogram)\n");
+}
+
+TEST(IntHistogram, CountsAndRange) {
+  IntHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(-1);
+  h.add(7, 4);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.min(), -1);
+  EXPECT_EQ(h.max(), 7);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 4u);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 2.0 / 7.0);
+}
+
+TEST(IntHistogram, AddAllAndMean) {
+  IntHistogram h;
+  h.add_all({1, 2, 3, 4});
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(IntHistogram, ZeroCountAddIsNoop) {
+  IntHistogram h;
+  h.add(9, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IntHistogram, MergeAddsCounts) {
+  IntHistogram a, b;
+  a.add(1, 2);
+  b.add(1, 3);
+  b.add(5);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(5), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(IntHistogram, QuantileOnKnownData) {
+  IntHistogram h;
+  for (int v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.5), 50);
+  EXPECT_EQ(h.quantile(0.99), 99);
+  EXPECT_EQ(h.quantile(1.0), 100);
+}
+
+TEST(IntHistogram, ItemsFillGaps) {
+  IntHistogram h;
+  h.add(2);
+  h.add(5);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 4u);  // 2,3,4,5
+  EXPECT_EQ(items[0], (std::pair<std::int64_t, std::uint64_t>{2, 1}));
+  EXPECT_EQ(items[1].second, 0u);
+  EXPECT_EQ(items[2].second, 0u);
+  EXPECT_EQ(items[3], (std::pair<std::int64_t, std::uint64_t>{5, 1}));
+}
+
+TEST(IntHistogram, AsciiRenderContainsBars) {
+  IntHistogram h;
+  h.add(0, 10);
+  h.add(1, 5);
+  const std::string out = h.render_ascii(20);
+  EXPECT_NE(out.find("####################"), std::string::npos);  // peak row
+  EXPECT_NE(out.find("##########"), std::string::npos);            // half row
+}
+
+}  // namespace
+}  // namespace bbb::stats

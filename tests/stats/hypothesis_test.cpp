@@ -1,0 +1,76 @@
+#include "bbb/stats/hypothesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::stats {
+namespace {
+
+TEST(ChiSquareGof, FairDiePasses) {
+  rng::Engine gen(1);
+  std::vector<std::uint64_t> counts(6, 0);
+  for (int i = 0; i < 60'000; ++i) ++counts[rng::uniform_below(gen, 6)];
+  const auto res = chi_square_gof(counts, std::vector<double>(6, 1.0 / 6.0));
+  EXPECT_GT(res.p_value, 1e-3);
+  EXPECT_DOUBLE_EQ(res.df, 5.0);
+}
+
+TEST(ChiSquareGof, LoadedDieFails) {
+  // Heavily loaded toward face 0.
+  std::vector<std::uint64_t> counts{30'000, 6'000, 6'000, 6'000, 6'000, 6'000};
+  const auto res = chi_square_gof(counts, std::vector<double>(6, 1.0 / 6.0));
+  EXPECT_LT(res.p_value, 1e-10);
+}
+
+TEST(ChiSquareGof, PoolsSparseCells) {
+  // Expected counts of 0.5 in the tail cells must be pooled.
+  std::vector<std::uint64_t> counts{50, 30, 15, 3, 1, 1};
+  std::vector<double> probs{0.5, 0.3, 0.15, 0.03, 0.01, 0.01};
+  const auto res = chi_square_gof(counts, probs);
+  EXPECT_GT(res.pooled_cells, 0u);
+  EXPECT_GT(res.p_value, 0.01);
+}
+
+TEST(ChiSquareGof, ResidualProbabilityBecomesExtraCell) {
+  // Probabilities sum to 0.9; the 0.1 residual is an expected-but-unseen
+  // cell which should penalize the fit.
+  std::vector<std::uint64_t> counts{500, 500};
+  std::vector<double> probs{0.45, 0.45};
+  const auto res = chi_square_gof(counts, probs);
+  EXPECT_LT(res.p_value, 1e-10);
+}
+
+TEST(ChiSquareGof, Validation) {
+  EXPECT_THROW((void)chi_square_gof({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_gof({1, 2}, {0.5}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_gof({1, 2}, {0.5, -0.5}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_gof({0, 0}, {0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(ChiSquareFitDiscrete, UniformSamplerMatchesUniformPmf) {
+  rng::Engine gen(2);
+  const auto res = chi_square_fit_discrete(
+      [&] { return rng::uniform_below(gen, 8); },
+      [](std::uint64_t k) { return k < 8 ? 0.125 : 0.0; }, 80'000, 8);
+  EXPECT_GT(res.p_value, 1e-3);
+}
+
+TEST(ChiSquareFitDiscrete, DetectsWrongModel) {
+  rng::Engine gen(3);
+  // Sampler is uniform on 8 cells but the model says uniform on 4.
+  const auto res = chi_square_fit_discrete(
+      [&] { return rng::uniform_below(gen, 8); },
+      [](std::uint64_t k) { return k < 4 ? 0.25 : 0.0; }, 20'000, 8);
+  EXPECT_LT(res.p_value, 1e-10);
+}
+
+TEST(ChiSquareFitDiscrete, Validation) {
+  EXPECT_THROW((void)chi_square_fit_discrete([] { return std::uint64_t{0}; },
+                                       [](std::uint64_t) { return 1.0; }, 0, 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbb::stats

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "bbb/rng/distributions.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+#include "bbb/stats/hypothesis.hpp"
+
+namespace bbb::stats {
+namespace {
+
+std::vector<double> normal_sample(double mean, double sd, int n, std::uint64_t seed) {
+  rng::Engine gen(seed);
+  rng::NormalDist dist(mean, sd);
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(dist(gen));
+  return out;
+}
+
+TEST(KsTwoSample, Validation) {
+  EXPECT_THROW((void)ks_two_sample({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)ks_two_sample({1.0}, {}), std::invalid_argument);
+}
+
+TEST(KsTwoSample, SameDistributionPasses) {
+  const auto a = normal_sample(0, 1, 2000, 1);
+  const auto b = normal_sample(0, 1, 2000, 2);
+  const auto res = ks_two_sample(a, b);
+  EXPECT_GT(res.p_value, 1e-3);
+  EXPECT_LT(res.statistic, 0.08);
+}
+
+TEST(KsTwoSample, ShiftedDistributionFails) {
+  const auto a = normal_sample(0, 1, 2000, 3);
+  const auto b = normal_sample(0.5, 1, 2000, 4);
+  const auto res = ks_two_sample(a, b);
+  EXPECT_LT(res.p_value, 1e-6);
+  EXPECT_GT(res.statistic, 0.15);
+}
+
+TEST(KsTwoSample, DifferentSpreadFails) {
+  const auto a = normal_sample(0, 1, 3000, 5);
+  const auto b = normal_sample(0, 2, 3000, 6);
+  const auto res = ks_two_sample(a, b);
+  EXPECT_LT(res.p_value, 1e-6);
+}
+
+TEST(KsTwoSample, IdenticalSamplesGiveZeroStatistic) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const auto res = ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(res.statistic, 0.0);
+  EXPECT_NEAR(res.p_value, 1.0, 1e-9);
+}
+
+TEST(KsTwoSample, HandlesHeavyTies) {
+  // Discrete data with many ties (bin loads!) must not break the statistic.
+  rng::Engine gen(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(static_cast<double>(rng::uniform_below(gen, 5)));
+    b.push_back(static_cast<double>(rng::uniform_below(gen, 5)));
+  }
+  const auto same = ks_two_sample(a, b);
+  EXPECT_GT(same.p_value, 1e-3);
+  // Now shift b by one: every value differs, KS must reject.
+  for (auto& x : b) x += 1.0;
+  const auto shifted = ks_two_sample(a, b);
+  EXPECT_LT(shifted.p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace bbb::stats

@@ -1,0 +1,73 @@
+#include "bbb/stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bbb/rng/distributions.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(2.5 * xi - 1.0);
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 5u);
+}
+
+TEST(LinearFit, NoisyDataHasLowerR2) {
+  rng::Engine gen(3);
+  rng::NormalDist noise(0.0, 5.0);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + noise(gen));
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.05);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.5);
+}
+
+TEST(LinearFit, Validation) {
+  EXPECT_THROW((void)linear_fit({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)linear_fit({1, 2}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)linear_fit({3, 3, 3}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(PowerLawFit, RecoversExactPowerLaw) {
+  std::vector<double> x, y;
+  for (double xi : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(xi);
+    y.push_back(3.0 * std::pow(xi, 1.5));
+  }
+  const PowerLawFit fit = power_law_fit(x, y);
+  EXPECT_NEAR(fit.exponent, 1.5, 1e-10);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-8);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PowerLawFit, RecoversNegativeExponent) {
+  std::vector<double> x, y;
+  for (double xi : {1.0, 10.0, 100.0, 1000.0}) {
+    x.push_back(xi);
+    y.push_back(7.0 / xi);
+  }
+  const PowerLawFit fit = power_law_fit(x, y);
+  EXPECT_NEAR(fit.exponent, -1.0, 1e-10);
+  EXPECT_NEAR(fit.coefficient, 7.0, 1e-8);
+}
+
+TEST(PowerLawFit, RejectsNonPositiveValues) {
+  EXPECT_THROW((void)power_law_fit({0.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)power_law_fit({1.0, 2.0}, {-1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbb::stats

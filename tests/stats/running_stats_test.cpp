@@ -1,0 +1,87 @@
+#include "bbb/stats/running_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::stats {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleObservation) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4, sample var 32/7.
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats whole, first, second;
+  rng::Engine gen(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng::next_double(gen) * 10.0 - 3.0;
+    whole.add(x);
+    (i < 400 ? first : second).add(x);
+  }
+  first.merge(second);
+  EXPECT_EQ(first.count(), whole.count());
+  EXPECT_NEAR(first.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(first.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(first.min(), whole.min());
+  EXPECT_DOUBLE_EQ(first.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs: adopt rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, large;
+  rng::Engine gen(6);
+  for (int i = 0; i < 10; ++i) small.add(rng::next_double(gen));
+  for (int i = 0; i < 10'000; ++i) large.add(rng::next_double(gen));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  // Classic catastrophic-cancellation case for naive sum-of-squares.
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bbb::stats

@@ -1,0 +1,69 @@
+#include "bbb/stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bbb::stats {
+namespace {
+
+TEST(Gamma, PAndQSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 25.0, 80.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Gamma, KnownExponentialSpecialCase) {
+  // For a = 1, P(1, x) = 1 - exp(-x).
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(Gamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(3.0, 0.0), 1.0);
+  EXPECT_THROW((void)gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)gamma_q(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ChiSquare, KnownCriticalValues) {
+  // Classic table entries: chi2(df=1) upper 5% point = 3.841,
+  // chi2(df=2) sf(x) = exp(-x/2), chi2(df=10) upper 5% = 18.307.
+  EXPECT_NEAR(chi_square_sf(3.841, 1.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_sf(4.0, 2.0), std::exp(-2.0), 1e-10);
+  EXPECT_NEAR(chi_square_sf(18.307, 10.0), 0.05, 2e-4);
+}
+
+TEST(ChiSquare, EdgeBehaviour) {
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_sf(-3.0, 5.0), 1.0);
+  EXPECT_LT(chi_square_sf(1000.0, 5.0), 1e-100);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-4);
+  EXPECT_NEAR(normal_sf(1.6449), 0.05, 1e-4);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double z : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-14);
+    EXPECT_NEAR(normal_sf(z), normal_cdf(-z), 1e-14);
+  }
+}
+
+TEST(LogFactorial, SmallValuesExact) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace bbb::stats

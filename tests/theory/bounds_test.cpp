@@ -1,0 +1,113 @@
+#include "bbb/theory/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bbb/theory/phi_d.hpp"
+
+namespace bbb::theory {
+namespace {
+
+TEST(Harmonic, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(10), 2.9289682539682538, 1e-12);
+  EXPECT_NEAR(harmonic(100), 5.187377517639621, 1e-10);
+}
+
+TEST(Harmonic, AsymptoticContinuity) {
+  // The exact/asymptotic switchover at 10^7 must be seamless.
+  const double below = harmonic(10'000'000ULL);
+  const double above = harmonic(10'000'001ULL);
+  EXPECT_NEAR(above - below, 1e-7, 1e-9);
+}
+
+TEST(CouponCollector, MatchesNHn) {
+  EXPECT_NEAR(coupon_collector_time(100), 100.0 * harmonic(100), 1e-9);
+  EXPECT_GT(coupon_collector_time(1000), 1000.0 * std::log(1000.0));
+}
+
+TEST(OneChoiceBound, RegimesAndValidation) {
+  // m = n regime: log n / log log n.
+  const double light = one_choice_max_load(1024, 1024);
+  EXPECT_NEAR(light, std::log(1024.0) / std::log(std::log(1024.0)), 1e-12);
+  // Heavy regime grows like m/n + sqrt(2 (m/n) ln n).
+  const double heavy = one_choice_max_load(1024 * 100, 1024);
+  EXPECT_GT(heavy, 100.0);
+  EXPECT_THROW((void)one_choice_max_load(10, 1), std::invalid_argument);
+}
+
+TEST(GreedyBound, DecreasesInD) {
+  const double d2 = greedy_d_max_load(1 << 16, 1 << 16, 2);
+  const double d4 = greedy_d_max_load(1 << 16, 1 << 16, 4);
+  EXPECT_GT(d2, d4);
+  EXPECT_THROW((void)greedy_d_max_load(10, 10, 1), std::invalid_argument);
+}
+
+TEST(LeftBound, BeatsGreedyAtSameD) {
+  // ln ln n / (d ln phi_d) < ln ln n / ln d for d >= 2.
+  for (std::uint32_t d : {2u, 3u, 4u, 8u}) {
+    EXPECT_LT(left_d_max_load(1 << 16, 1 << 16, d),
+              greedy_d_max_load(1 << 16, 1 << 16, d))
+        << "d=" << d;
+  }
+}
+
+TEST(PaperBound, CeilPlusOne) {
+  EXPECT_EQ(paper_max_load_bound(100, 10), 11u);
+  EXPECT_EQ(paper_max_load_bound(101, 10), 12u);
+  EXPECT_EQ(paper_max_load_bound(0, 10), 1u);
+  EXPECT_THROW((void)paper_max_load_bound(5, 0), std::invalid_argument);
+}
+
+TEST(ThresholdBound, Form) {
+  EXPECT_DOUBLE_EQ(threshold_overhead_scale(16, 16),
+                   std::pow(16.0, 0.75) * std::pow(16.0, 0.25));
+  EXPECT_DOUBLE_EQ(threshold_time_bound(1000, 10, 0.0), 1000.0);
+  EXPECT_GT(threshold_time_bound(1000, 10, 1.0), 1000.0);
+}
+
+TEST(LogStar, KnownValues) {
+  EXPECT_EQ(log_star(0.5), 0u);
+  EXPECT_EQ(log_star(1.0), 0u);
+  EXPECT_EQ(log_star(2.0), 1u);           // ln 2 ~ 0.69
+  EXPECT_EQ(log_star(std::exp(1.0)), 1u); // ln e = 1 -> stop
+  EXPECT_EQ(log_star(15.0), 2u);          // ln 15 ~ 2.7, ln 2.7 ~ 0.99
+  EXPECT_EQ(log_star(1e6), 3u);           // 13.8 -> 2.6 -> 0.97
+}
+
+TEST(PhiD, GoldenRatioAtTwo) {
+  EXPECT_NEAR(phi_d(2), (1.0 + std::sqrt(5.0)) / 2.0, 1e-12);
+}
+
+TEST(PhiD, MonotoneTowardTwo) {
+  double prev = phi_d(2);
+  for (std::uint32_t d = 3; d <= 20; ++d) {
+    const double cur = phi_d(d);
+    EXPECT_GT(cur, prev);
+    EXPECT_LT(cur, 2.0);
+    prev = cur;
+  }
+  // The paper's Table 1 note: 1.61 <= phi_d < 2.
+  EXPECT_GT(phi_d(2), 1.61);
+  EXPECT_NEAR(phi_d(20), 2.0, 1e-4);
+}
+
+TEST(PhiD, SatisfiesCharacteristicEquation) {
+  for (std::uint32_t d : {2u, 3u, 5u, 10u}) {
+    const double phi = phi_d(d);
+    double rhs = 0.0;
+    for (std::uint32_t k = 0; k < d; ++k) rhs += std::pow(phi, k);
+    EXPECT_NEAR(std::pow(phi, d), rhs, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(PhiD, RejectsDegenerate) {
+  EXPECT_THROW((void)phi_d(0), std::invalid_argument);
+  EXPECT_THROW((void)phi_d(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbb::theory

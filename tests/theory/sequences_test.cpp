@@ -1,0 +1,103 @@
+#include "bbb/theory/sequences.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::theory {
+namespace {
+
+TEST(Convolve, KnownSmallCase) {
+  // (1 + x) * (1 + x) = 1 + 2x + x^2 over coefficient sequences.
+  EXPECT_EQ(convolve({1, 1}, {1, 1}), (std::vector<double>{1, 2, 1}));
+  EXPECT_EQ(convolve({2}, {3, 4}), (std::vector<double>{6, 8}));
+}
+
+TEST(Convolve, Validation) {
+  EXPECT_THROW((void)convolve({}, {1.0}), std::invalid_argument);
+}
+
+TEST(Convolve, PoissonAdditivity) {
+  // Poi(a) * Poi(b) = Poi(a+b): the fact the proof of Lemma 3.2 closes with.
+  const auto pa = poisson_pmf_vector(0.5, 40);
+  const auto pb = poisson_pmf_vector(100.0 / 198.0, 40);
+  const auto conv = convolve(pa, pb);
+  const auto direct = poisson_pmf_vector(0.5 + 100.0 / 198.0, 40);
+  for (std::size_t k = 0; k <= 40; ++k) {
+    EXPECT_NEAR(conv[k], direct[k], 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Majorizes, BasicCases) {
+  // Shifting mass upward makes a sequence majorize the original.
+  EXPECT_TRUE(majorizes({0.0, 0.5, 0.5}, {0.5, 0.25, 0.25}));
+  EXPECT_FALSE(majorizes({0.5, 0.25, 0.25}, {0.0, 0.5, 0.5}));
+  // Every sequence majorizes itself.
+  EXPECT_TRUE(majorizes({0.2, 0.3, 0.5}, {0.2, 0.3, 0.5}));
+}
+
+TEST(Majorizes, HandlesUnequalLengths) {
+  EXPECT_TRUE(majorizes({0.0, 0.0, 1.0}, {1.0}));
+  EXPECT_FALSE(majorizes({1.0}, {0.0, 0.0, 1.0}));
+}
+
+TEST(IsNonincreasing, Cases) {
+  EXPECT_TRUE(is_nonincreasing({3.0, 2.0, 2.0, 1.0}));
+  EXPECT_FALSE(is_nonincreasing({1.0, 2.0}));
+  EXPECT_TRUE(is_nonincreasing({}));
+  EXPECT_TRUE(is_nonincreasing({5.0}));
+}
+
+TEST(PoissonPmfVector, SumsToNearlyOne) {
+  const auto pmf = poisson_pmf_vector(3.0, 40);
+  const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+// Lemma A.1 of the paper: if p majorizes q and r is non-increasing then
+// sum p_k r_k <= sum q_k r_k. Property-tested over random instances: build
+// q, derive p by moving probability mass upward (which makes p majorize q),
+// pick a random non-increasing r, and check the dominance inequality.
+class LemmaA1PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LemmaA1PropertyTest, DominanceInequalityHolds) {
+  rng::Engine gen(GetParam());
+  constexpr std::size_t kLen = 12;
+
+  // Random distribution q.
+  std::vector<double> q(kLen);
+  double total = 0;
+  for (auto& v : q) {
+    v = rng::next_double_nonzero(gen);
+    total += v;
+  }
+  for (auto& v : q) v /= total;
+
+  // p = q with random upward mass moves.
+  std::vector<double> p = q;
+  for (int moves = 0; moves < 6; ++moves) {
+    const auto i = static_cast<std::size_t>(rng::uniform_below(gen, kLen - 1));
+    const auto j = i + 1 + rng::uniform_below(gen, kLen - 1 - i);
+    const double amount = p[i] * rng::next_double(gen);
+    p[i] -= amount;
+    p[j] += amount;
+  }
+  ASSERT_TRUE(majorizes(p, q));
+
+  // Random non-increasing r via sorted uniforms.
+  std::vector<double> r(kLen);
+  for (auto& v : r) v = rng::next_double(gen);
+  std::sort(r.begin(), r.end(), std::greater<>());
+  ASSERT_TRUE(is_nonincreasing(r));
+
+  EXPECT_LE(dot(p, r), dot(q, r) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LemmaA1PropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace bbb::theory

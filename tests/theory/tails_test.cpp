@@ -1,0 +1,106 @@
+#include "bbb/theory/tails.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bbb/rng/distributions.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::theory {
+namespace {
+
+TEST(Tails, AllBoundsAreProbabilities) {
+  for (double mu : {1.0, 10.0, 100.0}) {
+    for (double eps : {0.1, 0.5, 1.0}) {
+      const double lo = poisson_lower_tail_bound(mu, eps);
+      const double hi = poisson_upper_tail_bound(mu, eps);
+      EXPECT_GE(lo, 0.0);
+      EXPECT_LE(lo, 1.0);
+      EXPECT_GE(hi, 0.0);
+      EXPECT_LE(hi, 1.0);
+    }
+  }
+}
+
+TEST(Tails, Validation) {
+  EXPECT_THROW((void)poisson_lower_tail_bound(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)poisson_lower_tail_bound(1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)poisson_upper_tail_bound(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)hoeffding_bound(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)hoeffding_bound(5, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)geometric_sum_tail_bound(0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)binomial_upper_tail_bound(5, 0.0, 0.5), std::invalid_argument);
+}
+
+TEST(Tails, BoundsShrinkWithDeviation) {
+  EXPECT_GT(poisson_upper_tail_bound(50.0, 0.1), poisson_upper_tail_bound(50.0, 0.5));
+  EXPECT_GT(poisson_lower_tail_bound(50.0, 0.1), poisson_lower_tail_bound(50.0, 0.5));
+  EXPECT_GT(hoeffding_bound(100, 1.0), hoeffding_bound(100, 10.0));
+}
+
+// The bounds must dominate the empirical tails of our own Poisson sampler —
+// this is how the paper's proofs consume Theorem A.4, and it cross-checks
+// sampler and bound against each other.
+class PoissonTailDominanceTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PoissonTailDominanceTest, UpperBoundDominatesEmpirical) {
+  const auto [mu, eps] = GetParam();
+  rng::Engine gen(static_cast<std::uint64_t>(mu * 100 + eps * 10));
+  rng::PoissonDist dist(mu);
+  constexpr int kSamples = 40'000;
+  int upper_hits = 0, lower_hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = static_cast<double>(dist(gen));
+    if (x >= (1.0 + eps) * mu) ++upper_hits;
+    if (x <= (1.0 - eps) * mu) ++lower_hits;
+  }
+  const double emp_upper = static_cast<double>(upper_hits) / kSamples;
+  const double emp_lower = static_cast<double>(lower_hits) / kSamples;
+  // Allow 3-sigma sampling slack on the empirical side.
+  const double slack = 3.0 * std::sqrt(0.25 / kSamples);
+  EXPECT_LE(emp_upper, poisson_upper_tail_bound(mu, eps) + slack);
+  EXPECT_LE(emp_lower, poisson_lower_tail_bound(mu, eps) + slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MuEpsGrid, PoissonTailDominanceTest,
+    ::testing::Values(std::pair{20.0, 0.2}, std::pair{20.0, 0.5},
+                      std::pair{100.0, 0.1}, std::pair{100.0, 0.3},
+                      std::pair{400.0, 0.1}));
+
+TEST(Tails, GeometricSumBoundDominatesEmpirical) {
+  // Sum of n geometrics with p = 0.5, mean 2n; check P[X >= 1.3 * 2n].
+  constexpr std::uint64_t n = 200;
+  constexpr double eps = 0.3;
+  rng::Engine gen(77);
+  rng::GeometricDist dist(0.5);
+  constexpr int kTrials = 20'000;
+  int hits = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < n; ++i) sum += dist(gen);
+    if (static_cast<double>(sum) >= (1.0 + eps) * 2.0 * n) ++hits;
+  }
+  const double emp = static_cast<double>(hits) / kTrials;
+  EXPECT_LE(emp, geometric_sum_tail_bound(n, eps) + 0.01);
+}
+
+TEST(Tails, HoeffdingDominatesEmpiricalCoinFlips) {
+  constexpr std::uint64_t n = 400;
+  rng::Engine gen(88);
+  constexpr int kTrials = 20'000;
+  const double lambda = 30.0;
+  int hits = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    int sum = 0;
+    for (std::uint64_t i = 0; i < n; ++i) sum += static_cast<int>(gen() & 1u);
+    if (std::abs(sum - 200.0) >= lambda) ++hits;
+  }
+  const double emp = static_cast<double>(hits) / kTrials;
+  EXPECT_LE(emp, hoeffding_bound(n, lambda) + 0.01);
+}
+
+}  // namespace
+}  // namespace bbb::theory
