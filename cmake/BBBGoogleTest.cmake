@@ -1,0 +1,36 @@
+# Provide GTest::gtest_main, preferring an installed GoogleTest and falling
+# back to FetchContent when none is found (requires network on first
+# configure). Either path yields the same imported targets, so test
+# CMakeLists stay agnostic of the source.
+
+# Probe the distro's install location first: on mixed machines a conda or
+# homebrew GTest earlier in the prefix path can shadow it with an older,
+# differently-compiled build.
+find_package(GTest CONFIG QUIET
+  PATHS /usr/lib/x86_64-linux-gnu/cmake/GTest /usr/lib/cmake/GTest /usr/lib64/cmake/GTest
+  NO_DEFAULT_PATH)
+if(NOT TARGET GTest::gtest_main)
+  find_package(GTest CONFIG QUIET)
+endif()
+
+if(NOT TARGET GTest::gtest_main)
+  message(STATUS "System GoogleTest not found; fetching v1.14.0 via FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  # Keep gmock out of the build; the suites use plain gtest.
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+else()
+  message(STATUS "Using system GoogleTest: ${GTest_DIR}")
+endif()
+
+include(GoogleTest)

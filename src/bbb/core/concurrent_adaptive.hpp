@@ -20,6 +20,16 @@
 ///
 /// The load array uses one cache line per counter group; this simulator is
 /// about correctness under concurrency, not about NUMA placement.
+///
+/// Notation: n bins fixed at construction; with i = balls(), the next
+/// placement is the paper's ball i+1, and a bin accepts it iff its load is
+/// at most floor(i/n) + 1 = ceil((i+1)/n) — the integer form of the
+/// Figure 1 rule "load < (i+1)/n + 1" at slack 1.
+///
+/// Invariants (checked in tests/core/concurrent_adaptive_test.cpp):
+///   * sum of loads_snapshot() == balls() once all placers have returned;
+///   * max load <= ceil(balls()/n) + 1 under any interleaving;
+///   * probes() >= balls().
 
 #include <atomic>
 #include <cstdint>

@@ -3,6 +3,14 @@
 /// The bin-load state shared by every allocator: n bins, each holding a
 /// count of balls. Kept deliberately small — protocol hot loops touch this
 /// through inline accessors only.
+///
+/// Notation: this is the paper's load vector l = (l_1, ..., l_n) after t
+/// placements; `balls()` is t, `average()` is t/n (the centering used by
+/// the potentials Ψ and Φ in metrics.hpp).
+///
+/// Invariant: balls() == sum of load(i) over all bins at every point where
+/// control is outside add_ball/remove_ball — both mutators update a load
+/// and the ball count together.
 
 #include <cstdint>
 #include <vector>

@@ -8,6 +8,16 @@
 /// plus max/min/gap, hole counts, and the load histogram. Phi can reach
 /// 2^Omega(n^{1/8}) for threshold at m = n^2 (Lemma 4.2), so we also expose
 /// a log-domain evaluation that cannot overflow.
+///
+/// Notation: l_i is the load of bin i after t of the m balls have been
+/// placed into the n bins; every function takes the load span plus `balls`
+/// (= t) so potentials center on the exact average t/n. gap = max_i l_i -
+/// min_i l_i — Corollary 3.5 bounds it by O(log n) for adaptive.
+///
+/// Invariants: Psi >= 0 with equality iff all loads equal t/n; Phi >= n
+/// (the exponents sum to 2n, so by convexity Phi >= n(1+eps)^2 > n);
+/// log_exponential_potential == log(exponential_potential) whenever the
+/// latter is finite.
 
 #include <cstdint>
 #include <span>

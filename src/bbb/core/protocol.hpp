@@ -8,6 +8,20 @@
 ///    ball) — what an application embeds;
 ///  * `Protocol` (this file) — type-erased batch interface the simulator
 ///    sweeps over: `run(m, n, gen)` allocates m balls into n fresh bins.
+///
+/// Notation (Section 2 of the paper): m balls, n bins, average load m/n;
+/// `AllocationResult::probes` is the paper's *allocation time* — the total
+/// number of random bin choices drawn, the cost measure of Theorems 3.1
+/// and 4.1.
+///
+/// Invariants every implementation upholds (property-tested across all
+/// protocols in tests/protocols/invariants_test.cpp):
+///   * loads.size() == n and sum(loads) == balls;
+///   * balls == m whenever completed is true;
+///   * probes >= balls for probing protocols (each placement consumes at
+///     least one random choice);
+///   * run() is const and state-free between calls — identical (m, n,
+///     engine state) triples reproduce identical results.
 
 #include <cstdint>
 #include <memory>
