@@ -1,0 +1,79 @@
+/// bench_dyn_supermarket — the supermarket model in equilibrium (Luczak &
+/// McDiarmid, "On the power of two choices: balls and bins in continuous
+/// time"): Poisson arrivals at rate lambda*n, unit-rate FIFO servers.
+/// The stationary fraction of bins with load >= k is lambda^k for
+/// one-choice (M/M/1) but lambda^((d^k - 1)/(d - 1)) for greedy[d] with
+/// d >= 2 — a doubly-exponential tail. This is the dynamic face of the
+/// power of two choices: the measured steady-state occupancy of the
+/// streaming engine is printed next to the fixed-point prediction.
+///
+///   $ ./bench_dyn_supermarket --lambda=90 --n=4096
+
+#include <string>
+
+#include "bbb/dyn/engine.hpp"
+#include "bbb/theory/bounds.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  bbb::io::ArgParser args("bench_dyn_supermarket",
+                          "supermarket-model tails: measured vs fixed point");
+  args.add_flag("n", std::uint64_t{4096}, "bins (servers)");
+  args.add_flag("lambda", std::uint64_t{90}, "arrival rate lambda*100 (0 < l < 100)");
+  args.add_flag("events", std::uint64_t{0}, "measured events (0 = 192n)");
+  args.add_flag("warmup", std::uint64_t{0}, "burn-in events (0 = 384n)");
+  args.add_flag("kmax", std::uint64_t{8}, "report tails for k = 0..kmax");
+  bbb::bench::add_common_flags(args, 4);
+  if (!args.parse(argc, argv)) return 0;
+  const auto flags = bbb::bench::read_common_flags(args);
+  const auto n = static_cast<std::uint32_t>(args.get_u64("n"));
+  const double lambda = static_cast<double>(args.get_u64("lambda")) / 100.0;
+  const auto kmax = static_cast<std::uint32_t>(args.get_u64("kmax"));
+
+  bbb::bench::print_header(
+      "Supermarket model (Luczak-McDiarmid)",
+      "stationary frac(load >= k): lambda^k for d=1, "
+      "lambda^((d^k-1)/(d-1)) for d=2 — doubly exponential");
+
+  bbb::dyn::DynConfig cfg;
+  cfg.workload_spec = "supermarket[" + std::to_string(args.get_u64("lambda")) + "]";
+  cfg.n = n;
+  // The M/M/1 column relaxes on a 1/(1-lambda)^2 timescale (~100 time
+  // units at lambda = 0.9, ~1.9n events per unit), so burn in generously.
+  cfg.events = args.get_u64("events") != 0 ? args.get_u64("events") : 192ULL * n;
+  cfg.warmup = args.get_u64("warmup") != 0 ? args.get_u64("warmup") : 384ULL * n;
+  cfg.stride = cfg.events;  // summary only; no trajectory needed here
+  cfg.tail_max = kmax;
+  cfg.replicates = flags.reps;
+  cfg.seed = flags.seed;
+
+  bbb::par::ThreadPool pool(flags.threads);
+  cfg.allocator_spec = "one-choice";
+  const bbb::dyn::DynSummary one = bbb::dyn::run_dynamic(cfg, pool);
+  cfg.allocator_spec = "greedy[2]";
+  const bbb::dyn::DynSummary two = bbb::dyn::run_dynamic(cfg, pool);
+
+  bbb::io::Table table({"k", "d=1 measured", "d=1 predicted", "d=2 measured",
+                        "d=2 predicted"});
+  table.set_title("frac(load >= k), lambda = " + std::to_string(lambda) +
+                  ", n = " + std::to_string(n) + ", " +
+                  std::to_string(flags.reps) + " replicates");
+  for (std::uint32_t k = 0; k <= kmax; ++k) {
+    table.begin_row();
+    table.add_int(k);
+    table.add_num(one.tail[k].mean(), 6);
+    table.add_num(bbb::theory::supermarket_tail_fixed_point(lambda, 1, k), 6);
+    table.add_num(two.tail[k].mean(), 6);
+    table.add_num(bbb::theory::supermarket_tail_fixed_point(lambda, 2, k), 6);
+  }
+  std::fputs(table.render(flags.format).c_str(), stdout);
+
+  std::printf("\nsteady state: d=1 holds %.0f balls (M/M/1 mean %.0f), "
+              "d=2 holds %.0f; mean max load %.1f vs %.1f\n",
+              one.balls.mean(), lambda / (1.0 - lambda) * n, two.balls.mean(),
+              one.max_load.mean(), two.max_load.mean());
+  std::puts("expected shape: the d=1 column decays geometrically while the d=2");
+  std::puts("column collapses doubly exponentially — two choices keep queues short");
+  std::puts("under sustained traffic, not just in one-shot allocation.");
+  return 0;
+}

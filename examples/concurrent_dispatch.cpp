@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
 
   const auto loads = dispatcher.loads_snapshot();
   const auto metrics = bbb::core::compute_metrics(loads, dispatcher.balls());
-  const std::uint32_t bound = bbb::core::ceil_div(jobs, servers) + 1;
+  const auto bound = static_cast<std::uint32_t>(bbb::core::ceil_div(jobs, servers) + 1);
 
   std::printf("%u threads dispatched %llu jobs to %u servers in %.3f s "
               "(%.1f M jobs/s)\n",

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   const auto m = args.get_u64("keys");
   const auto n = static_cast<std::uint32_t>(args.get_u64("buckets"));
   const auto seed = args.get_u64("seed");
-  const std::uint32_t bound = bbb::core::ceil_div(m, n) + 1;
+  const auto bound = static_cast<std::uint32_t>(bbb::core::ceil_div(m, n) + 1);
 
   std::printf("building hash tables: %llu keys, %u buckets (avg %.2f/bucket)\n\n",
               static_cast<unsigned long long>(m), n,

@@ -26,8 +26,8 @@ int main() {
 
   std::printf("adaptive: %llu balls -> %u bins\n",
               static_cast<unsigned long long>(m), n);
-  std::printf("  max load        : %u  (guarantee: ceil(m/n)+1 = %u)\n", metrics.max,
-              bbb::core::ceil_div(m, n) + 1);
+  std::printf("  max load        : %u  (guarantee: ceil(m/n)+1 = %llu)\n", metrics.max,
+              static_cast<unsigned long long>(bbb::core::ceil_div(m, n) + 1));
   std::printf("  min load        : %u  (gap %u, Corollary 3.5: O(log n))\n",
               metrics.min, metrics.gap);
   std::printf("  allocation time : %llu probes = %.3f per ball (Theorem 3.1: O(m))\n",

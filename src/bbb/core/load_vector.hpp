@@ -36,7 +36,9 @@ class LoadVector {
     --balls_;
   }
 
-  [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept { return loads_[bin]; }
+  [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept {
+    return loads_[bin];
+  }
   [[nodiscard]] std::uint32_t n() const noexcept {
     return static_cast<std::uint32_t>(loads_.size());
   }
@@ -47,7 +49,9 @@ class LoadVector {
     return static_cast<double>(balls_) / static_cast<double>(loads_.size());
   }
 
-  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept { return loads_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept {
+    return loads_;
+  }
 
   /// Reset all loads to zero.
   void clear() noexcept;

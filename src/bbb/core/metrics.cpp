@@ -55,7 +55,8 @@ double exponential_potential(std::span<const std::uint32_t> loads, std::uint64_t
   return acc;
 }
 
-double log_exponential_potential(std::span<const std::uint32_t> loads, std::uint64_t balls,
+double log_exponential_potential(std::span<const std::uint32_t> loads,
+                                 std::uint64_t balls,
                                  double eps) {
   require_nonempty(loads, "log_exponential_potential");
   const double avg =

@@ -1,0 +1,63 @@
+#pragma once
+/// \file probe.hpp
+/// The two probe loops every uniform-probing protocol in the library
+/// shares, extracted so the batch allocators (core/protocols/) and the
+/// streaming allocators (dyn/) consume randomness through the *same*
+/// code. The dyn layer advertises bit-for-bit equivalence with the batch
+/// protocols on arrivals-only streams (tests/dyn/batch_equivalence_test);
+/// sharing these loops makes that lockstep structural rather than a
+/// convention two copies must maintain by hand.
+///
+/// Both helpers draw from the engine in a fixed order (one uniform_below
+/// per probe, plus one per tie for the reservoir tie-break). Any change to
+/// that order breaks the adaptive/threshold load pins at the bottom of
+/// tests/rng/golden_test.cpp and the streaming-vs-batch pins in
+/// tests/dyn/batch_equivalence_test.cpp — loudly.
+
+#include <cstdint>
+
+#include "bbb/rng/engine.hpp"
+
+namespace bbb::core {
+
+/// Sample uniform bins until `accept(bin)` holds; returns the accepted bin
+/// and adds one to `probes` per sample. The caller guarantees some bin is
+/// acceptable (every threshold/adaptive termination argument lives at the
+/// call site).
+template <rng::Engine64 Engine, typename AcceptFn>
+std::uint32_t probe_until(Engine& gen, std::uint32_t n, std::uint64_t& probes,
+                          AcceptFn&& accept) {
+  for (;;) {
+    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    ++probes;
+    if (accept(bin)) return bin;
+  }
+}
+
+/// greedy[d] candidate scan: d uniform candidates with replacement, the
+/// least loaded wins, ties broken uniformly at random among the tied
+/// candidates (reservoir style — one extra draw per tie). Adds exactly d
+/// to `probes`.
+template <rng::Engine64 Engine, typename LoadFn>
+std::uint32_t least_loaded_of(Engine& gen, std::uint32_t n, std::uint32_t d,
+                              std::uint64_t& probes, LoadFn&& load) {
+  auto best = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+  std::uint32_t best_load = load(best);
+  std::uint32_t ties = 1;  // candidates seen with the current best load
+  for (std::uint32_t j = 1; j < d; ++j) {
+    const auto c = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    const std::uint32_t l = load(c);
+    if (l < best_load) {
+      best = c;
+      best_load = l;
+      ties = 1;
+    } else if (l == best_load) {
+      ++ties;
+      if (rng::uniform_below(gen, ties) == 0) best = c;
+    }
+  }
+  probes += d;
+  return best;
+}
+
+}  // namespace bbb::core

@@ -60,9 +60,12 @@ class Protocol {
 
 /// ceil(m/n) in exact integer arithmetic — the quantity the paper's
 /// thresholds compare against (`load < i/n + 1` over integers is
-/// `load <= ceil(i/n)`).
-[[nodiscard]] constexpr std::uint32_t ceil_div(std::uint64_t m, std::uint32_t n) noexcept {
-  return static_cast<std::uint32_t>((m + n - 1) / n);
+/// `load <= ceil(i/n)`). Formulated without the textbook `(m + n - 1) / n`,
+/// which wraps for m near UINT64_MAX; exact over the full uint64 domain
+/// (boundary-tested in tests/core/protocol_test.cpp).
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t m,
+                                               std::uint32_t n) noexcept {
+  return m / n + (m % n != 0 ? 1 : 0);
 }
 
 /// Shared argument validation for run() implementations.

@@ -1,5 +1,7 @@
 #include "bbb/core/protocols/adaptive.hpp"
 
+#include "bbb/core/probe.hpp"
+
 namespace bbb::core {
 
 AdaptiveAllocator::AdaptiveAllocator(std::uint32_t n, std::uint32_t slack)
@@ -11,19 +13,15 @@ AdaptiveAllocator::AdaptiveAllocator(std::uint32_t n, std::uint32_t slack)
 
 std::uint32_t AdaptiveAllocator::place(rng::Engine& gen) {
   const std::uint32_t n = state_.n();
-  for (;;) {
-    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
-    ++probes_;
-    if (state_.load(bin) <= bound_) {
-      state_.add_ball(bin);
-      // ceil(i/n) bumps by one each time a full stage of n balls completes.
-      if (++stage_fill_ == n) {
-        stage_fill_ = 0;
-        ++bound_;
-      }
-      return bin;
-    }
+  const std::uint32_t bin = probe_until(
+      gen, n, probes_, [this](std::uint32_t b) { return state_.load(b) <= bound_; });
+  state_.add_ball(bin);
+  // ceil(i/n) bumps by one each time a full stage of n balls completes.
+  if (++stage_fill_ == n) {
+    stage_fill_ = 0;
+    ++bound_;
   }
+  return bin;
 }
 
 AdaptiveProtocol::AdaptiveProtocol(std::uint32_t slack) : slack_(slack) {}

@@ -63,7 +63,8 @@ bool CuckooTable::insert(rng::Engine& gen) {
 
 CuckooProtocol::CuckooProtocol(CuckooTable::Params params) : params_(params) {
   if (params_.d == 0 || params_.bucket_size == 0 || params_.max_kicks == 0) {
-    throw std::invalid_argument("CuckooProtocol: d/bucket_size/max_kicks must be positive");
+    throw std::invalid_argument(
+        "CuckooProtocol: d/bucket_size/max_kicks must be positive");
   }
 }
 

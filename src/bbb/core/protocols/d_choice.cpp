@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "bbb/core/probe.hpp"
+
 namespace bbb::core {
 
 DChoiceAllocator::DChoiceAllocator(std::uint32_t n, std::uint32_t d) : state_(n), d_(d) {
@@ -9,25 +11,8 @@ DChoiceAllocator::DChoiceAllocator(std::uint32_t n, std::uint32_t d) : state_(n)
 }
 
 std::uint32_t DChoiceAllocator::place(rng::Engine& gen) {
-  const std::uint32_t n = state_.n();
-  // First candidate.
-  auto best = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
-  std::uint32_t best_load = state_.load(best);
-  std::uint32_t ties = 1;  // candidates seen with the current best load
-  for (std::uint32_t j = 1; j < d_; ++j) {
-    const auto c = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
-    const std::uint32_t l = state_.load(c);
-    if (l < best_load) {
-      best = c;
-      best_load = l;
-      ties = 1;
-    } else if (l == best_load) {
-      // Reservoir-style uniform tie-break across all tied candidates.
-      ++ties;
-      if (rng::uniform_below(gen, ties) == 0) best = c;
-    }
-  }
-  probes_ += d_;
+  const std::uint32_t best = least_loaded_of(
+      gen, state_.n(), d_, probes_, [this](std::uint32_t b) { return state_.load(b); });
   state_.add_ball(best);
   return best;
 }

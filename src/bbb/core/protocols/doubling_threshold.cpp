@@ -2,12 +2,14 @@
 
 #include <stdexcept>
 
+#include "bbb/core/probe.hpp"
+
 namespace bbb::core {
 
 DoublingThresholdAllocator::DoublingThresholdAllocator(std::uint32_t n,
                                                        std::uint64_t initial_guess)
     : state_(n), guess_(initial_guess == 0 ? n : initial_guess) {
-  bound_ = ceil_div(guess_, n);
+  bound_ = static_cast<std::uint32_t>(ceil_div(guess_, n));
 }
 
 std::uint32_t DoublingThresholdAllocator::place(rng::Engine& gen) {
@@ -15,16 +17,12 @@ std::uint32_t DoublingThresholdAllocator::place(rng::Engine& gen) {
   // Guess exhausted: double and recompute the bound before placing.
   while (state_.balls() >= guess_) {
     guess_ *= 2;
-    bound_ = ceil_div(guess_, n);
+    bound_ = static_cast<std::uint32_t>(ceil_div(guess_, n));
   }
-  for (;;) {
-    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
-    ++probes_;
-    if (state_.load(bin) <= bound_) {
-      state_.add_ball(bin);
-      return bin;
-    }
-  }
+  const std::uint32_t bin = probe_until(
+      gen, n, probes_, [this](std::uint32_t b) { return state_.load(b) <= bound_; });
+  state_.add_ball(bin);
+  return bin;
 }
 
 DoublingThresholdProtocol::DoublingThresholdProtocol(std::uint64_t initial_guess)

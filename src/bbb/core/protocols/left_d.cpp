@@ -9,13 +9,15 @@ LeftDAllocator::LeftDAllocator(std::uint32_t n, std::uint32_t d) : state_(n), d_
   if (d > n) throw std::invalid_argument("LeftDAllocator: d must be <= n");
 }
 
-std::pair<std::uint32_t, std::uint32_t> LeftDAllocator::group_range(std::uint32_t g) const {
+std::pair<std::uint32_t, std::uint32_t> LeftDAllocator::group_range(
+    std::uint32_t g) const {
   if (g >= d_) throw std::invalid_argument("LeftDAllocator: group out of range");
   // Group g covers [g*n/d, (g+1)*n/d) with 64-bit intermediate products, so
   // group sizes differ by at most one bin.
   const std::uint64_t n = state_.n();
   const auto first = static_cast<std::uint32_t>(g * n / d_);
-  const auto last = static_cast<std::uint32_t>((static_cast<std::uint64_t>(g) + 1) * n / d_);
+  const auto last =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(g) + 1) * n / d_);
   return {first, last};
 }
 

@@ -27,7 +27,8 @@ class LeftDAllocator {
   [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
 
   /// Half-open bin range [first, last) of group g (for tests).
-  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> group_range(std::uint32_t g) const;
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> group_range(
+      std::uint32_t g) const;
 
  private:
   LoadVector state_;

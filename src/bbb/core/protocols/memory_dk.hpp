@@ -29,7 +29,9 @@ class MemoryDKAllocator {
   /// Fresh random probes only (memory lookups are free).
   [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
   /// Currently remembered bins (size <= k; empty before the first ball).
-  [[nodiscard]] const std::vector<std::uint32_t>& memory() const noexcept { return memory_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& memory() const noexcept {
+    return memory_;
+  }
 
  private:
   LoadVector state_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "bbb/core/spec.hpp"
+
 #include "bbb/core/protocols/adaptive.hpp"
 #include "bbb/core/protocols/batched.hpp"
 #include "bbb/core/protocols/cuckoo.hpp"
@@ -19,64 +21,21 @@ namespace bbb::core {
 
 namespace {
 
-// Split "name[a,b]" into name and integer args. "name" alone gives no args.
-struct Spec {
-  std::string name;
-  std::vector<std::uint64_t> args;
-};
+constexpr const char* kKind = "protocol";
 
-Spec parse_spec(const std::string& spec) {
-  Spec out;
-  const auto bracket = spec.find('[');
-  if (bracket == std::string::npos) {
-    out.name = spec;
-    return out;
-  }
-  if (spec.back() != ']') {
-    throw std::invalid_argument("protocol spec '" + spec + "': missing ']'");
-  }
-  out.name = spec.substr(0, bracket);
-  std::string args = spec.substr(bracket + 1, spec.size() - bracket - 2);
-  std::size_t pos = 0;
-  while (pos < args.size()) {
-    const auto comma = args.find(',', pos);
-    const std::string tok =
-        args.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    try {
-      std::size_t used = 0;
-      out.args.push_back(std::stoull(tok, &used));
-      if (used != tok.size()) throw std::invalid_argument("junk");
-    } catch (const std::exception&) {
-      throw std::invalid_argument("protocol spec '" + spec + "': bad integer '" + tok +
-                                  "'");
-    }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
-std::uint32_t arg_at(const Spec& s, std::size_t i, const std::string& spec) {
-  if (i >= s.args.size()) {
-    throw std::invalid_argument("protocol spec '" + spec + "': missing argument " +
-                                std::to_string(i + 1));
-  }
-  return static_cast<std::uint32_t>(s.args[i]);
+std::uint32_t arg_at(const ParsedSpec& s, std::size_t i, const std::string& spec) {
+  return spec_arg_u32(s, i, spec, kKind);
 }
 
 // The slack-style specs accept zero or one argument.
-std::uint32_t optional_slack(const Spec& s, const std::string& spec) {
-  if (s.args.empty()) return 1;
-  if (s.args.size() > 1) {
-    throw std::invalid_argument("protocol spec '" + spec + "': too many arguments");
-  }
-  return static_cast<std::uint32_t>(s.args[0]);
+std::uint32_t optional_slack(const ParsedSpec& s, const std::string& spec) {
+  return spec_optional_arg_u32(s, 1, spec, kKind);
 }
 
 }  // namespace
 
 std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
-  const Spec s = parse_spec(spec);
+  const ParsedSpec s = parse_spec(spec, kKind);
   if (s.name == "one-choice") {
     if (!s.args.empty()) {
       throw std::invalid_argument("protocol spec '" + spec + "': takes no arguments");

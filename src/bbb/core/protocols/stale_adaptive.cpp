@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "bbb/core/probe.hpp"
+
 namespace bbb::core {
 
 StaleAdaptiveAllocator::StaleAdaptiveAllocator(std::uint32_t n, std::uint32_t delta)
@@ -18,20 +20,16 @@ StaleAdaptiveAllocator::StaleAdaptiveAllocator(std::uint32_t n, std::uint32_t de
 
 std::uint32_t StaleAdaptiveAllocator::place(rng::Engine& gen) {
   const std::uint32_t n = state_.n();
-  for (;;) {
-    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
-    ++probes_;
-    if (state_.load(bin) <= bound_) {
-      state_.add_ball(bin);
-      if (state_.balls() - published_ >= delta_) {
-        published_ = state_.balls();
-        // Bound for the next ball under the published count p:
-        // ceil((p+1)/n) = p/n + 1 in integer arithmetic.
-        bound_ = static_cast<std::uint32_t>(published_ / n) + 1;
-      }
-      return bin;
-    }
+  const std::uint32_t bin = probe_until(
+      gen, n, probes_, [this](std::uint32_t b) { return state_.load(b) <= bound_; });
+  state_.add_ball(bin);
+  if (state_.balls() - published_ >= delta_) {
+    published_ = state_.balls();
+    // Bound for the next ball under the published count p:
+    // ceil((p+1)/n) = p/n + 1 in integer arithmetic.
+    bound_ = static_cast<std::uint32_t>(published_ / n) + 1;
   }
+  return bin;
 }
 
 StaleAdaptiveProtocol::StaleAdaptiveProtocol(std::uint32_t delta) : delta_(delta) {

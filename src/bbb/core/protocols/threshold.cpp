@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "bbb/core/probe.hpp"
+
 namespace bbb::core {
 
 ThresholdAllocator::ThresholdAllocator(std::uint32_t n, std::uint64_t m,
@@ -17,7 +19,7 @@ ThresholdAllocator::ThresholdAllocator(std::uint32_t n, std::uint64_t m,
   if (slack == 0 && m == 0) {
     throw std::invalid_argument("ThresholdAllocator: slack 0 needs m > 0");
   }
-  const std::uint32_t base = ceil_div(m, n);
+  const auto base = static_cast<std::uint32_t>(ceil_div(m, n));
   bound_ = slack == 0 ? (base == 0 ? 0 : base - 1) : base + (slack - 1);
 }
 
@@ -25,15 +27,11 @@ std::uint32_t ThresholdAllocator::place(rng::Engine& gen) {
   if (state_.balls() >= m_) {
     throw std::logic_error("ThresholdAllocator: all m balls already placed");
   }
-  const std::uint32_t n = state_.n();
-  for (;;) {
-    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
-    ++probes_;
-    if (state_.load(bin) <= bound_) {
-      state_.add_ball(bin);
-      return bin;
-    }
-  }
+  const std::uint32_t bin =
+      probe_until(gen, state_.n(), probes_,
+                  [this](std::uint32_t b) { return state_.load(b) <= bound_; });
+  state_.add_ball(bin);
+  return bin;
 }
 
 ThresholdProtocol::ThresholdProtocol(std::uint32_t slack) : slack_(slack) {}

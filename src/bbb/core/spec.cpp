@@ -1,0 +1,85 @@
+#include "bbb/core/spec.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace bbb::core {
+
+ParsedSpec parse_spec(const std::string& spec, const std::string& kind) {
+  ParsedSpec out;
+  const auto bracket = spec.find('[');
+  if (bracket == std::string::npos) {
+    out.name = spec;
+    return out;
+  }
+  if (spec.back() != ']') {
+    throw std::invalid_argument(kind + " spec '" + spec + "': missing ']'");
+  }
+  out.name = spec.substr(0, bracket);
+  const std::string args = spec.substr(bracket + 1, spec.size() - bracket - 2);
+  std::size_t pos = 0;
+  while (pos < args.size()) {
+    const auto comma = args.find(',', pos);
+    const std::string tok =
+        args.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    // Digits only: stoull would happily wrap "-1" to 2^64 - 1 and accept
+    // leading whitespace or '+', all of which should read as malformed.
+    if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument(kind + " spec '" + spec + "': bad integer '" + tok +
+                                  "'");
+    }
+    try {
+      out.args.push_back(std::stoull(tok));
+    } catch (const std::exception&) {  // out_of_range for values >= 2^64
+      throw std::invalid_argument(kind + " spec '" + spec + "': bad integer '" + tok +
+                                  "'");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+    // A trailing comma ("greedy[2,]") promises another argument that never
+    // comes; interior empty tokens are caught by the digits check above.
+    if (pos == args.size()) {
+      throw std::invalid_argument(kind + " spec '" + spec + "': bad integer ''");
+    }
+  }
+  return out;
+}
+
+std::uint64_t spec_arg(const ParsedSpec& parsed, std::size_t i, const std::string& spec,
+                       const std::string& kind) {
+  if (i >= parsed.args.size()) {
+    throw std::invalid_argument(kind + " spec '" + spec + "': missing argument " +
+                                std::to_string(i + 1));
+  }
+  return parsed.args[i];
+}
+
+std::uint64_t spec_optional_arg(const ParsedSpec& parsed, std::uint64_t fallback,
+                                const std::string& spec, const std::string& kind) {
+  if (parsed.args.empty()) return fallback;
+  if (parsed.args.size() > 1) {
+    throw std::invalid_argument(kind + " spec '" + spec + "': too many arguments");
+  }
+  return parsed.args[0];
+}
+
+std::uint32_t spec_arg_u32(const ParsedSpec& parsed, std::size_t i,
+                           const std::string& spec, const std::string& kind) {
+  const std::uint64_t v = spec_arg(parsed, i, spec, kind);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(kind + " spec '" + spec + "': argument " +
+                                std::to_string(i + 1) + " out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint32_t spec_optional_arg_u32(const ParsedSpec& parsed, std::uint32_t fallback,
+                                    const std::string& spec, const std::string& kind) {
+  const std::uint64_t v = spec_optional_arg(parsed, fallback, spec, kind);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(kind + " spec '" + spec + "': argument out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace bbb::core

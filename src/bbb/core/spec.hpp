@@ -1,0 +1,54 @@
+#pragma once
+/// \file spec.hpp
+/// The shared "name[a,b,...]" spec-string grammar used by every registry
+/// in the library: batch protocols (core/protocols/registry.hpp),
+/// streaming allocators and workloads (dyn/). One parser, one error
+/// format, so the grammars cannot drift apart.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bbb::core {
+
+/// A parsed spec: a name plus optional bracketed integer arguments.
+struct ParsedSpec {
+  std::string name;
+  std::vector<std::uint64_t> args;
+};
+
+/// Split "name[a,b]" into name and integer args; "name" alone gives no
+/// args. `kind` names the registry in error messages ("protocol",
+/// "allocator", "workload").
+/// \throws std::invalid_argument for a missing ']' or non-integer args.
+[[nodiscard]] ParsedSpec parse_spec(const std::string& spec, const std::string& kind);
+
+/// Argument i of a parsed spec.
+/// \throws std::invalid_argument if the spec has fewer than i + 1 args.
+[[nodiscard]] std::uint64_t spec_arg(const ParsedSpec& parsed, std::size_t i,
+                                     const std::string& spec,
+                                     const std::string& kind);
+
+/// For slack-style specs taking zero or one argument: the single argument,
+/// or `fallback` when none was given.
+/// \throws std::invalid_argument if more than one argument was given.
+[[nodiscard]] std::uint64_t spec_optional_arg(const ParsedSpec& parsed,
+                                              std::uint64_t fallback,
+                                              const std::string& spec,
+                                              const std::string& kind);
+
+/// spec_arg with a uint32 range check — for parameters (d, slack, bounds)
+/// that feed 32-bit protocol knobs, where silent truncation of an
+/// out-of-range value would build a very different protocol than asked.
+/// \throws std::invalid_argument if the value exceeds UINT32_MAX.
+[[nodiscard]] std::uint32_t spec_arg_u32(const ParsedSpec& parsed, std::size_t i,
+                                         const std::string& spec,
+                                         const std::string& kind);
+
+/// spec_optional_arg with the same uint32 range check.
+[[nodiscard]] std::uint32_t spec_optional_arg_u32(const ParsedSpec& parsed,
+                                                  std::uint32_t fallback,
+                                                  const std::string& spec,
+                                                  const std::string& kind);
+
+}  // namespace bbb::core

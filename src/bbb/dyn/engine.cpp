@@ -1,0 +1,218 @@
+#include "bbb/dyn/engine.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "bbb/par/parallel_for.hpp"
+#include "bbb/rng/streams.hpp"
+
+namespace bbb::dyn {
+
+namespace {
+
+/// Live balls in arrival order: O(1) push, O(1) uniform victim (swap with
+/// the back), O(1) oldest victim (pop the front). Only maintained for
+/// ball-selecting workloads; supermarket departures sample a nonempty bin
+/// from the allocator state instead.
+class BallRegistry {
+ public:
+  void push(std::uint32_t bin) { live_.push_back(bin); }
+
+  std::uint32_t pop_uniform(rng::Engine& gen) {
+    const auto idx =
+        static_cast<std::size_t>(rng::uniform_below(gen, live_.size()));
+    const std::uint32_t bin = live_[idx];
+    live_[idx] = live_.back();
+    live_.pop_back();
+    return bin;
+  }
+
+  std::uint32_t pop_oldest() {
+    const std::uint32_t bin = live_.front();
+    live_.pop_front();
+    return bin;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_.size(); }
+
+ private:
+  std::deque<std::uint32_t> live_;
+};
+
+}  // namespace
+
+std::string DynConfig::describe() const {
+  return allocator_spec + " x " + workload_spec + " n=" + std::to_string(n) +
+         " warmup=" + std::to_string(warmup) + " events=" + std::to_string(events) +
+         " reps=" + std::to_string(replicates) + " seed=" + std::to_string(seed);
+}
+
+double DynSummary::psi_per_bin() const {
+  return config.n > 0 ? psi.mean() / static_cast<double>(config.n) : 0.0;
+}
+
+DynReplicate run_dynamic_replicate(const DynConfig& config,
+                                   std::uint32_t replicate_index) {
+  if (config.events == 0) {
+    throw std::invalid_argument("run_dynamic: events must be positive");
+  }
+  const auto alloc = make_streaming_allocator(config.allocator_spec, config.n);
+  const auto workload = make_workload(config.workload_spec, config.n);
+  rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
+
+  const DepartSelect select = workload->depart_select();
+  const bool track_balls = select != DepartSelect::kUniformNonemptyBin;
+  BallRegistry registry;
+
+  DynReplicate rep;
+  rep.tail.assign(static_cast<std::size_t>(config.tail_max) + 1, 0.0);
+  const std::uint64_t stride = config.stride == 0 ? config.events : config.stride;
+  rep.snapshots.reserve(static_cast<std::size_t>(config.events / stride) + 1);
+
+  std::uint64_t probes_at_start = 0;
+  std::uint64_t placed_at_start = 0;
+  std::vector<double> tail_sum(rep.tail.size(), 0.0);
+  double balls_sum = 0.0, psi_sum = 0.0, gap_sum = 0.0, max_sum = 0.0;
+  double weight_sum = 0.0;
+  double prev_time = 0.0;
+
+  const std::uint64_t total_events = config.warmup + config.events;
+  for (std::uint64_t e = 1; e <= total_events; ++e) {
+    const WorkloadContext ctx{alloc->state().balls(), alloc->state().nonempty_bins()};
+    const DynEvent ev = workload->next(gen, ctx);
+
+    // Time-weighted steady-state averages: the state produced by event
+    // e - 1 was held for ev.time - prev_time. Event-counting averages would
+    // sample the embedded jump chain instead, which over-weights
+    // high-occupancy states for the continuous-time workloads (the total
+    // event rate grows with occupancy); weighting by the holding time
+    // recovers the time-stationary quantities the fixed-point predictions
+    // describe.
+    if (e > config.warmup) {
+      const double weight = ev.time - prev_time;
+      weight_sum += weight;
+      const DynState& state = alloc->state();
+      balls_sum += weight * static_cast<double>(state.balls());
+      psi_sum += weight * state.psi();
+      gap_sum += weight * static_cast<double>(state.gap());
+      max_sum += weight * static_cast<double>(state.max_load());
+      if (state.max_load() > rep.peak_max) rep.peak_max = state.max_load();
+      const auto& levels = state.level_counts();
+      // count(load >= k) = n - count(load < k): one prefix sum over the
+      // first tail_max levels, O(tail_max) per event regardless of how
+      // high the loads have ever been.
+      std::uint64_t below = 0;
+      for (std::size_t k = 0; k < tail_sum.size(); ++k) {
+        tail_sum[k] += weight * static_cast<double>(config.n - below) /
+                       static_cast<double>(config.n);
+        if (k < levels.size()) below += levels[k];
+      }
+    }
+    prev_time = ev.time;
+
+    if (ev.kind == EventKind::kArrival) {
+      for (std::uint32_t w = 0; w < ev.weight; ++w) {
+        const std::uint32_t bin = alloc->place(gen);
+        if (track_balls) registry.push(bin);
+      }
+    } else if (ctx.balls > 0) {  // generators never emit departures when empty
+      std::uint32_t bin = 0;
+      switch (select) {
+        case DepartSelect::kUniformBall:
+          bin = registry.pop_uniform(gen);
+          break;
+        case DepartSelect::kOldestBall:
+          bin = registry.pop_oldest();
+          break;
+        case DepartSelect::kUniformNonemptyBin:
+          bin = alloc->state().sample_nonempty(gen);
+          break;
+      }
+      alloc->remove(bin);
+    }
+
+    if (e == config.warmup) {
+      probes_at_start = alloc->probes();
+      placed_at_start = alloc->total_placed();
+    }
+    if (e <= config.warmup) continue;
+
+    const DynState& state = alloc->state();
+    const std::uint64_t measured = e - config.warmup;
+    if (measured % stride == 0 || measured == config.events) {
+      DynSnapshot snap;
+      snap.time = ev.time;
+      snap.events = measured;
+      snap.balls = state.balls();
+      snap.probes = alloc->probes();
+      snap.max_load = state.max_load();
+      snap.min_load = state.min_load();
+      snap.psi = state.psi();
+      snap.log_phi = state.log_phi();
+      if (rep.snapshots.empty() || rep.snapshots.back().events != measured) {
+        rep.snapshots.push_back(snap);
+      }
+    }
+  }
+
+  // Workload clocks strictly increase, so the measured window has positive
+  // total weight whenever events >= 1.
+  const double window = weight_sum;
+  rep.mean_balls = balls_sum / window;
+  rep.mean_psi = psi_sum / window;
+  rep.mean_gap = gap_sum / window;
+  rep.mean_max = max_sum / window;
+  for (std::size_t k = 0; k < rep.tail.size(); ++k) rep.tail[k] = tail_sum[k] / window;
+  const std::uint64_t placed = alloc->total_placed() - placed_at_start;
+  rep.probes_per_ball =
+      placed > 0
+          ? static_cast<double>(alloc->probes() - probes_at_start) /
+                static_cast<double>(placed)
+          : 0.0;
+  return rep;
+}
+
+DynSummary run_dynamic(const DynConfig& config, par::ThreadPool& pool) {
+  if (config.replicates == 0) {
+    throw std::invalid_argument("run_dynamic: replicates must be positive");
+  }
+  if (config.events == 0) {
+    throw std::invalid_argument("run_dynamic: events must be positive");
+  }
+  // Validate both specs (and capture canonical names) before spawning work.
+  const std::string alloc_name =
+      make_streaming_allocator(config.allocator_spec, config.n)->name();
+  const std::string workload_name = make_workload(config.workload_spec, config.n)->name();
+
+  DynSummary summary;
+  summary.config = config;
+  summary.allocator_name = alloc_name;
+  summary.workload_name = workload_name;
+  summary.tail.assign(static_cast<std::size_t>(config.tail_max) + 1,
+                      stats::RunningStats{});
+  summary.replicates = par::parallel_map<DynReplicate>(
+      pool, config.replicates, [&config](std::uint64_t r) {
+        return run_dynamic_replicate(config, static_cast<std::uint32_t>(r));
+      });
+
+  // Fold in replicate order: summaries are independent of scheduling.
+  for (const DynReplicate& rep : summary.replicates) {
+    summary.balls.add(rep.mean_balls);
+    summary.psi.add(rep.mean_psi);
+    summary.gap.add(rep.mean_gap);
+    summary.max_load.add(rep.mean_max);
+    summary.peak_max.add(static_cast<double>(rep.peak_max));
+    summary.probes_per_ball.add(rep.probes_per_ball);
+    for (std::size_t k = 0; k < summary.tail.size() && k < rep.tail.size(); ++k) {
+      summary.tail[k].add(rep.tail[k]);
+    }
+  }
+  return summary;
+}
+
+DynSummary run_dynamic(const DynConfig& config) {
+  par::ThreadPool pool;
+  return run_dynamic(config, pool);
+}
+
+}  // namespace bbb::dyn

@@ -1,0 +1,107 @@
+#pragma once
+/// \file engine.hpp
+/// The event-driven dynamic engine: drive a workload's event stream into a
+/// streaming allocator, maintain the ball registry departures need,
+/// snapshot time-windowed metrics, and fold replicates through the same
+/// par/ + stats/ machinery sim/runner uses for batch experiments.
+///
+/// Measurement model: the first `warmup` events burn in (the supermarket
+/// model needs to fill to its stationary occupancy), the next `events`
+/// events are measured. Steady-state scalars are *time-weighted* averages
+/// over the measured window — each visited state is weighted by the
+/// holding time until the next event, not counted once per event, because
+/// the embedded jump chain over-weights high-occupancy states when the
+/// total event rate grows with occupancy. `tail[k]` is the time-average
+/// fraction of bins with load >= k — the quantity the Luczak–McDiarmid
+/// fixed point predicts. Snapshots every `stride` measured events feed
+/// trajectory plots the way sim/trace does for batch runs.
+///
+/// Determinism contract (mirrors sim/runner): replicate r of a config with
+/// master seed s uses engine rng::SeedSequence(s).engine(r) for the
+/// workload clock, the allocator's probes, and victim selection, in one
+/// sequential stream — results are bit-identical for any thread count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bbb/dyn/allocator.hpp"
+#include "bbb/dyn/workload.hpp"
+#include "bbb/par/thread_pool.hpp"
+#include "bbb/stats/running_stats.hpp"
+
+namespace bbb::dyn {
+
+/// One dynamic experiment: allocator x workload at fixed n, replicated.
+struct DynConfig {
+  std::string allocator_spec = "adaptive-net";
+  std::string workload_spec = "supermarket[90]";
+  std::uint32_t n = 1024;         ///< bins
+  std::uint64_t warmup = 32'768;  ///< burn-in events before measurement
+  std::uint64_t events = 65'536;  ///< measured events
+  std::uint64_t stride = 1'024;   ///< measured events between snapshots
+  std::uint32_t tail_max = 12;    ///< track frac(load >= k) for k <= tail_max
+  std::uint32_t replicates = 8;
+  std::uint64_t seed = 42;
+
+  /// Human-readable one-line description for logs and table titles.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One time-windowed snapshot of a running dynamic system.
+struct DynSnapshot {
+  double time = 0.0;          ///< workload clock at the snapshot
+  std::uint64_t events = 0;   ///< measured events so far
+  std::uint64_t balls = 0;    ///< net balls in the system
+  std::uint64_t probes = 0;   ///< cumulative probes
+  std::uint32_t max_load = 0;
+  std::uint32_t min_load = 0;
+  double psi = 0.0;
+  double log_phi = 0.0;
+};
+
+/// Steady-state outcome of one replicate. All mean_* fields and `tail`
+/// are time-weighted averages over the measured window.
+struct DynReplicate {
+  double mean_balls = 0.0;  ///< time-avg net balls over the measured window
+  double mean_psi = 0.0;
+  double mean_gap = 0.0;
+  double mean_max = 0.0;
+  std::uint32_t peak_max = 0;       ///< worst max load seen while measuring
+  double probes_per_ball = 0.0;     ///< probes per placed ball, measured window
+  std::vector<double> tail;         ///< tail[k] = time-avg frac bins load >= k
+  std::vector<DynSnapshot> snapshots;
+};
+
+/// Aggregated outcome of one dynamic experiment.
+struct DynSummary {
+  DynConfig config;
+  std::string allocator_name;  ///< canonical StreamingAllocator::name()
+  std::string workload_name;   ///< canonical Workload::name()
+  stats::RunningStats balls;
+  stats::RunningStats psi;
+  stats::RunningStats gap;
+  stats::RunningStats max_load;
+  stats::RunningStats peak_max;
+  stats::RunningStats probes_per_ball;
+  std::vector<stats::RunningStats> tail;  ///< per-k fold of replicate tails
+  std::vector<DynReplicate> replicates;   ///< raw rows, replicate order
+
+  /// Mean steady-state Psi / n — the smoothness number bench_dyn_churn
+  /// reports (Corollary 3.5 says O(1) for the batch protocol).
+  [[nodiscard]] double psi_per_bin() const;
+};
+
+/// Execute one replicate (exposed for tests and custom aggregation).
+[[nodiscard]] DynReplicate run_dynamic_replicate(const DynConfig& config,
+                                                 std::uint32_t replicate_index);
+
+/// Run all replicates on `pool` and aggregate (fold in replicate order).
+/// \throws std::invalid_argument for bad config (unknown specs, n == 0,
+///         replicates == 0, events == 0).
+[[nodiscard]] DynSummary run_dynamic(const DynConfig& config, par::ThreadPool& pool);
+
+/// Convenience overload owning a transient pool (hardware concurrency).
+[[nodiscard]] DynSummary run_dynamic(const DynConfig& config);
+
+}  // namespace bbb::dyn

@@ -97,7 +97,9 @@ std::uint64_t ArgParser::get_u64(const std::string& key) const {
 
 double ArgParser::get_double(const std::string& key) const {
   const Flag& f = find(key);
-  if (f.kind == Kind::kString) throw std::invalid_argument("--" + key + " is not numeric");
+  if (f.kind == Kind::kString) {
+    throw std::invalid_argument("--" + key + " is not numeric");
+  }
   return std::stod(f.value);
 }
 
@@ -112,8 +114,11 @@ std::string ArgParser::help() const {
   os << program_ << " — " << description_ << "\n\nFlags:\n";
   for (const auto& key : order_) {
     const Flag& f = flags_.at(key);
-    os << "  --" << key << "=<" << (f.kind == Kind::kU64 ? "int" : f.kind == Kind::kDouble ? "float" : "str")
-       << ">  " << f.help << " (default: " << f.default_value << ")\n";
+    const char* type = f.kind == Kind::kU64      ? "int"
+                       : f.kind == Kind::kDouble ? "float"
+                                                 : "str";
+    os << "  --" << key << "=<" << type << ">  " << f.help << " (default: "
+       << f.default_value << ")\n";
   }
   return os.str();
 }

@@ -27,7 +27,9 @@ CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& he
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
-  if (cells.size() != width_) throw std::invalid_argument("CsvWriter: row width mismatch");
+  if (cells.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     out_ << escape(cells[i]) << (i + 1 == cells.size() ? '\n' : ',');
   }

@@ -27,7 +27,7 @@ std::vector<std::uint32_t> run_threshold_on_choices(std::uint64_t m,
   const std::uint32_t n = choices.n();
   std::vector<std::uint32_t> loads(n, 0);
   if (m == 0) return loads;
-  const std::uint32_t base = core::ceil_div(m, n);
+  const auto base = static_cast<std::uint32_t>(core::ceil_div(m, n));
   const std::uint32_t bound = slack == 0 ? (base == 0 ? 0 : base - 1) : base + slack - 1;
   for (std::uint64_t placed = 0; placed < m;) {
     const std::uint32_t bin = choices.next();

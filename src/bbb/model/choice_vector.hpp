@@ -56,8 +56,7 @@ class ChoiceVector {
 /// model). Returns the final loads; `consumed()` on the vector afterwards is
 /// the allocation time. \throws std::invalid_argument if m == 0 bins rules
 /// are violated (n from the vector).
-[[nodiscard]] std::vector<std::uint32_t> run_threshold_on_choices(std::uint64_t m,
-                                                                  ChoiceVector& choices,
-                                                                  std::uint32_t slack = 1);
+[[nodiscard]] std::vector<std::uint32_t> run_threshold_on_choices(
+    std::uint64_t m, ChoiceVector& choices, std::uint32_t slack = 1);
 
 }  // namespace bbb::model

@@ -12,7 +12,7 @@ std::vector<HolesPoint> holes_trajectory(std::uint64_t m, ChoiceVector& choices,
   if (m == 0) throw std::invalid_argument("holes_trajectory: m must be positive");
   if (stride == 0) stride = 1;
   const std::uint32_t n = choices.n();
-  const std::uint32_t cap = core::ceil_div(m, n) + 1;
+  const auto cap = static_cast<std::uint32_t>(core::ceil_div(m, n) + 1);
   const std::uint32_t bound = cap - 1;  // accept iff load <= ceil(m/n)
 
   std::vector<std::uint32_t> loads(n, 0);

@@ -37,10 +37,9 @@ struct StageRecord {
 /// \param deep_hole bins with load <= tau + 2 - deep_hole count as
 ///        underloaded (the paper's C1); default 4.
 /// \throws std::invalid_argument if n == 0 or stages == 0.
-[[nodiscard]] std::vector<StageRecord> adaptive_stage_records(std::uint32_t n,
-                                                              std::uint32_t stages,
-                                                              rng::Engine& gen,
-                                                              std::uint32_t deep_hole = 4);
+[[nodiscard]] std::vector<StageRecord> adaptive_stage_records(
+    std::uint32_t n, std::uint32_t stages, rng::Engine& gen,
+    std::uint32_t deep_hole = 4);
 
 /// Empirical distribution of stage arrivals Y into underloaded bins,
 /// aggregated over an instrumented run: counts[k] = number of

@@ -52,7 +52,8 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
 
 std::uint32_t AliasTable::operator()(Engine& gen) const {
   const auto i =
-      static_cast<std::uint32_t>(uniform_below(gen, static_cast<std::uint64_t>(prob_.size())));
+      static_cast<std::uint32_t>(
+          uniform_below(gen, static_cast<std::uint64_t>(prob_.size())));
   return next_double(gen) < prob_[i] ? i : alias_[i];
 }
 

@@ -17,7 +17,8 @@ namespace bbb::rng {
 
 /// A 64-bit child seed that is (to statistical precision) independent across
 /// both `master` and `index`. Stable across platforms and thread counts.
-[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept;
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master,
+                                        std::uint64_t index) noexcept;
 
 /// Factory for per-replicate engines derived from one master seed.
 class SeedSequence {

@@ -8,7 +8,9 @@ namespace bbb::stats {
 
 double exact_quantile(std::vector<double> data, double q) {
   if (data.empty()) throw std::invalid_argument("exact_quantile: empty data");
-  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("exact_quantile: q not in [0,1]");
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("exact_quantile: q not in [0,1]");
+  }
   std::sort(data.begin(), data.end());
   const double pos = q * static_cast<double>(data.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(pos));

@@ -69,6 +69,8 @@ double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
 
 double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
 
-double log_factorial(std::uint64_t k) { return std::lgamma(static_cast<double>(k) + 1.0); }
+double log_factorial(std::uint64_t k) {
+  return std::lgamma(static_cast<double>(k) + 1.0);
+}
 
 }  // namespace bbb::stats

@@ -74,4 +74,21 @@ std::uint32_t log_star(double x) {
   return k;
 }
 
+double supermarket_tail_fixed_point(double lambda, std::uint32_t d, std::uint32_t k) {
+  if (!(lambda > 0.0) || lambda >= 1.0) {
+    throw std::invalid_argument("supermarket_tail_fixed_point: 0 < lambda < 1 required");
+  }
+  if (d == 0) {
+    throw std::invalid_argument("supermarket_tail_fixed_point: d >= 1 required");
+  }
+  if (k == 0) return 1.0;
+  if (d == 1) return std::pow(lambda, static_cast<double>(k));
+  // Exponent (d^k - 1)/(d - 1) in floating point: for large k it saturates
+  // and lambda^exponent underflows to 0, which is the right answer.
+  const double exponent =
+      (std::pow(static_cast<double>(d), static_cast<double>(k)) - 1.0) /
+      (static_cast<double>(d) - 1.0);
+  return std::pow(lambda, exponent);
+}
+
 }  // namespace bbb::theory

@@ -46,4 +46,13 @@ namespace bbb::theory {
 /// Lenzen–Wattenhofer parallel allocation.
 [[nodiscard]] std::uint32_t log_star(double x);
 
+/// Supermarket-model equilibrium tail (Luczak & McDiarmid; Vvedenskaya et
+/// al.; Mitzenmacher): with Poisson arrivals at rate lambda*n, unit-rate
+/// FIFO servers, and greedy[d] placement, the stationary fraction of bins
+/// with load >= k tends to lambda^((d^k - 1)/(d - 1)) for d >= 2 — doubly
+/// exponential in k — versus the geometric lambda^k of the d = 1 M/M/1
+/// farm. Requires 0 < lambda < 1 and d >= 1.
+[[nodiscard]] double supermarket_tail_fixed_point(double lambda, std::uint32_t d,
+                                                  std::uint32_t k);
+
 }  // namespace bbb::theory

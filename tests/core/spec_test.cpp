@@ -1,0 +1,94 @@
+/// Tests for the shared spec-string grammar (core/spec.hpp) used by the
+/// batch-protocol, streaming-allocator, and workload registries.
+
+#include "bbb/core/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bbb::core {
+namespace {
+
+TEST(ParseSpec, NameOnly) {
+  const ParsedSpec s = parse_spec("one-choice", "protocol");
+  EXPECT_EQ(s.name, "one-choice");
+  EXPECT_TRUE(s.args.empty());
+}
+
+TEST(ParseSpec, NameWithArgs) {
+  const ParsedSpec s = parse_spec("memory[2,13]", "protocol");
+  EXPECT_EQ(s.name, "memory");
+  ASSERT_EQ(s.args.size(), 2u);
+  EXPECT_EQ(s.args[0], 2u);
+  EXPECT_EQ(s.args[1], 13u);
+}
+
+TEST(ParseSpec, EmptyBracketsGiveNoArgs) {
+  EXPECT_TRUE(parse_spec("greedy[]", "allocator").args.empty());
+}
+
+TEST(ParseSpec, MalformedSpecsThrowWithKindPrefix) {
+  EXPECT_THROW((void)parse_spec("greedy[", "allocator"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("greedy[x]", "allocator"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("greedy[1x]", "allocator"), std::invalid_argument);
+  // std::stoull would wrap "-1" to 2^64 - 1 and skip leading whitespace or
+  // '+'; the grammar rejects all of those as bad integers.
+  EXPECT_THROW((void)parse_spec("greedy[-1]", "allocator"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("greedy[+1]", "allocator"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("greedy[ 1]", "allocator"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("memory[1,-2]", "protocol"), std::invalid_argument);
+  // 2^64 and beyond overflow stoull and read as bad integers too.
+  EXPECT_THROW((void)parse_spec("greedy[18446744073709551616]", "allocator"),
+               std::invalid_argument);
+  // Dangling and interior empty tokens are malformed, not ignored.
+  EXPECT_THROW((void)parse_spec("greedy[2,]", "allocator"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("memory[,2]", "protocol"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("bursty[90,,5]", "workload"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("bursty[90,10,5,]", "workload"),
+               std::invalid_argument);
+  try {
+    (void)parse_spec("greedy[x]", "workload");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("workload spec"), std::string::npos);
+  }
+}
+
+TEST(SpecArg, PresentAndMissing) {
+  const ParsedSpec s = parse_spec("cuckoo[2,4]", "protocol");
+  EXPECT_EQ(spec_arg(s, 0, "cuckoo[2,4]", "protocol"), 2u);
+  EXPECT_EQ(spec_arg(s, 1, "cuckoo[2,4]", "protocol"), 4u);
+  EXPECT_THROW((void)spec_arg(s, 2, "cuckoo[2,4]", "protocol"),
+               std::invalid_argument);
+}
+
+TEST(SpecArgU32, RejectsValuesAboveUint32Range) {
+  // 2^32 + 1 parses as a valid uint64 but must not silently truncate to 1
+  // when the consumer is a 32-bit protocol knob.
+  const ParsedSpec s = parse_spec("greedy[4294967297]", "allocator");
+  EXPECT_THROW((void)spec_arg_u32(s, 0, "greedy[4294967297]", "allocator"),
+               std::invalid_argument);
+  EXPECT_EQ(spec_arg_u32(parse_spec("greedy[4294967295]", "allocator"), 0,
+                         "greedy[4294967295]", "allocator"),
+            4294967295u);
+  EXPECT_THROW((void)spec_optional_arg_u32(parse_spec("adaptive[4294967297]",
+                                                      "protocol"),
+                                           1, "adaptive[4294967297]", "protocol"),
+               std::invalid_argument);
+}
+
+TEST(SpecOptionalArg, FallbackSingleAndTooMany) {
+  EXPECT_EQ(spec_optional_arg(parse_spec("adaptive", "protocol"), 1, "adaptive",
+                              "protocol"),
+            1u);
+  EXPECT_EQ(spec_optional_arg(parse_spec("adaptive[3]", "protocol"), 1,
+                              "adaptive[3]", "protocol"),
+            3u);
+  EXPECT_THROW((void)spec_optional_arg(parse_spec("adaptive[1,2]", "protocol"), 1,
+                                       "adaptive[1,2]", "protocol"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbb::core

@@ -1,0 +1,211 @@
+/// Tests for the dynamic allocator layer: DynState's O(1) incremental
+/// metrics against batch recomputation, the streaming allocators'
+/// decision rules under churn, and the spec registry.
+
+#include "bbb/dyn/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/core/protocol.hpp"
+
+namespace bbb::dyn {
+namespace {
+
+// Recompute every incremental metric from the raw loads and compare. This
+// is the core correctness property of DynState: no event sequence may
+// drift the incremental values away from the batch definitions.
+void expect_metrics_match(const DynState& state, double tol = 1e-9) {
+  const auto& loads = state.loads();
+  const core::LoadMetrics batch = core::compute_metrics(loads, state.balls());
+  EXPECT_EQ(state.max_load(), batch.max);
+  EXPECT_EQ(state.min_load(), batch.min);
+  EXPECT_EQ(state.gap(), batch.gap);
+  EXPECT_NEAR(state.psi(), batch.psi, tol * (1.0 + std::abs(batch.psi)));
+  EXPECT_NEAR(state.log_phi(), batch.log_phi, tol * (1.0 + std::abs(batch.log_phi)));
+  std::uint32_t nonempty = 0;
+  for (const auto l : loads) nonempty += l > 0 ? 1 : 0;
+  EXPECT_EQ(state.nonempty_bins(), nonempty);
+}
+
+TEST(DynState, FreshStateIsAllZeros) {
+  DynState state(16);
+  EXPECT_EQ(state.balls(), 0u);
+  EXPECT_EQ(state.max_load(), 0u);
+  EXPECT_EQ(state.min_load(), 0u);
+  EXPECT_EQ(state.nonempty_bins(), 0u);
+  EXPECT_DOUBLE_EQ(state.psi(), 0.0);
+  expect_metrics_match(state);
+}
+
+TEST(DynState, ZeroBinsThrows) { EXPECT_THROW(DynState(0), std::invalid_argument); }
+
+TEST(DynState, MetricsStayExactUnderRandomChurn) {
+  const std::uint32_t n = 32;
+  DynState state(n);
+  rng::Engine gen(123);
+  std::vector<std::uint32_t> mirror(n, 0);
+  std::uint64_t balls = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const bool add = balls == 0 || rng::bernoulli(gen, 0.55);
+    if (add) {
+      const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+      state.add_ball(bin);
+      ++mirror[bin];
+      ++balls;
+    } else {
+      const std::uint32_t bin = state.sample_nonempty(gen);
+      state.remove_ball(bin);
+      --mirror[bin];
+      --balls;
+    }
+    ASSERT_EQ(state.balls(), balls);
+    ASSERT_EQ(state.loads(), mirror);
+    if (step % 97 == 0) expect_metrics_match(state);
+  }
+  expect_metrics_match(state);
+}
+
+TEST(DynState, TailCountsMatchScan) {
+  DynState state(8);
+  rng::Engine gen(7);
+  for (int i = 0; i < 40; ++i) {
+    state.add_ball(static_cast<std::uint32_t>(rng::uniform_below(gen, 8)));
+  }
+  for (std::uint32_t k = 0; k <= state.max_load() + 2; ++k) {
+    std::uint32_t scan = 0;
+    for (const auto l : state.loads()) scan += l >= k ? 1 : 0;
+    EXPECT_EQ(state.bins_with_load_at_least(k), scan) << "k=" << k;
+  }
+}
+
+TEST(DynState, RemoveFromEmptyBinThrows) {
+  DynState state(4);
+  EXPECT_THROW(state.remove_ball(0), std::invalid_argument);
+  state.add_ball(1);
+  EXPECT_THROW(state.remove_ball(0), std::invalid_argument);
+  state.remove_ball(1);
+  EXPECT_EQ(state.balls(), 0u);
+}
+
+TEST(DynState, SampleNonemptyRequiresABall) {
+  DynState state(4);
+  rng::Engine gen(1);
+  EXPECT_THROW((void)state.sample_nonempty(gen), std::logic_error);
+  state.add_ball(2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(state.sample_nonempty(gen), 2u);
+}
+
+TEST(DynAdaptive, NetBoundKeepsMaxLoadTightArrivalsOnly) {
+  const std::uint32_t n = 64;
+  DynAdaptive alloc(n, DynAdaptive::Bound::kNet);
+  rng::Engine gen(42);
+  for (std::uint64_t i = 1; i <= 10 * n; ++i) {
+    alloc.place(gen);
+    ASSERT_LE(alloc.state().max_load(), core::ceil_div(i, n) + 1) << "ball " << i;
+  }
+}
+
+TEST(DynAdaptive, NetAndTotalAgreeWithoutDepartures) {
+  rng::Engine g1(9), g2(9);
+  DynAdaptive net(32, DynAdaptive::Bound::kNet);
+  DynAdaptive total(32, DynAdaptive::Bound::kTotal);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(net.place(g1), total.place(g2));
+  }
+  EXPECT_EQ(net.state().loads(), total.state().loads());
+  EXPECT_EQ(net.probes(), total.probes());
+  EXPECT_TRUE(g1 == g2);
+}
+
+TEST(DynAdaptive, BoundsDivergeUnderChurn) {
+  // Remove/replace cycles advance the total counter but not the net count,
+  // so the total variant's bound keeps climbing while net's stays put.
+  const std::uint32_t n = 8;
+  rng::Engine gen(5);
+  DynAdaptive net(n, DynAdaptive::Bound::kNet);
+  DynAdaptive total(n, DynAdaptive::Bound::kTotal);
+  for (std::uint32_t i = 0; i < 4 * n; ++i) {
+    net.place(gen);
+    total.place(gen);
+  }
+  const std::uint64_t net_bound = net.accept_bound();
+  EXPECT_EQ(net_bound, total.accept_bound());
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const std::uint32_t victim_net = net.state().sample_nonempty(gen);
+    net.remove(victim_net);
+    net.place(gen);
+    const std::uint32_t victim_total = total.state().sample_nonempty(gen);
+    total.remove(victim_total);
+    total.place(gen);
+  }
+  EXPECT_EQ(net.accept_bound(), net_bound);
+  EXPECT_GT(total.accept_bound(), net_bound + 10);
+}
+
+TEST(DynThreshold, DeadlockIsDetectedNotSpun) {
+  DynThreshold alloc(2, 0);  // accept only empty bins
+  rng::Engine gen(3);
+  alloc.place(gen);
+  alloc.place(gen);
+  EXPECT_EQ(alloc.state().max_load(), 1u);
+  EXPECT_THROW(alloc.place(gen), std::logic_error);
+  // A departure re-opens capacity.
+  alloc.remove(0);
+  EXPECT_NO_THROW(alloc.place(gen));
+}
+
+TEST(DynGreedy, ZeroChoicesThrows) {
+  EXPECT_THROW(DynGreedy(4, 0), std::invalid_argument);
+}
+
+TEST(Registry, BuildsEverySpecShape) {
+  const std::uint32_t n = 16;
+  EXPECT_EQ(make_streaming_allocator("one-choice", n)->name(), "one-choice");
+  EXPECT_EQ(make_streaming_allocator("greedy[2]", n)->name(), "greedy[2]");
+  EXPECT_EQ(make_streaming_allocator("adaptive-net", n)->name(), "adaptive-net");
+  EXPECT_EQ(make_streaming_allocator("adaptive-net[2]", n)->name(), "adaptive-net[2]");
+  EXPECT_EQ(make_streaming_allocator("adaptive-total", n)->name(), "adaptive-total");
+  EXPECT_EQ(make_streaming_allocator("adaptive-total[3]", n)->name(),
+            "adaptive-total[3]");
+  EXPECT_EQ(make_streaming_allocator("threshold[4]", n)->name(), "threshold[4]");
+}
+
+TEST(Registry, NameRoundTripsThroughRegistry) {
+  for (const std::string spec :
+       {"one-choice", "greedy[3]", "adaptive-net", "adaptive-total[2]",
+        "threshold[5]"}) {
+    const auto alloc = make_streaming_allocator(spec, 8);
+    const auto rebuilt = make_streaming_allocator(alloc->name(), 8);
+    EXPECT_EQ(rebuilt->name(), alloc->name());
+  }
+}
+
+TEST(Registry, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)make_streaming_allocator("nope", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_streaming_allocator("greedy", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_streaming_allocator("greedy[", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_streaming_allocator("greedy[x]", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_streaming_allocator("one-choice[1]", 8),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_streaming_allocator("threshold", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_streaming_allocator("adaptive-net[1,2]", 8),
+               std::invalid_argument);
+  // Negative and uint32-overflowing arguments are rejected, not wrapped.
+  EXPECT_THROW((void)make_streaming_allocator("greedy[-1]", 8),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_streaming_allocator("greedy[4294967297]", 8),
+               std::invalid_argument);
+}
+
+TEST(Registry, SpecsListIsNonEmptyAndStable) {
+  const auto specs = streaming_allocator_specs();
+  EXPECT_GE(specs.size(), 5u);
+}
+
+}  // namespace
+}  // namespace bbb::dyn

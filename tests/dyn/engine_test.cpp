@@ -1,0 +1,172 @@
+/// Tests for the dynamic engine: determinism across thread counts, the
+/// ball-registry departure paths, steady-state sanity for the supermarket
+/// and churn scenarios, and snapshot cadence.
+
+#include "bbb/dyn/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bbb::dyn {
+namespace {
+
+DynConfig small_config() {
+  DynConfig cfg;
+  cfg.allocator_spec = "greedy[2]";
+  cfg.workload_spec = "supermarket[80]";
+  cfg.n = 64;
+  cfg.warmup = 2'000;
+  cfg.events = 4'000;
+  cfg.stride = 500;
+  cfg.tail_max = 8;
+  cfg.replicates = 4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Engine, DeterministicAcrossThreadCounts) {
+  const DynConfig cfg = small_config();
+  par::ThreadPool one(1), four(4);
+  const DynSummary a = run_dynamic(cfg, one);
+  const DynSummary b = run_dynamic(cfg, four);
+  ASSERT_EQ(a.replicates.size(), b.replicates.size());
+  EXPECT_DOUBLE_EQ(a.psi.mean(), b.psi.mean());
+  EXPECT_DOUBLE_EQ(a.balls.mean(), b.balls.mean());
+  EXPECT_DOUBLE_EQ(a.probes_per_ball.mean(), b.probes_per_ball.mean());
+  for (std::size_t r = 0; r < a.replicates.size(); ++r) {
+    ASSERT_EQ(a.replicates[r].snapshots.size(), b.replicates[r].snapshots.size());
+    for (std::size_t s = 0; s < a.replicates[r].snapshots.size(); ++s) {
+      EXPECT_EQ(a.replicates[r].snapshots[s].balls, b.replicates[r].snapshots[s].balls);
+      EXPECT_DOUBLE_EQ(a.replicates[r].snapshots[s].psi,
+                       b.replicates[r].snapshots[s].psi);
+    }
+  }
+}
+
+TEST(Engine, SupermarketSteadyStateOccupancyIsPlausible) {
+  DynConfig cfg = small_config();
+  cfg.allocator_spec = "one-choice";
+  cfg.warmup = 20'000;
+  cfg.events = 20'000;
+  const DynSummary s = run_dynamic(cfg);
+  // M/M/1 farm at lambda = 0.8: mean balls per bin is lambda/(1-lambda) = 4
+  // in the infinite-buffer limit; the finite run should land in a broad
+  // band around lambda*n at minimum.
+  EXPECT_GT(s.balls.mean(), 0.5 * 0.8 * cfg.n);
+  EXPECT_LT(s.balls.mean(), 12.0 * cfg.n);
+  // tail[0] == 1 by definition; the tail is monotone nonincreasing.
+  ASSERT_EQ(s.tail.size(), static_cast<std::size_t>(cfg.tail_max) + 1);
+  EXPECT_DOUBLE_EQ(s.tail[0].mean(), 1.0);
+  for (std::size_t k = 1; k < s.tail.size(); ++k) {
+    EXPECT_LE(s.tail[k].mean(), s.tail[k - 1].mean() + 1e-12) << "k=" << k;
+  }
+}
+
+TEST(Engine, TwoChoicesBeatOneChoiceInTheTail) {
+  DynConfig cfg = small_config();
+  cfg.n = 128;
+  cfg.warmup = 30'000;
+  cfg.events = 30'000;
+  cfg.workload_spec = "supermarket[90]";
+  cfg.replicates = 4;
+  cfg.allocator_spec = "one-choice";
+  const DynSummary one = run_dynamic(cfg);
+  cfg.allocator_spec = "greedy[2]";
+  const DynSummary two = run_dynamic(cfg);
+  // The doubly-exponential fixed point: by k = 4 the two-choice tail is
+  // far below one-choice's geometric tail (0.9^4 ~ 0.66 vs ~0.2).
+  EXPECT_LT(two.tail[4].mean(), 0.6 * one.tail[4].mean());
+  EXPECT_LT(two.max_load.mean(), one.max_load.mean());
+}
+
+TEST(Engine, ChurnHoldsPopulationAndUsesRegistry) {
+  DynConfig cfg;
+  cfg.allocator_spec = "adaptive-net";
+  cfg.workload_spec = "churn[512]";
+  cfg.n = 64;
+  cfg.warmup = 1'024;  // > population: fill phase complete before measuring
+  cfg.events = 4'096;
+  cfg.stride = 512;
+  cfg.replicates = 2;
+  const DynSummary s = run_dynamic(cfg);
+  // Population alternates 512 <-> 511 while churning.
+  EXPECT_GT(s.balls.mean(), 511.0 - 1.0);
+  EXPECT_LT(s.balls.mean(), 512.0 + 1.0);
+}
+
+TEST(Engine, OldestBallChurnDrivesFifoPath) {
+  DynConfig cfg;
+  cfg.allocator_spec = "one-choice";
+  cfg.workload_spec = "churn-oldest[100]";
+  cfg.n = 16;
+  cfg.warmup = 200;
+  cfg.events = 1'000;
+  cfg.replicates = 2;
+  const DynSummary s = run_dynamic(cfg);
+  EXPECT_NEAR(s.balls.mean(), 100.0, 1.0);
+}
+
+TEST(Engine, AdaptiveNetSmootherThanTotalUnderChurn) {
+  DynConfig cfg;
+  cfg.workload_spec = "churn[1024]";
+  cfg.n = 128;
+  cfg.warmup = 4'096;
+  cfg.events = 16'384;
+  cfg.replicates = 2;
+  cfg.allocator_spec = "adaptive-net";
+  const DynSummary net = run_dynamic(cfg);
+  cfg.allocator_spec = "adaptive-total";
+  const DynSummary total = run_dynamic(cfg);
+  // The total-placed bound goes vacuous under churn (it keeps climbing
+  // while the population holds), so its Psi drifts toward one-choice
+  // roughness; the net bound keeps the vector smooth.
+  EXPECT_LT(net.psi_per_bin(), total.psi_per_bin());
+}
+
+TEST(Engine, SnapshotCadenceAndMonotonicity) {
+  const DynConfig cfg = small_config();
+  const DynReplicate rep = run_dynamic_replicate(cfg, 0);
+  ASSERT_FALSE(rep.snapshots.empty());
+  EXPECT_EQ(rep.snapshots.back().events, cfg.events);
+  std::uint64_t last = 0;
+  double last_time = 0.0;
+  for (const DynSnapshot& snap : rep.snapshots) {
+    EXPECT_GT(snap.events, last);
+    EXPECT_GE(snap.time, last_time);
+    EXPECT_TRUE(snap.events % cfg.stride == 0 || snap.events == cfg.events);
+    last = snap.events;
+    last_time = snap.time;
+  }
+}
+
+TEST(Engine, ProbesPerBallAtLeastOne) {
+  const DynConfig cfg = small_config();
+  const DynSummary s = run_dynamic(cfg);
+  EXPECT_GE(s.probes_per_ball.mean(), 1.0);
+}
+
+TEST(Engine, DescribeMentionsBothSpecs) {
+  const DynConfig cfg = small_config();
+  const std::string desc = cfg.describe();
+  EXPECT_NE(desc.find("greedy[2]"), std::string::npos);
+  EXPECT_NE(desc.find("supermarket[80]"), std::string::npos);
+}
+
+TEST(Engine, InvalidConfigsThrow) {
+  DynConfig cfg = small_config();
+  cfg.replicates = 0;
+  EXPECT_THROW((void)run_dynamic(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.events = 0;
+  EXPECT_THROW((void)run_dynamic(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.allocator_spec = "nope";
+  EXPECT_THROW((void)run_dynamic(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.workload_spec = "nope";
+  EXPECT_THROW((void)run_dynamic(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbb::dyn

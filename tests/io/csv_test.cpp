@@ -42,7 +42,8 @@ TEST_F(CsvWriterTest, QuotesSpecialCharacters) {
 
 TEST_F(CsvWriterTest, WidthMismatchThrows) {
   CsvWriter w(path_, {"a", "b"});
-  EXPECT_THROW((void)w.write_row(std::vector<std::string>{"only"}), std::invalid_argument);
+  EXPECT_THROW((void)w.write_row(std::vector<std::string>{"only"}),
+               std::invalid_argument);
 }
 
 TEST_F(CsvWriterTest, EmptyHeaderThrows) {

@@ -27,7 +27,7 @@ namespace {
 TEST(IntegerRule, MatchesRealValuedDefinition) {
   for (std::uint32_t n : {1u, 2u, 3u, 7u, 64u, 1000u}) {
     for (std::uint64_t i = 1; i <= 3ULL * n + 2; ++i) {
-      const std::uint32_t bound = ceil_div(i, n);
+      const auto bound = static_cast<std::uint32_t>(ceil_div(i, n));
       for (std::uint32_t load = 0; load <= bound + 2; ++load) {
         const bool real_rule =
             static_cast<double>(load) < static_cast<double>(i) / n + 1.0;
@@ -109,7 +109,7 @@ TEST(Adaptive, EveryPrefixRespectsItsOwnBound) {
   rng::Engine gen(11);
   for (std::uint64_t i = 1; i <= 20 * n; ++i) {
     alloc.place(gen);
-    const std::uint32_t cap = ceil_div(i, n) + 1;
+    const auto cap = static_cast<std::uint32_t>(ceil_div(i, n) + 1);
     for (std::uint32_t b = 0; b < n; ++b) {
       ASSERT_LE(alloc.state().load(b), cap) << "after ball " << i;
     }

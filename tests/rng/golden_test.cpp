@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "bbb/rng/pcg32.hpp"
+#include "bbb/rng/splitmix64.hpp"
 #include "bbb/rng/streams.hpp"
 #include "bbb/rng/xoshiro256.hpp"
 
@@ -30,6 +31,26 @@ TEST(GoldenPins, Pcg32Seed42Stream0) {
   EXPECT_EQ(gen.next_u32(), 0xc15ef750u);
   EXPECT_EQ(gen.next_u32(), 0x9548a9bdu);
   EXPECT_EQ(gen.next_u32(), 0x35db428du);
+}
+
+// First four outputs for seed 0 (the published SplittableRandom / xoshiro
+// seeding vectors) and for seed 42 (implementation pin). SplitMix64 seeds
+// both engines above AND derives every replicate stream, so a silent
+// cross-platform divergence here would shift every recorded experiment.
+TEST(GoldenPins, SplitMix64SeedZero) {
+  SplitMix64 gen(0);
+  EXPECT_EQ(gen(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(gen(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(gen(), 0x06c45d188009454fULL);
+  EXPECT_EQ(gen(), 0xf88bb8a8724c81ecULL);
+}
+
+TEST(GoldenPins, SplitMix64Seed42) {
+  SplitMix64 gen(42);
+  EXPECT_EQ(gen(), 0xbdd732262feb6e95ULL);
+  EXPECT_EQ(gen(), 0x28efe333b266f103ULL);
+  EXPECT_EQ(gen(), 0x47526757130f9f52ULL);
+  EXPECT_EQ(gen(), 0x581ce1ff0e4ae394ULL);
 }
 
 TEST(GoldenPins, DeriveSeedMaster42) {

@@ -109,5 +109,37 @@ TEST(PhiD, RejectsDegenerate) {
   EXPECT_THROW((void)phi_d(1), std::invalid_argument);
 }
 
+TEST(SupermarketFixedPoint, MatchesClosedForms) {
+  // d = 1 is the M/M/1 geometric tail; d >= 2 is doubly exponential.
+  EXPECT_DOUBLE_EQ(supermarket_tail_fixed_point(0.9, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(supermarket_tail_fixed_point(0.9, 1, 3), 0.9 * 0.9 * 0.9);
+  EXPECT_DOUBLE_EQ(supermarket_tail_fixed_point(0.9, 2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(supermarket_tail_fixed_point(0.9, 2, 1), 0.9);
+  // (2^3 - 1)/(2 - 1) = 7 and (3^2 - 1)/(3 - 1) = 4.
+  EXPECT_NEAR(supermarket_tail_fixed_point(0.9, 2, 3), std::pow(0.9, 7.0), 1e-12);
+  EXPECT_NEAR(supermarket_tail_fixed_point(0.5, 3, 2), std::pow(0.5, 4.0), 1e-12);
+}
+
+TEST(SupermarketFixedPoint, TailIsMonotoneAndTwoChoicesDominate) {
+  double prev1 = 2.0, prev2 = 2.0;
+  for (std::uint32_t k = 0; k <= 12; ++k) {
+    const double t1 = supermarket_tail_fixed_point(0.9, 1, k);
+    const double t2 = supermarket_tail_fixed_point(0.9, 2, k);
+    EXPECT_LT(t1, prev1 + 1e-15);
+    EXPECT_LT(t2, prev2 + 1e-15);
+    EXPECT_LE(t2, t1 + 1e-15) << "k=" << k;
+    prev1 = t1;
+    prev2 = t2;
+  }
+  // Large k underflows cleanly to zero rather than misbehaving.
+  EXPECT_EQ(supermarket_tail_fixed_point(0.9, 2, 64), 0.0);
+}
+
+TEST(SupermarketFixedPoint, RejectsBadParameters) {
+  EXPECT_THROW((void)supermarket_tail_fixed_point(0.0, 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)supermarket_tail_fixed_point(1.0, 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)supermarket_tail_fixed_point(0.9, 0, 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bbb::theory

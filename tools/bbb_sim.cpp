@@ -28,8 +28,17 @@ int main(int argc, char** argv) {
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
   args.add_flag("histogram", std::uint64_t{0}, "1 = print a load histogram");
   args.add_flag("csv", std::string(""), "dump per-replicate rows to this file");
+  args.add_flag("list", std::uint64_t{0},
+                "1 = print every registry spec string and exit");
   try {
     if (!args.parse(argc, argv)) return 0;
+
+    if (args.get_u64("list") != 0) {
+      // One spec per line, straight from the registry, so docs/PROTOCOLS.md
+      // can be checked against the code: bbb_sim --list=1
+      for (const auto& spec : bbb::core::protocol_specs()) std::puts(spec.c_str());
+      return 0;
+    }
 
     bbb::sim::ExperimentConfig cfg;
     cfg.protocol_spec = args.get_string("protocol");
@@ -72,9 +81,9 @@ int main(int argc, char** argv) {
       std::printf("WARNING: %u of %u replicates did not complete\n", s.failures,
                   cfg.replicates);
     }
-    std::printf("paper bound: max load <= ceil(m/n)+1 = %u (applies to "
+    std::printf("paper bound: max load <= ceil(m/n)+1 = %llu (applies to "
                 "threshold/adaptive families)\n",
-                bbb::core::ceil_div(cfg.m, cfg.n) + 1);
+                static_cast<unsigned long long>(bbb::core::ceil_div(cfg.m, cfg.n) + 1));
 
     if (args.get_u64("histogram") != 0) {
       // One representative run for the histogram (replicate 0's seed).
