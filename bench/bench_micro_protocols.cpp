@@ -6,10 +6,7 @@
 
 #include "bbb/core/concurrent_adaptive.hpp"
 #include "bbb/core/protocols/adaptive.hpp"
-#include "bbb/core/protocols/d_choice.hpp"
-#include "bbb/core/protocols/left_d.hpp"
-#include "bbb/core/protocols/memory_dk.hpp"
-#include "bbb/core/protocols/one_choice.hpp"
+#include "bbb/core/protocols/registry.hpp"
 #include "bbb/core/protocols/threshold.hpp"
 #include "bbb/rng/xoshiro256.hpp"
 
@@ -18,13 +15,13 @@ namespace {
 constexpr std::uint32_t kBins = 1 << 16;
 
 // Each iteration places one full stage of kBins balls through a fresh
-// allocator segment; items_processed reports per-ball cost.
-template <typename MakeAlloc>
-void run_streaming_bench(benchmark::State& state, MakeAlloc make) {
+// rule + BinState pair; items_processed reports per-ball cost.
+void run_streaming_bench(benchmark::State& state, const char* spec) {
   bbb::rng::Engine gen(7);
   for (auto _ : state) {
     state.PauseTiming();
-    auto alloc = make();
+    bbb::core::StreamingAllocator alloc(kBins,
+                                        bbb::core::make_rule(spec, kBins, kBins));
     state.ResumeTiming();
     for (std::uint32_t i = 0; i < kBins; ++i) {
       benchmark::DoNotOptimize(alloc.place(gen));
@@ -34,33 +31,32 @@ void run_streaming_bench(benchmark::State& state, MakeAlloc make) {
 }
 
 void BM_PlaceOneChoice(benchmark::State& state) {
-  run_streaming_bench(state, [] { return bbb::core::OneChoiceAllocator(kBins); });
+  run_streaming_bench(state, "one-choice");
 }
 BENCHMARK(BM_PlaceOneChoice);
 
 void BM_PlaceGreedy2(benchmark::State& state) {
-  run_streaming_bench(state, [] { return bbb::core::DChoiceAllocator(kBins, 2); });
+  run_streaming_bench(state, "greedy[2]");
 }
 BENCHMARK(BM_PlaceGreedy2);
 
 void BM_PlaceLeft2(benchmark::State& state) {
-  run_streaming_bench(state, [] { return bbb::core::LeftDAllocator(kBins, 2); });
+  run_streaming_bench(state, "left[2]");
 }
 BENCHMARK(BM_PlaceLeft2);
 
 void BM_PlaceMemory11(benchmark::State& state) {
-  run_streaming_bench(state, [] { return bbb::core::MemoryDKAllocator(kBins, 1, 1); });
+  run_streaming_bench(state, "memory[1,1]");
 }
 BENCHMARK(BM_PlaceMemory11);
 
 void BM_PlaceAdaptive(benchmark::State& state) {
-  run_streaming_bench(state, [] { return bbb::core::AdaptiveAllocator(kBins); });
+  run_streaming_bench(state, "adaptive");
 }
 BENCHMARK(BM_PlaceAdaptive);
 
 void BM_PlaceThreshold(benchmark::State& state) {
-  run_streaming_bench(state,
-                      [] { return bbb::core::ThresholdAllocator(kBins, kBins); });
+  run_streaming_bench(state, "threshold");
 }
 BENCHMARK(BM_PlaceThreshold);
 

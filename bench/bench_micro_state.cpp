@@ -1,0 +1,110 @@
+/// bench_micro_state — google-benchmark evidence for the single-streaming-
+/// core refactor: incremental BinState metric maintenance vs the full
+/// O(n) rescan of core/metrics.hpp, at n = 1e4 and n = 1e6, plus the
+/// per-ball trace throughput the incremental state buys (this is the
+/// sim/trace hot path — the old tracer rescanned all n loads at every
+/// trace point, so a per-ball trajectory of an m-ball run cost O(m n)).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bbb/core/bin_state.hpp"
+#include "bbb/core/metrics.hpp"
+#include "bbb/core/protocols/registry.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+#include "bbb/sim/trace.hpp"
+
+namespace {
+
+// Fill a state with 8 balls per bin on average, uniformly at random.
+bbb::core::BinState filled_state(std::uint32_t n) {
+  bbb::core::BinState state(n);
+  bbb::rng::Engine gen(11);
+  for (std::uint64_t i = 0; i < 8ULL * n; ++i) {
+    state.add_ball(static_cast<std::uint32_t>(bbb::rng::uniform_below(gen, n)));
+  }
+  return state;
+}
+
+// One metric snapshot (max/min/gap/psi/ln phi) from the incremental state:
+// O(1) regardless of n.
+void BM_MetricsIncremental(benchmark::State& bench) {
+  const auto n = static_cast<std::uint32_t>(bench.range(0));
+  const bbb::core::BinState state = filled_state(n);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(state.max_load());
+    benchmark::DoNotOptimize(state.min_load());
+    benchmark::DoNotOptimize(state.gap());
+    benchmark::DoNotOptimize(state.psi());
+    benchmark::DoNotOptimize(state.log_phi());
+  }
+}
+BENCHMARK(BM_MetricsIncremental)->Arg(10'000)->Arg(1'000'000);
+
+// The same snapshot via the batch recomputation: one full pass over the
+// loads per call (what the tracer used to pay per trace point).
+void BM_MetricsFullRescan(benchmark::State& bench) {
+  const auto n = static_cast<std::uint32_t>(bench.range(0));
+  const bbb::core::BinState state = filled_state(n);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(bbb::core::compute_metrics(state.loads(), state.balls()));
+  }
+}
+BENCHMARK(BM_MetricsFullRescan)->Arg(10'000)->Arg(1'000'000);
+
+// What the incremental maintenance costs on the placement side: one
+// add_ball with all derived metrics updated.
+void BM_BinStateAddRemove(benchmark::State& bench) {
+  const auto n = static_cast<std::uint32_t>(bench.range(0));
+  bbb::core::BinState state = filled_state(n);
+  bbb::rng::Engine gen(13);
+  for (auto _ : bench) {
+    const auto bin = static_cast<std::uint32_t>(bbb::rng::uniform_below(gen, n));
+    state.add_ball(bin);
+    state.remove_ball(bin);
+  }
+  bench.SetItemsProcessed(static_cast<std::int64_t>(bench.iterations()) * 2);
+}
+BENCHMARK(BM_BinStateAddRemove)->Arg(10'000)->Arg(1'000'000);
+
+// Per-ball trace trajectory (stride 1) through the incremental tracer:
+// place + O(1) snapshot per ball. Reported as balls/second.
+void BM_TracePerBallIncremental(benchmark::State& bench) {
+  const auto n = static_cast<std::uint32_t>(bench.range(0));
+  const std::uint64_t m = 4ULL * n;
+  for (auto _ : bench) {
+    bbb::rng::Engine gen(17);
+    bbb::core::StreamingAllocator alloc(n, bbb::core::make_rule("adaptive", n));
+    benchmark::DoNotOptimize(bbb::sim::trace_allocation(alloc, gen, m, 1));
+  }
+  bench.SetItemsProcessed(static_cast<std::int64_t>(bench.iterations()) *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_TracePerBallIncremental)->Arg(1 << 10)->Arg(1 << 14);
+
+// The pre-refactor trace loop for comparison: place + full compute_metrics
+// rescan per ball — O(m n) per trajectory instead of O(m).
+void BM_TracePerBallFullRescan(benchmark::State& bench) {
+  const auto n = static_cast<std::uint32_t>(bench.range(0));
+  const std::uint64_t m = 4ULL * n;
+  for (auto _ : bench) {
+    bbb::rng::Engine gen(17);
+    bbb::core::StreamingAllocator alloc(n, bbb::core::make_rule("adaptive", n));
+    std::vector<bbb::sim::TracePoint> points;
+    points.reserve(static_cast<std::size_t>(m));
+    for (std::uint64_t i = 1; i <= m; ++i) {
+      (void)alloc.place(gen);
+      const auto metrics =
+          bbb::core::compute_metrics(alloc.state().loads(), alloc.state().balls());
+      points.push_back({alloc.state().balls(), alloc.probes(), metrics.max,
+                        metrics.min, metrics.psi, metrics.log_phi});
+    }
+    benchmark::DoNotOptimize(points);
+  }
+  bench.SetItemsProcessed(static_cast<std::int64_t>(bench.iterations()) *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_TracePerBallFullRescan)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   // --- cuckoo build ---------------------------------------------------------
   {
     bbb::rng::Engine gen(seed);
-    bbb::core::CuckooTable::Params params;
+    bbb::core::CuckooRule::Params params;
     params.d = 2;
     params.bucket_size = bound;  // same worst-bucket budget as threshold
     params.max_kicks = 500;

@@ -14,9 +14,7 @@
 #include <string>
 
 #include "bbb/core/metrics.hpp"
-#include "bbb/core/protocols/adaptive.hpp"
-#include "bbb/core/protocols/d_choice.hpp"
-#include "bbb/core/protocols/one_choice.hpp"
+#include "bbb/core/protocols/registry.hpp"
 #include "bbb/io/argparse.hpp"
 #include "bbb/io/table.hpp"
 #include "bbb/rng/alias_table.hpp"
@@ -32,9 +30,9 @@ struct Snapshot {
   std::uint64_t probes;
 };
 
-template <typename Alloc>
-std::vector<Snapshot> dispatch_stream(Alloc& alloc, std::uint64_t jobs,
-                                      std::uint32_t snapshots, std::uint64_t seed) {
+std::vector<Snapshot> dispatch_stream(bbb::core::StreamingAllocator& alloc,
+                                      std::uint64_t jobs, std::uint32_t snapshots,
+                                      std::uint64_t seed) {
   bbb::rng::Engine gen(seed);
   // Bursty arrival pattern: each "tick" delivers 1-64 jobs with a skewed
   // burst-size distribution. The dispatcher only sees jobs one at a time.
@@ -49,8 +47,9 @@ std::vector<Snapshot> dispatch_stream(Alloc& alloc, std::uint64_t jobs,
       alloc.place(gen);
       ++placed;
       if (placed >= next_snap || placed == jobs) {
-        const auto m = bbb::core::compute_metrics(alloc.state().loads(), placed);
-        out.push_back({placed, m.max, m.gap, m.psi, alloc.probes()});
+        // O(1) per snapshot: the metrics are maintained incrementally.
+        const auto& st = alloc.state();
+        out.push_back({placed, st.max_load(), st.gap(), st.psi(), alloc.probes()});
         next_snap += stride;
       }
     }
@@ -95,15 +94,18 @@ int main(int argc, char** argv) {
   std::printf("dispatching %llu jobs to %u servers (bursty arrivals)\n\n",
               static_cast<unsigned long long>(jobs), servers);
 
-  bbb::core::AdaptiveAllocator adaptive(servers);
+  bbb::core::StreamingAllocator adaptive(servers,
+                                         bbb::core::make_rule("adaptive", servers));
   print_strategy("adaptive dispatcher (this paper)",
                  dispatch_stream(adaptive, jobs, snapshots, seed), format);
 
-  bbb::core::DChoiceAllocator greedy2(servers, 2);
+  bbb::core::StreamingAllocator greedy2(servers,
+                                        bbb::core::make_rule("greedy[2]", servers));
   print_strategy("greedy[2] dispatcher (power of two choices)",
                  dispatch_stream(greedy2, jobs, snapshots, seed), format);
 
-  bbb::core::OneChoiceAllocator random(servers);
+  bbb::core::StreamingAllocator random(servers,
+                                       bbb::core::make_rule("one-choice", servers));
   print_strategy("random dispatcher (one-choice)",
                  dispatch_stream(random, jobs, snapshots, seed), format);
 

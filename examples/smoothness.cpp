@@ -12,8 +12,7 @@
 #include <string>
 
 #include "bbb/core/metrics.hpp"
-#include "bbb/core/protocols/adaptive.hpp"
-#include "bbb/core/protocols/threshold.hpp"
+#include "bbb/core/protocols/registry.hpp"
 #include "bbb/io/argparse.hpp"
 #include "bbb/io/table.hpp"
 #include "bbb/rng/xoshiro256.hpp"
@@ -40,7 +39,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(m), n);
 
   bbb::rng::Engine gen_a(seed);
-  bbb::core::AdaptiveAllocator adaptive(n);
+  bbb::core::StreamingAllocator adaptive(n, bbb::core::make_rule("adaptive", n));
   const auto trace_a = bbb::sim::trace_allocation(adaptive, gen_a, m, stride);
   auto table_a = bbb::sim::trace_table(trace_a);
   table_a.set_title("adaptive trajectory (psi plateaus at O(n))");
@@ -48,7 +47,8 @@ int main(int argc, char** argv) {
   std::fputs("\n", stdout);
 
   bbb::rng::Engine gen_t(seed);
-  bbb::core::ThresholdAllocator threshold(n, m);
+  bbb::core::StreamingAllocator threshold(n,
+                                          bbb::core::make_rule("threshold", n, m));
   const auto trace_t = bbb::sim::trace_allocation(threshold, gen_t, m, stride);
   auto table_t = bbb::sim::trace_table(trace_t);
   table_t.set_title("threshold trajectory (psi grows until the endgame)");

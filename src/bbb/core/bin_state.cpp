@@ -1,0 +1,116 @@
+#include "bbb/core/bin_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "bbb/core/metrics.hpp"
+
+namespace bbb::core {
+
+BinState::BinState(std::uint32_t n)
+    : level_count_(1, n),
+      phi_weight_(static_cast<double>(n)),
+      pow_neg_(1, 1.0),
+      nonempty_pos_(n, 0) {
+  if (n == 0) throw std::invalid_argument("BinState: n must be positive");
+  loads_.assign(n, 0);
+}
+
+double BinState::pow_neg(std::uint32_t l) const {
+  // (1+eps)^{-l}, extended one level at a time so lookups stay O(1): loads
+  // only ever move by one level per event.
+  while (pow_neg_.size() <= l) {
+    pow_neg_.push_back(pow_neg_.back() / (1.0 + kPotentialEpsilon));
+  }
+  return pow_neg_[l];
+}
+
+void BinState::add_ball(std::uint32_t bin) {
+  const std::uint32_t l = loads_[bin];
+  ++loads_[bin];
+  ++balls_;
+
+  if (level_count_.size() <= static_cast<std::size_t>(l) + 1) {
+    level_count_.resize(static_cast<std::size_t>(l) + 2, 0);
+  }
+  --level_count_[l];
+  ++level_count_[l + 1];
+  if (l + 1 > max_) max_ = l + 1;
+  // The moved bin was the last one at the minimum level: the new minimum is
+  // one level up (where this bin now sits), so min never skips a level.
+  if (l == min_ && level_count_[l] == 0) ++min_;
+
+  sum_sq_ += 2ULL * l + 1;
+  phi_weight_ += pow_neg(l + 1) - pow_neg(l);
+
+  if (l == 0) {
+    nonempty_pos_[bin] = static_cast<std::uint32_t>(nonempty_.size());
+    nonempty_.push_back(bin);
+  }
+}
+
+void BinState::remove_ball(std::uint32_t bin) {
+  const std::uint32_t l = loads_[bin];
+  if (l == 0) {
+    throw std::invalid_argument("BinState::remove_ball: bin " + std::to_string(bin) +
+                                " is empty");
+  }
+  --loads_[bin];
+  --balls_;
+
+  --level_count_[l];
+  ++level_count_[l - 1];
+  if (l - 1 < min_) min_ = l - 1;
+  // The moved bin was the last one at the maximum level; it now occupies
+  // level l - 1, so the maximum drops by exactly one.
+  if (l == max_ && level_count_[l] == 0) --max_;
+
+  sum_sq_ -= 2ULL * l - 1;
+  phi_weight_ += pow_neg(l - 1) - pow_neg(l);
+
+  if (l == 1) {
+    const std::uint32_t pos = nonempty_pos_[bin];
+    const std::uint32_t last = nonempty_.back();
+    nonempty_[pos] = last;
+    nonempty_pos_[last] = pos;
+    nonempty_.pop_back();
+  }
+}
+
+double BinState::psi() const noexcept {
+  const auto t = static_cast<double>(balls_);
+  return static_cast<double>(sum_sq_) - t * t / static_cast<double>(loads_.size());
+}
+
+double BinState::log_phi() const noexcept {
+  return std::log(phi_weight_) + (average() + 2.0) * std::log1p(kPotentialEpsilon);
+}
+
+std::uint32_t BinState::bins_with_load_at_least(std::uint32_t k) const noexcept {
+  if (k == 0) return n();
+  std::uint32_t count = 0;
+  for (std::size_t l = k; l < level_count_.size(); ++l) count += level_count_[l];
+  return count;
+}
+
+std::uint32_t BinState::sample_nonempty(rng::Engine& gen) const {
+  if (nonempty_.empty()) {
+    throw std::logic_error("BinState::sample_nonempty: every bin is empty");
+  }
+  return nonempty_[rng::uniform_below(gen, nonempty_.size())];
+}
+
+void BinState::clear() noexcept {
+  std::fill(loads_.begin(), loads_.end(), 0u);
+  balls_ = 0;
+  level_count_.assign(1, n());
+  max_ = 0;
+  min_ = 0;
+  sum_sq_ = 0;
+  phi_weight_ = static_cast<double>(n());
+  nonempty_.clear();
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,115 @@
+#pragma once
+/// \file bin_state.hpp
+/// THE bin-load state of the library: n bins, each holding a count of
+/// balls, plus the bookkeeping that makes every Section-2 metric
+/// incremental per event — no full rescan, batch or dynamic alike.
+///
+/// This type unifies what used to be two states (the bare `LoadVector`
+/// the batch protocols filled and the dyn layer's `DynState`): every
+/// decision rule in core/protocols/ now streams balls into one `BinState`
+/// via `PlacementRule::place_one`, and every consumer (batch adapter,
+/// dynamic engine, tracer) reads the same O(1) metrics.
+///
+/// Notation: this is the paper's load vector l = (l_1, ..., l_n) after t
+/// placements; `balls()` is t, `average()` is t/n (the centering used by
+/// the potentials Ψ and Φ in metrics.hpp). Incremental bookkeeping:
+///   - level counts (number of bins at each load) give max/min/gap in
+///     O(1) worst case, because one event moves one bin one level;
+///   - S2 = sum l_i^2 gives Psi = S2 - t^2/n;
+///   - W = sum (1+eps)^{-l_i} gives ln Phi = ln W + (t/n + 2) ln(1+eps);
+///   - the nonempty-bin index supports O(1) "serve a uniformly random
+///     busy queue" departures (the supermarket service event).
+///
+/// Invariants (property-tested in tests/core/bin_state_test.cpp and,
+/// against the naive metrics.hpp recomputation under random add/remove
+/// interleavings, in tests/dyn/allocator_test.cpp):
+///   * balls() == sum of load(i) over all bins whenever control is
+///     outside add_ball/remove_ball;
+///   * every incremental metric equals the batch recomputation from
+///     core/metrics.hpp after any interleaving of add/remove.
+
+#include <cstdint>
+#include <vector>
+
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::core {
+
+/// Bin loads plus incremental metrics. All mutators are O(1) worst case.
+class BinState {
+ public:
+  /// \param n number of bins. \throws std::invalid_argument if n == 0.
+  explicit BinState(std::uint32_t n);
+
+  /// Place one ball into `bin`, updating every derived metric.
+  void add_ball(std::uint32_t bin);
+
+  /// Remove one ball from `bin`. \throws std::invalid_argument if empty.
+  void remove_ball(std::uint32_t bin);
+
+  [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept {
+    return loads_[bin];
+  }
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+  [[nodiscard]] std::uint64_t balls() const noexcept { return balls_; }
+
+  /// Average load balls/n.
+  [[nodiscard]] double average() const noexcept {
+    return static_cast<double>(balls_) / static_cast<double>(loads_.size());
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept {
+    return loads_;
+  }
+
+  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_; }
+  [[nodiscard]] std::uint32_t min_load() const noexcept { return min_; }
+  [[nodiscard]] std::uint32_t gap() const noexcept { return max_ - min_; }
+
+  /// Quadratic potential Psi = sum (l_i - t/n)^2 = S2 - t^2/n.
+  [[nodiscard]] double psi() const noexcept;
+
+  /// ln Phi with the paper's eps = 1/200, maintained incrementally.
+  [[nodiscard]] double log_phi() const noexcept;
+
+  /// Number of bins with load >= k (suffix sum over level counts; O(max
+  /// load), intended for snapshots, not per-event hot paths with large k).
+  [[nodiscard]] std::uint32_t bins_with_load_at_least(std::uint32_t k) const noexcept;
+
+  /// level_counts()[l] = number of bins with load exactly l. May carry
+  /// trailing zero entries above max_load().
+  [[nodiscard]] const std::vector<std::uint32_t>& level_counts() const noexcept {
+    return level_count_;
+  }
+
+  [[nodiscard]] std::uint32_t nonempty_bins() const noexcept {
+    return static_cast<std::uint32_t>(nonempty_.size());
+  }
+
+  /// A uniformly random bin among those with load > 0 — the supermarket
+  /// model's "one busy server completes a job" event.
+  /// \throws std::logic_error if every bin is empty.
+  [[nodiscard]] std::uint32_t sample_nonempty(rng::Engine& gen) const;
+
+  /// Reset to the all-empty state (loads, ball count, and every metric).
+  void clear() noexcept;
+
+ private:
+  std::vector<std::uint32_t> loads_;
+  std::uint64_t balls_ = 0;
+  std::vector<std::uint32_t> level_count_;  // level_count_[l] = #bins at load l
+  std::uint32_t max_ = 0;
+  std::uint32_t min_ = 0;
+  std::uint64_t sum_sq_ = 0;  // S2 = sum l_i^2 (exact while it fits 64 bits)
+  double phi_weight_;         // W = sum (1+eps)^{-l_i}
+  mutable std::vector<double> pow_neg_;      // cache of (1+eps)^{-l}
+  std::vector<std::uint32_t> nonempty_;      // bin ids with load > 0
+  std::vector<std::uint32_t> nonempty_pos_;  // bin -> index in nonempty_
+
+  [[nodiscard]] double pow_neg(std::uint32_t l) const;
+};
+
+}  // namespace bbb::core

@@ -1,12 +1,10 @@
 #pragma once
 /// \file probe.hpp
-/// The two probe loops every uniform-probing protocol in the library
-/// shares, extracted so the batch allocators (core/protocols/) and the
-/// streaming allocators (dyn/) consume randomness through the *same*
-/// code. The dyn layer advertises bit-for-bit equivalence with the batch
-/// protocols on arrivals-only streams (tests/dyn/batch_equivalence_test);
-/// sharing these loops makes that lockstep structural rather than a
-/// convention two copies must maintain by hand.
+/// The two probe loops every uniform-probing rule in the library shares.
+/// Since the single-streaming-core refactor there is exactly one copy of
+/// each decision rule (core/protocols/), driven by both the batch adapter
+/// and the dyn engine; these helpers fix the randomness-consumption order
+/// that the bit-for-bit pins below depend on.
 ///
 /// Both helpers draw from the engine in a fixed order (one uniform_below
 /// per probe, plus one per tie for the reservoir tie-break). Any change to

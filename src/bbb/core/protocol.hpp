@@ -3,11 +3,14 @@
 /// The batch-allocation interface all protocols implement, and the result
 /// record every experiment consumes.
 ///
-/// Two layers of API:
-///  * streaming allocators (one class per protocol, `place(gen)` places one
-///    ball) — what an application embeds;
+/// Two layers of API, both fed by the same streaming core (core/rule.hpp):
+///  * streaming rules (`PlacementRule::place_one` places one ball into a
+///    shared `BinState`) — what an application embeds and the dyn engine
+///    drives;
 ///  * `Protocol` (this file) — type-erased batch interface the simulator
-///    sweeps over: `run(m, n, gen)` allocates m balls into n fresh bins.
+///    sweeps over: `run(m, n, gen)` allocates m balls into n fresh bins,
+///    implemented as the place_one loop (`run_rule`) for every sequential
+///    protocol.
 ///
 /// Notation (Section 2 of the paper): m balls, n bins, average load m/n;
 /// `AllocationResult::probes` is the paper's *allocation time* — the total

@@ -15,44 +15,61 @@
 ///
 /// Integer form: load < i/n + 1 over integer loads <=> load <= ceil(i/n).
 /// The bound therefore bumps by one exactly when a stage of n balls
-/// completes; the allocator tracks it incrementally (no division per ball).
-/// A generalized integer `slack` c gives acceptance load <= ceil(i/n)+(c-1);
-/// c = 0 is the "no +1" variant the paper notes degenerates to a coupon
-/// collector with Theta(m log n) allocation time.
+/// completes; the total-count variant tracks it incrementally (no division
+/// per ball). A generalized integer `slack` c gives acceptance load <=
+/// ceil(i/n)+(c-1); c = 0 is the "no +1" variant the paper notes
+/// degenerates to a coupon collector with Theta(m log n) allocation time.
+///
+/// Under *departures* (the dyn engine) the ball index i becomes ambiguous —
+/// the paper never faces this fork. `AdaptiveCount` names both readings:
+///   * kTotal — i = balls ever placed, the literal Figure 1 counter. The
+///     bound is monotone and goes vacuous under sustained churn.
+///   * kNet — i = balls currently in the system; the bound stays tight
+///     forever. Identical to kTotal on arrivals-only streams, so both are
+///     batch-equivalent to the adaptive protocol (bench_dyn_churn measures
+///     the separation once balls leave).
 
-#include "bbb/core/load_vector.hpp"
 #include "bbb/core/protocol.hpp"
-#include "bbb/rng/engine.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming adaptive allocator: the class applications embed when the
-/// total number of jobs is unknown (dispatchers, hash tables that grow).
-class AdaptiveAllocator {
+/// Which ball index feeds the acceptance bound (see file comment).
+enum class AdaptiveCount : std::uint8_t { kTotal, kNet };
+
+/// Streaming adaptive rule: what applications embed when the total number
+/// of jobs is unknown (dispatchers, hash tables that grow).
+class AdaptiveRule final : public PlacementRule {
  public:
-  /// \param n bins; \param slack integer slack c, default 1 (the paper).
-  /// \throws std::invalid_argument if n == 0.
-  explicit AdaptiveAllocator(std::uint32_t n, std::uint32_t slack = 1);
+  /// \param slack integer slack c, default 1 (the paper);
+  /// \param count which ball index feeds the bound (default the paper's
+  ///        total counter); \param base spec-canonical name stem
+  ///        ("adaptive", "adaptive-net", "adaptive-total").
+  explicit AdaptiveRule(std::uint32_t slack = 1,
+                        AdaptiveCount count = AdaptiveCount::kTotal,
+                        std::string base = "adaptive");
 
-  /// Place one ball; returns the chosen bin. Always terminates: for slack
-  /// >= 1 a below-average bin always qualifies; for slack == 0 the bound
-  /// ceil(i/n) - 1 still admits at least one bin because i - 1 already
-  /// placed balls cannot fill all n bins to ceil(i/n).
-  std::uint32_t place(rng::Engine& gen);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AdaptiveCount count_mode() const noexcept { return count_; }
 
-  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
   /// Acceptance bound the *next* ball will use (load <= bound accepted).
-  [[nodiscard]] std::uint32_t accept_bound() const noexcept { return bound_; }
-  /// Balls placed so far.
-  [[nodiscard]] std::uint64_t balls() const noexcept { return state_.balls(); }
+  [[nodiscard]] std::uint64_t accept_bound(const BinState& state) const noexcept;
+
+ protected:
+  /// Always terminates: for slack >= 1 a below-average bin always
+  /// qualifies; for slack == 0 the bound ceil(i/n) - 1 still admits at
+  /// least one bin because the i - 1 (or fewer) balls present cannot fill
+  /// all n bins to ceil(i/n).
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
 
  private:
-  LoadVector state_;
   std::uint32_t slack_;
-  std::uint32_t bound_;            // bound for ball index balls()+1
-  std::uint32_t stage_fill_ = 0;   // balls placed in the current stage of n
-  std::uint64_t probes_ = 0;
+  AdaptiveCount count_;
+  std::string base_;
+  // kTotal only: the bound for ball total_placed()+1, bumped incrementally
+  // each time a stage of n placements completes (no division per ball).
+  std::uint64_t bound_;
+  std::uint32_t stage_fill_ = 0;
 };
 
 /// Batch protocol wrapper: adaptive (slack 1 = the paper's Figure 1).

@@ -4,9 +4,34 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bbb/core/probe.hpp"
 #include "bbb/rng/engine.hpp"
 
 namespace bbb::core {
+
+BatchedRule::BatchedRule(std::uint32_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("BatchedRule: capacity must be positive");
+  }
+}
+
+std::string BatchedRule::name() const {
+  return "batched[" + std::to_string(capacity_) + "]";
+}
+
+std::uint32_t BatchedRule::do_place(BinState& state, rng::Engine& gen) {
+  // Every bin full and nobody departing: the capacity bound can never
+  // admit another ball. Detect in O(1) instead of spinning.
+  if (state.min_load() >= capacity_) {
+    throw std::logic_error("BatchedRule: every bin is at capacity " +
+                           std::to_string(capacity_));
+  }
+  const std::uint32_t bin = probe_until(
+      gen, state.n(), probes_,
+      [this, &state](std::uint32_t b) { return state.load(b) < capacity_; });
+  state.add_ball(bin);
+  return bin;
+}
 
 BatchedProtocol::BatchedProtocol(Params params) : params_(params) {
   if (params_.capacity == 0 || params_.max_rounds == 0 || params_.max_fanout == 0) {

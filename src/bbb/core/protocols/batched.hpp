@@ -13,12 +13,43 @@
 ///
 /// The protocol cannot place more than capacity * n balls; configurations
 /// violating that are rejected up-front.
+///
+/// Streaming reading (`BatchedRule`): one ball at a time there are no
+/// rounds, so the rule keeps the defining ingredient — the hard per-bin
+/// `capacity` — and probes uniform bins until one with spare capacity
+/// accepts. This is the capacity-bounded retry a serving system would run;
+/// departures re-open capacity, and a fully saturated system is detected
+/// in O(1) and reported by throwing instead of spinning. Because the batch
+/// form is round-synchronous over the whole ball set, batched is the one
+/// rule whose `Protocol::run` is *not* the place_one loop
+/// (`batch_equivalent() == false`).
 
 #include "bbb/core/protocol.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Batch-only protocol (there is no meaningful one-ball streaming form).
+/// Streaming capacity-bounded rule: accept any probed bin with load <
+/// capacity.
+class BatchedRule final : public PlacementRule {
+ public:
+  /// \throws std::invalid_argument if capacity == 0.
+  explicit BatchedRule(std::uint32_t capacity);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool batch_equivalent() const noexcept override { return false; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+ protected:
+  /// \throws std::logic_error once every bin is at capacity (no departure
+  /// has re-opened space — the fixed-capacity deadlock).
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+
+ private:
+  std::uint32_t capacity_;
+};
+
+/// Batch protocol: the synchronous LW rounds (see file comment).
 class BatchedProtocol final : public Protocol {
  public:
   struct Params {

@@ -10,80 +10,91 @@
 /// contrasts against: perfect bucket bounds, but insertions can cascade
 /// (and fail outright above the load threshold — see Dietzfelbinger et al.
 /// for the exact thresholds).
+///
+/// As a streaming rule the eviction walk relocates *other* balls after
+/// they were placed, so ball identity is not stable
+/// (`stable_ball_identity() == false`): the dyn engine selects departure
+/// victims by bin occupancy, and `on_remove` retires one resident of that
+/// bucket. An insertion that exhausts its eviction budget parks the last
+/// displaced item (the net count does not grow) and clears `completed()`.
 
 #include <vector>
 
 #include "bbb/core/protocol.hpp"
-#include "bbb/rng/engine.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming cuckoo table. Items are dense ids assigned by insert order.
-class CuckooTable {
+/// Streaming d-ary cuckoo rule. Items are dense ids assigned by insert
+/// order; the bucket occupancies live in the shared BinState.
+class CuckooRule final : public PlacementRule {
  public:
   struct Params {
-    std::uint32_t d = 2;           ///< candidate buckets per item
-    std::uint32_t bucket_size = 4; ///< k, items a bucket can hold
-    std::uint32_t max_kicks = 500; ///< eviction budget per insert
+    std::uint32_t d = 2;            ///< candidate buckets per item
+    std::uint32_t bucket_size = 4;  ///< k, items a bucket can hold
+    std::uint32_t max_kicks = 500;  ///< eviction budget per insert
   };
 
   /// \throws std::invalid_argument if n == 0, d == 0, bucket_size == 0,
   ///         max_kicks == 0, or d > n.
-  CuckooTable(std::uint32_t n, Params params);
+  CuckooRule(std::uint32_t n, Params params);
 
-  /// Insert one item. Returns true on success; false if the eviction budget
-  /// was exhausted (the table is left consistent: the failed item and every
-  /// displaced item are all stored — failure means the *last* displaced
-  /// item could not be placed and is parked in `stash()`).
-  bool insert(rng::Engine& gen);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool stable_ball_identity() const noexcept override { return false; }
+  [[nodiscard]] std::uint32_t bound_n() const noexcept override {
+    return static_cast<std::uint32_t>(residents_.size());
+  }
 
-  [[nodiscard]] std::uint32_t n() const noexcept {
-    return static_cast<std::uint32_t>(bucket_len_.size());
-  }
-  [[nodiscard]] std::uint64_t items() const noexcept { return items_; }
-  /// Bucket occupancy (loads in balls-into-bins terms).
-  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept {
-    return bucket_len_;
-  }
-  /// Items that failed to place (insert() returned false).
+  /// Items that failed to place (eviction budget exhausted).
   [[nodiscard]] std::uint64_t stash() const noexcept { return stash_; }
-  /// Random bucket choices drawn so far.
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
-  /// Evictions performed so far.
-  [[nodiscard]] std::uint64_t moves() const noexcept { return moves_; }
-  /// Occupied fraction m / (n * k).
-  [[nodiscard]] double load_factor() const noexcept;
+  /// Evictions performed so far (== reallocations()).
+  [[nodiscard]] std::uint64_t moves() const noexcept { return reallocations_; }
+  /// High-water mark of simultaneously tracked items. Departed and parked
+  /// item ids are recycled, so long steady-state churn runs stay O(max
+  /// population) in memory, not O(total insertions) — tested in
+  /// tests/dyn/allocator_test.cpp.
+  [[nodiscard]] std::uint64_t tracked_items() const noexcept {
+    return choices_.size() / params_.d;
+  }
+
+  void on_remove(BinState& state, std::uint32_t bin) override;
 
   [[nodiscard]] const Params& params() const noexcept { return params_; }
 
+ protected:
+  /// Insert one item. Returns the bucket the *arriving* item ended in; on
+  /// failure (budget exhausted) the net ball count is unchanged, the last
+  /// displaced item is parked, completed() turns false, and the returned
+  /// bucket is where the arriving item last rested (the parked item can be
+  /// the arriving one, in which case it is in no bucket at all).
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+
  private:
-  [[nodiscard]] std::uint32_t choice(std::uint64_t item, std::uint32_t j) const noexcept {
+  [[nodiscard]] std::uint32_t choice(std::uint64_t item,
+                                     std::uint32_t j) const noexcept {
     return choices_[item * params_.d + j];
   }
 
   Params params_;
-  std::vector<std::uint32_t> bucket_len_;              // items per bucket
   std::vector<std::vector<std::uint64_t>> residents_;  // item ids per bucket
   std::vector<std::uint32_t> choices_;                 // d per item, flattened
-  std::uint64_t items_ = 0;
+  std::vector<std::uint64_t> free_ids_;                // recycled item ids
   std::uint64_t stash_ = 0;
-  std::uint64_t probes_ = 0;
-  std::uint64_t moves_ = 0;
 };
 
 /// Batch protocol wrapper: inserts m items; completed == false if any
 /// insertion failed. reallocations reports evictions.
 class CuckooProtocol final : public Protocol {
  public:
-  explicit CuckooProtocol(CuckooTable::Params params);
-  CuckooProtocol() : CuckooProtocol(CuckooTable::Params{}) {}
+  explicit CuckooProtocol(CuckooRule::Params params);
+  CuckooProtocol() : CuckooProtocol(CuckooRule::Params{}) {}
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
                                      rng::Engine& gen) const override;
 
  private:
-  CuckooTable::Params params_;
+  CuckooRule::Params params_;
 };
 
 }  // namespace bbb::core

@@ -6,14 +6,16 @@
 
 namespace bbb::core {
 
-DChoiceAllocator::DChoiceAllocator(std::uint32_t n, std::uint32_t d) : state_(n), d_(d) {
-  if (d == 0) throw std::invalid_argument("DChoiceAllocator: d must be positive");
+DChoiceRule::DChoiceRule(std::uint32_t d) : d_(d) {
+  if (d == 0) throw std::invalid_argument("DChoiceRule: d must be positive");
 }
 
-std::uint32_t DChoiceAllocator::place(rng::Engine& gen) {
+std::string DChoiceRule::name() const { return "greedy[" + std::to_string(d_) + "]"; }
+
+std::uint32_t DChoiceRule::do_place(BinState& state, rng::Engine& gen) {
   const std::uint32_t best = least_loaded_of(
-      gen, state_.n(), d_, probes_, [this](std::uint32_t b) { return state_.load(b); });
-  state_.add_ball(best);
+      gen, state.n(), d_, probes_, [&state](std::uint32_t b) { return state.load(b); });
+  state.add_ball(best);
   return best;
 }
 
@@ -27,14 +29,8 @@ std::string DChoiceProtocol::name() const {
 
 AllocationResult DChoiceProtocol::run(std::uint64_t m, std::uint32_t n,
                                       rng::Engine& gen) const {
-  validate_run_args(m, n);
-  DChoiceAllocator alloc(n, d_);
-  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
-  AllocationResult res;
-  res.loads = alloc.state().loads();
-  res.balls = m;
-  res.probes = alloc.probes();
-  return res;
+  DChoiceRule rule(d_);
+  return run_rule(rule, m, n, gen);
 }
 
 }  // namespace bbb::core

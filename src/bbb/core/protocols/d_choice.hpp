@@ -6,29 +6,25 @@
 /// Max load: m/n + ln ln n / ln d + O(1) (Berenbrink et al. 2006).
 /// Allocation time: exactly d probes per ball.
 
-#include "bbb/core/load_vector.hpp"
 #include "bbb/core/protocol.hpp"
-#include "bbb/rng/engine.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming greedy[d] allocator.
-class DChoiceAllocator {
+/// Streaming greedy[d] rule.
+class DChoiceRule final : public PlacementRule {
  public:
-  /// \throws std::invalid_argument if n == 0 or d == 0.
-  DChoiceAllocator(std::uint32_t n, std::uint32_t d);
+  /// \throws std::invalid_argument if d == 0.
+  explicit DChoiceRule(std::uint32_t d);
 
-  /// Place one ball; returns the chosen bin.
-  std::uint32_t place(rng::Engine& gen);
-
-  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
 
+ protected:
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+
  private:
-  LoadVector state_;
   std::uint32_t d_;
-  std::uint64_t probes_ = 0;
 };
 
 /// Batch protocol wrapper: greedy[d].

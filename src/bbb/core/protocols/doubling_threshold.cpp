@@ -6,22 +6,32 @@
 
 namespace bbb::core {
 
-DoublingThresholdAllocator::DoublingThresholdAllocator(std::uint32_t n,
-                                                       std::uint64_t initial_guess)
-    : state_(n), guess_(initial_guess == 0 ? n : initial_guess) {
+DoublingThresholdRule::DoublingThresholdRule(std::uint32_t n,
+                                             std::uint64_t initial_guess)
+    : n_(n), initial_guess_(initial_guess),
+      guess_(initial_guess == 0 ? n : initial_guess) {
+  if (n == 0) {
+    throw std::invalid_argument("DoublingThresholdRule: n must be positive");
+  }
   bound_ = static_cast<std::uint32_t>(ceil_div(guess_, n));
 }
 
-std::uint32_t DoublingThresholdAllocator::place(rng::Engine& gen) {
-  const std::uint32_t n = state_.n();
-  // Guess exhausted: double and recompute the bound before placing.
-  while (state_.balls() >= guess_) {
+std::string DoublingThresholdRule::name() const {
+  return "doubling-threshold[" + std::to_string(initial_guess_) + "]";
+}
+
+std::uint32_t DoublingThresholdRule::do_place(BinState& state, rng::Engine& gen) {
+  const std::uint32_t n = state.n();
+  // Guess exhausted: double and recompute the bound before placing. The
+  // clock is the monotone total placement count, not the net population.
+  while (total_placed() >= guess_) {
     guess_ *= 2;
     bound_ = static_cast<std::uint32_t>(ceil_div(guess_, n));
   }
   const std::uint32_t bin = probe_until(
-      gen, n, probes_, [this](std::uint32_t b) { return state_.load(b) <= bound_; });
-  state_.add_ball(bin);
+      gen, n, probes_,
+      [this, &state](std::uint32_t b) { return state.load(b) <= bound_; });
+  state.add_ball(bin);
   return bin;
 }
 
@@ -34,14 +44,8 @@ std::string DoublingThresholdProtocol::name() const {
 
 AllocationResult DoublingThresholdProtocol::run(std::uint64_t m, std::uint32_t n,
                                                 rng::Engine& gen) const {
-  validate_run_args(m, n);
-  DoublingThresholdAllocator alloc(n, initial_guess_);
-  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
-  AllocationResult res;
-  res.loads = alloc.state().loads();
-  res.balls = m;
-  res.probes = alloc.probes();
-  return res;
+  DoublingThresholdRule rule(n, initial_guess_);
+  return run_rule(rule, m, n, gen);
 }
 
 }  // namespace bbb::core

@@ -11,35 +11,39 @@
 /// lands just past a doubling boundary. adaptive (threshold i/n + 1) is the
 /// correct fix: same O(m) time, bound ceil(m/n) + 1 for every m, no
 /// schedule cliff. bench_ablation_unknown_m measures the gap.
+///
+/// Under departures the guess doubles on the *total* number of balls ever
+/// placed (the schedule is a monotone clock, like the paper's ball index),
+/// so sustained churn keeps widening the bound — the same pathology the
+/// adaptive total-count variant exhibits, measured in bench_dyn_churn.
 
-#include "bbb/core/load_vector.hpp"
 #include "bbb/core/protocol.hpp"
-#include "bbb/rng/engine.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming guess-and-double threshold allocator.
-class DoublingThresholdAllocator {
+/// Streaming guess-and-double threshold rule.
+class DoublingThresholdRule final : public PlacementRule {
  public:
-  /// \param n bins; \param initial_guess starting M (defaults to n).
-  /// \throws std::invalid_argument if n == 0 or initial_guess == 0.
-  explicit DoublingThresholdAllocator(std::uint32_t n, std::uint64_t initial_guess = 0);
+  /// \param n bins; \param initial_guess starting M (0 = default n).
+  /// \throws std::invalid_argument if n == 0.
+  explicit DoublingThresholdRule(std::uint32_t n, std::uint64_t initial_guess = 0);
 
-  /// Place one ball; returns the chosen bin.
-  std::uint32_t place(rng::Engine& gen);
-
-  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
-  /// Current guess M (doubles each time the ball count reaches it).
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t bound_n() const noexcept override { return n_; }
+  /// Current guess M (doubles each time the placement count reaches it).
   [[nodiscard]] std::uint64_t guess() const noexcept { return guess_; }
   /// Acceptance bound in force: load <= ceil(M/n).
   [[nodiscard]] std::uint32_t accept_bound() const noexcept { return bound_; }
 
+ protected:
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+
  private:
-  LoadVector state_;
+  std::uint32_t n_;
+  std::uint64_t initial_guess_;
   std::uint64_t guess_;
   std::uint32_t bound_;
-  std::uint64_t probes_ = 0;
 };
 
 /// Batch wrapper: doubling-threshold[initial_guess] (0 = default n).

@@ -4,24 +4,26 @@
 
 namespace bbb::core {
 
-LeftDAllocator::LeftDAllocator(std::uint32_t n, std::uint32_t d) : state_(n), d_(d) {
-  if (d == 0) throw std::invalid_argument("LeftDAllocator: d must be positive");
-  if (d > n) throw std::invalid_argument("LeftDAllocator: d must be <= n");
+LeftDRule::LeftDRule(std::uint32_t n, std::uint32_t d) : n_(n), d_(d) {
+  if (n == 0) throw std::invalid_argument("LeftDRule: n must be positive");
+  if (d == 0) throw std::invalid_argument("LeftDRule: d must be positive");
+  if (d > n) throw std::invalid_argument("LeftDRule: d must be <= n");
 }
 
-std::pair<std::uint32_t, std::uint32_t> LeftDAllocator::group_range(
-    std::uint32_t g) const {
-  if (g >= d_) throw std::invalid_argument("LeftDAllocator: group out of range");
+std::string LeftDRule::name() const { return "left[" + std::to_string(d_) + "]"; }
+
+std::pair<std::uint32_t, std::uint32_t> LeftDRule::group_range(std::uint32_t g) const {
+  if (g >= d_) throw std::invalid_argument("LeftDRule: group out of range");
   // Group g covers [g*n/d, (g+1)*n/d) with 64-bit intermediate products, so
   // group sizes differ by at most one bin.
-  const std::uint64_t n = state_.n();
+  const std::uint64_t n = n_;
   const auto first = static_cast<std::uint32_t>(g * n / d_);
   const auto last =
       static_cast<std::uint32_t>((static_cast<std::uint64_t>(g) + 1) * n / d_);
   return {first, last};
 }
 
-std::uint32_t LeftDAllocator::place(rng::Engine& gen) {
+std::uint32_t LeftDRule::do_place(BinState& state, rng::Engine& gen) {
   // Sample one bin per group, left to right. The strict `<` comparison
   // implements Vöcking's always-go-left tie-breaking: an equal load in a
   // later (righter) group never displaces the current best.
@@ -29,16 +31,16 @@ std::uint32_t LeftDAllocator::place(rng::Engine& gen) {
   std::uint32_t best_load = 0;
   for (std::uint32_t g = 0; g < d_; ++g) {
     const auto [first, last] = group_range(g);
-    const auto c = static_cast<std::uint32_t>(
-        first + rng::uniform_below(gen, last - first));
-    const std::uint32_t l = state_.load(c);
+    const auto c =
+        static_cast<std::uint32_t>(first + rng::uniform_below(gen, last - first));
+    const std::uint32_t l = state.load(c);
     if (g == 0 || l < best_load) {
       best = c;
       best_load = l;
     }
   }
   probes_ += d_;
-  state_.add_ball(best);
+  state.add_ball(best);
   return best;
 }
 
@@ -51,13 +53,8 @@ std::string LeftDProtocol::name() const { return "left[" + std::to_string(d_) + 
 AllocationResult LeftDProtocol::run(std::uint64_t m, std::uint32_t n,
                                     rng::Engine& gen) const {
   validate_run_args(m, n);
-  LeftDAllocator alloc(n, d_);
-  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
-  AllocationResult res;
-  res.loads = alloc.state().loads();
-  res.balls = m;
-  res.probes = alloc.probes();
-  return res;
+  LeftDRule rule(n, d_);
+  return run_rule(rule, m, n, gen);
 }
 
 }  // namespace bbb::core

@@ -7,33 +7,33 @@
 /// m/n + ln ln n / (d ln phi_d) + O(1), where phi_d is the generalized
 /// golden ratio — exponentially better in d than greedy[d]'s ln d.
 
-#include "bbb/core/load_vector.hpp"
+#include <utility>
+
 #include "bbb/core/protocol.hpp"
-#include "bbb/rng/engine.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming left[d] allocator.
-class LeftDAllocator {
+/// Streaming left[d] rule. Bound to a fixed n (the group partition).
+class LeftDRule final : public PlacementRule {
  public:
   /// \throws std::invalid_argument if n == 0, d == 0, or d > n.
-  LeftDAllocator(std::uint32_t n, std::uint32_t d);
+  LeftDRule(std::uint32_t n, std::uint32_t d);
 
-  /// Place one ball; returns the chosen bin.
-  std::uint32_t place(rng::Engine& gen);
-
-  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t bound_n() const noexcept override { return n_; }
   [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
 
   /// Half-open bin range [first, last) of group g (for tests).
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> group_range(
       std::uint32_t g) const;
 
+ protected:
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+
  private:
-  LoadVector state_;
+  std::uint32_t n_;
   std::uint32_t d_;
-  std::uint64_t probes_ = 0;
 };
 
 /// Batch protocol wrapper: left[d].

@@ -5,19 +5,22 @@
 
 namespace bbb::core {
 
-MemoryDKAllocator::MemoryDKAllocator(std::uint32_t n, std::uint32_t d, std::uint32_t k)
-    : state_(n), d_(d), k_(k) {
-  if (d == 0) throw std::invalid_argument("MemoryDKAllocator: d must be positive");
-  if (k == 0) throw std::invalid_argument("MemoryDKAllocator: k must be positive");
+MemoryDKRule::MemoryDKRule(std::uint32_t d, std::uint32_t k) : d_(d), k_(k) {
+  if (d == 0) throw std::invalid_argument("MemoryDKRule: d must be positive");
+  if (k == 0) throw std::invalid_argument("MemoryDKRule: k must be positive");
   memory_.reserve(k);
   candidates_.reserve(d + k);
 }
 
-std::uint32_t MemoryDKAllocator::place(rng::Engine& gen) {
+std::string MemoryDKRule::name() const {
+  return "memory[" + std::to_string(d_) + "," + std::to_string(k_) + "]";
+}
+
+std::uint32_t MemoryDKRule::do_place(BinState& state, rng::Engine& gen) {
   candidates_.clear();
   for (std::uint32_t j = 0; j < d_; ++j) {
     candidates_.push_back(
-        static_cast<std::uint32_t>(rng::uniform_below(gen, state_.n())));
+        static_cast<std::uint32_t>(rng::uniform_below(gen, state.n())));
   }
   probes_ += d_;
   // Remembered bins join the candidate set; duplicates are harmless (the
@@ -26,11 +29,11 @@ std::uint32_t MemoryDKAllocator::place(rng::Engine& gen) {
 
   // Least-loaded candidate wins, uniform tie-break.
   std::uint32_t best = candidates_[0];
-  std::uint32_t best_load = state_.load(best);
+  std::uint32_t best_load = state.load(best);
   std::uint32_t ties = 1;
   for (std::size_t i = 1; i < candidates_.size(); ++i) {
     const std::uint32_t c = candidates_[i];
-    const std::uint32_t l = state_.load(c);
+    const std::uint32_t l = state.load(c);
     if (l < best_load) {
       best = c;
       best_load = l;
@@ -40,21 +43,20 @@ std::uint32_t MemoryDKAllocator::place(rng::Engine& gen) {
       if (rng::uniform_below(gen, ties) == 0) best = c;
     }
   }
-  state_.add_ball(best);
+  state.add_ball(best);
 
   // New memory: the k least-loaded *distinct* candidates post-placement.
   std::sort(candidates_.begin(), candidates_.end());
   candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
                     candidates_.end());
   std::sort(candidates_.begin(), candidates_.end(),
-            [this](std::uint32_t a, std::uint32_t b) {
-              const std::uint32_t la = state_.load(a);
-              const std::uint32_t lb = state_.load(b);
+            [&state](std::uint32_t a, std::uint32_t b) {
+              const std::uint32_t la = state.load(a);
+              const std::uint32_t lb = state.load(b);
               return la != lb ? la < lb : a < b;
             });
   memory_.assign(candidates_.begin(),
-                 candidates_.begin() +
-                     std::min<std::size_t>(k_, candidates_.size()));
+                 candidates_.begin() + std::min<std::size_t>(k_, candidates_.size()));
   return best;
 }
 
@@ -70,14 +72,8 @@ std::string MemoryDKProtocol::name() const {
 
 AllocationResult MemoryDKProtocol::run(std::uint64_t m, std::uint32_t n,
                                        rng::Engine& gen) const {
-  validate_run_args(m, n);
-  MemoryDKAllocator alloc(n, d_, k_);
-  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
-  AllocationResult res;
-  res.loads = alloc.state().loads();
-  res.balls = m;
-  res.probes = alloc.probes();
-  return res;
+  MemoryDKRule rule(d_, k_);
+  return run_rule(rule, m, n, gen);
 }
 
 }  // namespace bbb::core

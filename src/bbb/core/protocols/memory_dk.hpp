@@ -7,37 +7,36 @@
 /// For d = k = 1 and m = n the max load is ln ln n / (2 ln phi_2) + O(1),
 /// matching Vöcking's lower bound — with only d probes of *fresh* randomness
 /// per ball, so allocation time Theta(m) for constant d.
+///
+/// The memory cache is the canonical example of *rule-local placement
+/// state*: it remembers bin ids, not balls, so it survives departures
+/// unchanged (the loads are re-read from the BinState at each decision).
 
 #include <vector>
 
-#include "bbb/core/load_vector.hpp"
 #include "bbb/core/protocol.hpp"
-#include "bbb/rng/engine.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming (d,k)-memory allocator.
-class MemoryDKAllocator {
+/// Streaming (d,k)-memory rule.
+class MemoryDKRule final : public PlacementRule {
  public:
-  /// \throws std::invalid_argument if n == 0, d == 0, or k == 0.
-  MemoryDKAllocator(std::uint32_t n, std::uint32_t d, std::uint32_t k);
+  /// \throws std::invalid_argument if d == 0 or k == 0.
+  MemoryDKRule(std::uint32_t d, std::uint32_t k);
 
-  /// Place one ball; returns the chosen bin.
-  std::uint32_t place(rng::Engine& gen);
-
-  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
-  /// Fresh random probes only (memory lookups are free).
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::string name() const override;
   /// Currently remembered bins (size <= k; empty before the first ball).
   [[nodiscard]] const std::vector<std::uint32_t>& memory() const noexcept {
     return memory_;
   }
 
+ protected:
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+
  private:
-  LoadVector state_;
   std::uint32_t d_;
   std::uint32_t k_;
-  std::uint64_t probes_ = 0;
   std::vector<std::uint32_t> memory_;
   std::vector<std::uint32_t> candidates_;  // scratch, avoids per-ball allocs
 };

@@ -2,16 +2,17 @@
 
 namespace bbb::core {
 
+std::uint32_t OneChoiceRule::do_place(BinState& state, rng::Engine& gen) {
+  ++probes_;
+  const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, state.n()));
+  state.add_ball(bin);
+  return bin;
+}
+
 AllocationResult OneChoiceProtocol::run(std::uint64_t m, std::uint32_t n,
                                         rng::Engine& gen) const {
-  validate_run_args(m, n);
-  OneChoiceAllocator alloc(n);
-  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
-  AllocationResult res;
-  res.loads = alloc.state().loads();
-  res.balls = m;
-  res.probes = alloc.probes();
-  return res;
+  OneChoiceRule rule;
+  return run_rule(rule, m, n, gen);
 }
 
 }  // namespace bbb::core

@@ -5,32 +5,18 @@
 /// log n / log log n * (1 + o(1)) at m = n (Raab & Steger) and
 /// m/n + Theta(sqrt((m/n) log n)) in the heavily loaded case.
 
-#include "bbb/core/load_vector.hpp"
 #include "bbb/core/protocol.hpp"
-#include "bbb/rng/engine.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming single-choice allocator.
-class OneChoiceAllocator {
+/// Streaming single-choice rule (stateless beyond the base counters).
+class OneChoiceRule final : public PlacementRule {
  public:
-  /// \throws std::invalid_argument if n == 0.
-  explicit OneChoiceAllocator(std::uint32_t n) : state_(n) {}
+  [[nodiscard]] std::string name() const override { return "one-choice"; }
 
-  /// Place one ball; returns the chosen bin.
-  std::uint32_t place(rng::Engine& gen) {
-    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, state_.n()));
-    state_.add_ball(bin);
-    ++probes_;
-    return bin;
-  }
-
-  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
-
- private:
-  LoadVector state_;
-  std::uint64_t probes_ = 0;
+ protected:
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
 };
 
 /// Batch protocol wrapper.

@@ -1,6 +1,8 @@
 #include "bbb/core/protocols/registry.hpp"
 
+#include <functional>
 #include <stdexcept>
+#include <utility>
 
 #include "bbb/core/spec.hpp"
 
@@ -32,14 +34,53 @@ std::uint32_t optional_slack(const ParsedSpec& s, const std::string& spec) {
   return spec_optional_arg_u32(s, 1, spec, kKind);
 }
 
+void reject_args(const ParsedSpec& s, const std::string& spec) {
+  if (!s.args.empty()) {
+    throw std::invalid_argument("protocol spec '" + spec + "': takes no arguments");
+  }
+}
+
+// batched takes zero or one argument; both factories share the parse so
+// the grammar cannot drift between the batch and streaming sides.
+std::uint32_t batched_capacity(const ParsedSpec& s, const std::string& spec) {
+  return spec_optional_arg_u32(s, 2, spec, kKind);
+}
+
+/// Batch wrapper for specs that exist only as rules (the adaptive-net /
+/// adaptive-total spellings): run() binds the rule to (n, m) and drives
+/// the shared place_one loop.
+class StreamingSpecProtocol final : public Protocol {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<PlacementRule>(std::uint32_t, std::uint64_t)>;
+
+  StreamingSpecProtocol(std::string name, Factory factory)
+      : name_(std::move(name)), factory_(std::move(factory)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override {
+    validate_run_args(m, n);
+    const auto rule = factory_(n, m);
+    return run_rule(*rule, m, n, gen);
+  }
+
+ private:
+  std::string name_;
+  Factory factory_;
+};
+
+std::string slack_name(const std::string& base, std::uint32_t slack) {
+  return slack == 1 ? base : base + "[" + std::to_string(slack) + "]";
+}
+
 }  // namespace
 
 std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
   const ParsedSpec s = parse_spec(spec, kKind);
   if (s.name == "one-choice") {
-    if (!s.args.empty()) {
-      throw std::invalid_argument("protocol spec '" + spec + "': takes no arguments");
-    }
+    reject_args(s, spec);
     return std::make_unique<OneChoiceProtocol>();
   }
   if (s.name == "greedy") return std::make_unique<DChoiceProtocol>(arg_at(s, 0, spec));
@@ -59,6 +100,17 @@ std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
   if (s.name == "adaptive") {
     return std::make_unique<AdaptiveProtocol>(optional_slack(s, spec));
   }
+  if (s.name == "adaptive-net" || s.name == "adaptive-total") {
+    const std::uint32_t slack = optional_slack(s, spec);
+    const AdaptiveCount count =
+        s.name == "adaptive-net" ? AdaptiveCount::kNet : AdaptiveCount::kTotal;
+    const std::string base = s.name;
+    return std::make_unique<StreamingSpecProtocol>(
+        slack_name(base, slack),
+        [slack, count, base](std::uint32_t /*n*/, std::uint64_t /*m*/) {
+          return std::make_unique<AdaptiveRule>(slack, count, base);
+        });
+  }
   if (s.name == "stale-adaptive") {
     return std::make_unique<StaleAdaptiveProtocol>(arg_at(s, 0, spec));
   }
@@ -67,17 +119,15 @@ std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
   }
   if (s.name == "batched") {
     BatchedProtocol::Params p;
-    if (!s.args.empty()) p.capacity = static_cast<std::uint32_t>(s.args[0]);
+    p.capacity = batched_capacity(s, spec);
     return std::make_unique<BatchedProtocol>(p);
   }
   if (s.name == "self-balancing") {
-    if (!s.args.empty()) {
-      throw std::invalid_argument("protocol spec '" + spec + "': takes no arguments");
-    }
+    reject_args(s, spec);
     return std::make_unique<SelfBalancingProtocol>();
   }
   if (s.name == "cuckoo") {
-    CuckooTable::Params p;
+    CuckooRule::Params p;
     p.d = arg_at(s, 0, spec);
     p.bucket_size = arg_at(s, 1, spec);
     return std::make_unique<CuckooProtocol>(p);
@@ -85,12 +135,77 @@ std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
   throw std::invalid_argument("unknown protocol '" + s.name + "'");
 }
 
+std::unique_ptr<PlacementRule> make_rule(const std::string& spec, std::uint32_t n,
+                                         std::uint64_t m_hint) {
+  const ParsedSpec s = parse_spec(spec, kKind);
+  if (s.name == "one-choice") {
+    reject_args(s, spec);
+    return std::make_unique<OneChoiceRule>();
+  }
+  if (s.name == "greedy") return std::make_unique<DChoiceRule>(arg_at(s, 0, spec));
+  if (s.name == "left") return std::make_unique<LeftDRule>(n, arg_at(s, 0, spec));
+  if (s.name == "memory") {
+    return std::make_unique<MemoryDKRule>(arg_at(s, 0, spec), arg_at(s, 1, spec));
+  }
+  if (s.name == "threshold") {
+    // No hint: provision for a net population of n balls, so threshold[c]
+    // accepts load <= ceil(n/n) + c - 1 = c.
+    return std::make_unique<ThresholdRule>(n, m_hint == 0 ? n : m_hint,
+                                           optional_slack(s, spec));
+  }
+  if (s.name == "doubling-threshold") {
+    if (s.args.size() > 1) {
+      throw std::invalid_argument("protocol spec '" + spec + "': too many arguments");
+    }
+    return std::make_unique<DoublingThresholdRule>(n, s.args.empty() ? 0 : s.args[0]);
+  }
+  if (s.name == "adaptive" || s.name == "adaptive-net" || s.name == "adaptive-total") {
+    const AdaptiveCount count =
+        s.name == "adaptive-net" ? AdaptiveCount::kNet : AdaptiveCount::kTotal;
+    return std::make_unique<AdaptiveRule>(optional_slack(s, spec), count, s.name);
+  }
+  if (s.name == "stale-adaptive") {
+    return std::make_unique<StaleAdaptiveRule>(n, arg_at(s, 0, spec));
+  }
+  if (s.name == "skewed-adaptive") {
+    return std::make_unique<SkewedAdaptiveRule>(
+        n, static_cast<double>(arg_at(s, 0, spec)) / 100.0);
+  }
+  if (s.name == "batched") {
+    return std::make_unique<BatchedRule>(batched_capacity(s, spec));
+  }
+  if (s.name == "self-balancing") {
+    reject_args(s, spec);
+    return std::make_unique<SelfBalancingRule>();
+  }
+  if (s.name == "cuckoo") {
+    CuckooRule::Params p;
+    p.d = arg_at(s, 0, spec);
+    p.bucket_size = arg_at(s, 1, spec);
+    return std::make_unique<CuckooRule>(n, p);
+  }
+  throw std::invalid_argument("unknown protocol '" + s.name + "'");
+}
+
 std::vector<std::string> protocol_specs() {
-  return {"one-choice",     "greedy[d]",  "left[d]",          "memory[d,k]",
-          "threshold",      "threshold[slack]", "doubling-threshold[guess]",
-          "adaptive",       "adaptive[slack]",
-          "stale-adaptive[delta]", "skewed-adaptive[s*100]", "batched[capacity]",
-          "self-balancing", "cuckoo[d,k]"};
+  return {"one-choice",
+          "greedy[d]",
+          "left[d]",
+          "memory[d,k]",
+          "threshold",
+          "threshold[slack]",
+          "doubling-threshold[guess]",
+          "adaptive",
+          "adaptive[slack]",
+          "adaptive-net",
+          "adaptive-net[slack]",
+          "adaptive-total",
+          "adaptive-total[slack]",
+          "stale-adaptive[delta]",
+          "skewed-adaptive[s*100]",
+          "batched[capacity]",
+          "self-balancing",
+          "cuckoo[d,k]"};
 }
 
 }  // namespace bbb::core

@@ -1,9 +1,18 @@
 #pragma once
 /// \file registry.hpp
-/// String-spec protocol factory so benches and examples can take protocols
-/// on the command line. A spec is a name plus optional bracketed integer
-/// arguments; `Protocol::name()` of every built protocol parses back to an
-/// equivalent protocol (round-trip property, tested).
+/// String-spec factory for the one rule vocabulary spanning batch and
+/// dynamic execution. A spec is a name plus optional bracketed integer
+/// arguments; both factories parse the same grammar:
+///
+///   * `make_rule(spec, n, m_hint)` builds the streaming decision rule —
+///     what the dyn engine, the tracer, and every embedding application
+///     consume;
+///   * `make_protocol(spec)` builds the batch `Protocol` wrapper whose
+///     run() drives the same rule over m fresh balls (bit-for-bit equal
+///     to the place_one loop for every rule with batch_equivalent()).
+///
+/// `Protocol::name()` / `PlacementRule::name()` of every built instance
+/// parses back to an equivalent object (round-trip property, tested).
 ///
 /// Recognized specs:
 ///   one-choice
@@ -15,25 +24,45 @@
 ///   doubling-threshold[guess]   guess-and-double unknown-m variant (0 = n)
 ///   adaptive             = adaptive[1]
 ///   adaptive[slack]
+///   adaptive-net         = adaptive-net[1]; bound from the net ball count
+///   adaptive-net[slack]
+///   adaptive-total       = adaptive-total[1]; explicit total-count variant
+///   adaptive-total[slack]
 ///   stale-adaptive[delta]
 ///   skewed-adaptive[s*100]   Zipf(s) probe bias, s scaled by 100
 ///   batched[capacity]
 ///   self-balancing
 ///   cuckoo[d,k]          e.g. cuckoo[2,4]
+///
+/// The three adaptive spellings are identical on arrivals-only streams;
+/// net and total only diverge once departures arrive (see adaptive.hpp).
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bbb/core/protocol.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Build a protocol from a spec string.
+/// Build a batch protocol from a spec string.
 /// \throws std::invalid_argument for unknown names or malformed/missing args.
 [[nodiscard]] std::unique_ptr<Protocol> make_protocol(const std::string& spec);
 
-/// All recognized spec shapes, for --help output.
+/// Build a streaming rule from a spec string for a system of n bins.
+/// `m_hint` provisions rules that need the total ball count up-front
+/// (threshold's fixed bound); 0 means unknown, which falls back to m = n —
+/// i.e. `threshold[c]` with no hint accepts load <= c. All other rules
+/// ignore the hint.
+/// \throws std::invalid_argument for unknown names, malformed args, or
+///         parameters invalid at this n (left[d] with d > n, ...).
+[[nodiscard]] std::unique_ptr<PlacementRule> make_rule(const std::string& spec,
+                                                       std::uint32_t n,
+                                                       std::uint64_t m_hint = 0);
+
+/// All recognized spec shapes, for --help / --list output.
 [[nodiscard]] std::vector<std::string> protocol_specs();
 
 }  // namespace bbb::core

@@ -2,16 +2,23 @@
 
 namespace bbb::core {
 
-SkewedAdaptiveAllocator::SkewedAdaptiveAllocator(std::uint32_t n, double s)
-    : state_(n), zipf_(n, s) {}
+SkewedAdaptiveRule::SkewedAdaptiveRule(std::uint32_t n, double s)
+    : n_(n), zipf_(n, s) {}
 
-std::uint32_t SkewedAdaptiveAllocator::place(rng::Engine& gen) {
-  const std::uint32_t n = state_.n();
+std::string SkewedAdaptiveRule::name() const {
+  // The registry spec carries s scaled by 100; reconstruct it for the
+  // round-trip (s() values come from integer/100 so this is exact).
+  const auto s100 = static_cast<std::uint32_t>(zipf_.s() * 100.0 + 0.5);
+  return "skewed-adaptive[" + std::to_string(s100) + "]";
+}
+
+std::uint32_t SkewedAdaptiveRule::do_place(BinState& state, rng::Engine& gen) {
+  const std::uint32_t n = state.n();
   for (;;) {
     const std::uint32_t bin = zipf_(gen);
     ++probes_;
-    if (state_.load(bin) <= bound_) {
-      state_.add_ball(bin);
+    if (state.load(bin) <= bound_) {
+      state.add_ball(bin);
       if (++stage_fill_ == n) {
         stage_fill_ = 0;
         ++bound_;
@@ -31,13 +38,8 @@ std::string SkewedAdaptiveProtocol::name() const {
 AllocationResult SkewedAdaptiveProtocol::run(std::uint64_t m, std::uint32_t n,
                                              rng::Engine& gen) const {
   validate_run_args(m, n);
-  SkewedAdaptiveAllocator alloc(n, static_cast<double>(s_times_100_) / 100.0);
-  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
-  AllocationResult res;
-  res.loads = alloc.state().loads();
-  res.balls = m;
-  res.probes = alloc.probes();
-  return res;
+  SkewedAdaptiveRule rule(n, static_cast<double>(s_times_100_) / 100.0);
+  return run_rule(rule, m, n, gen);
 }
 
 }  // namespace bbb::core

@@ -12,32 +12,31 @@
 /// the degradation curve; the takeaway is that Theorem 3.1's O(m) leans on
 /// near-uniform sampling while the load guarantee does not.
 
-#include "bbb/core/load_vector.hpp"
 #include "bbb/core/protocol.hpp"
+#include "bbb/core/rule.hpp"
 #include "bbb/rng/zipf.hpp"
 
 namespace bbb::core {
 
-/// Streaming adaptive allocator probing bins ~ Zipf(s).
-class SkewedAdaptiveAllocator {
+/// Streaming adaptive rule probing bins ~ Zipf(s).
+class SkewedAdaptiveRule final : public PlacementRule {
  public:
   /// \param n bins; \param s Zipf exponent (0 = uniform = plain adaptive).
   /// \throws std::invalid_argument if n == 0 or s < 0.
-  SkewedAdaptiveAllocator(std::uint32_t n, double s);
+  SkewedAdaptiveRule(std::uint32_t n, double s);
 
-  /// Place one ball; returns the chosen bin.
-  std::uint32_t place(rng::Engine& gen);
-
-  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t bound_n() const noexcept override { return n_; }
   [[nodiscard]] double s() const noexcept { return zipf_.s(); }
 
+ protected:
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+
  private:
-  LoadVector state_;
+  std::uint32_t n_;
   rng::ZipfDist zipf_;
   std::uint32_t bound_ = 1;
   std::uint32_t stage_fill_ = 0;
-  std::uint64_t probes_ = 0;
 };
 
 /// Batch wrapper: skewed-adaptive[s*100] in registry specs (integer arg).

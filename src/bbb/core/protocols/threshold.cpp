@@ -6,31 +6,36 @@
 
 namespace bbb::core {
 
-ThresholdAllocator::ThresholdAllocator(std::uint32_t n, std::uint64_t m,
-                                       std::uint32_t slack)
-    : state_(n), m_(m) {
+ThresholdRule::ThresholdRule(std::uint32_t n, std::uint64_t m, std::uint32_t slack)
+    : n_(n), m_(m), slack_(slack) {
+  if (n == 0) throw std::invalid_argument("ThresholdRule: n must be positive");
   // Acceptance: load < m/n + slack over integers <=> load <= ceil(m/n) + slack - 1.
-  // slack == 0 (bound ceil(m/n) - 1) can deadlock once every bin holds
-  // exactly ceil(m/n): reject it for m > 0 when m is a multiple of n and the
-  // last stage would need a hole that may not exist. We allow slack == 0 —
-  // the bound below still guarantees termination because the first m balls
-  // leave total load m - 1 < n * ceil(m/n), i.e. some bin is below average —
-  // except the degenerate m == 0 case where bound would underflow.
+  // slack == 0 (bound ceil(m/n) - 1) still guarantees termination for the
+  // first m balls, because m - 1 already placed balls cannot fill all n
+  // bins to ceil(m/n) — except the degenerate m == 0 case where the bound
+  // would underflow.
   if (slack == 0 && m == 0) {
-    throw std::invalid_argument("ThresholdAllocator: slack 0 needs m > 0");
+    throw std::invalid_argument("ThresholdRule: slack 0 needs m > 0");
   }
   const auto base = static_cast<std::uint32_t>(ceil_div(m, n));
   bound_ = slack == 0 ? (base == 0 ? 0 : base - 1) : base + (slack - 1);
 }
 
-std::uint32_t ThresholdAllocator::place(rng::Engine& gen) {
-  if (state_.balls() >= m_) {
-    throw std::logic_error("ThresholdAllocator: all m balls already placed");
+std::string ThresholdRule::name() const {
+  return slack_ == 1 ? "threshold" : "threshold[" + std::to_string(slack_) + "]";
+}
+
+std::uint32_t ThresholdRule::do_place(BinState& state, rng::Engine& gen) {
+  // A fixed bound cannot adapt: once every bin exceeds it the probe loop
+  // would never terminate. Detect that state in O(1) instead of spinning.
+  if (state.min_load() > bound_) {
+    throw std::logic_error("ThresholdRule: every bin is above the acceptance bound " +
+                           std::to_string(bound_));
   }
   const std::uint32_t bin =
-      probe_until(gen, state_.n(), probes_,
-                  [this](std::uint32_t b) { return state_.load(b) <= bound_; });
-  state_.add_ball(bin);
+      probe_until(gen, state.n(), probes_,
+                  [this, &state](std::uint32_t b) { return state.load(b) <= bound_; });
+  state.add_ball(bin);
   return bin;
 }
 
@@ -43,17 +48,15 @@ std::string ThresholdProtocol::name() const {
 AllocationResult ThresholdProtocol::run(std::uint64_t m, std::uint32_t n,
                                         rng::Engine& gen) const {
   validate_run_args(m, n);
-  AllocationResult res;
+  // m == 0 with slack 0 must stay legal at the batch API (nothing to
+  // place), so skip rule construction for the empty run.
   if (m == 0) {
+    AllocationResult res;
     res.loads.assign(n, 0);
     return res;
   }
-  ThresholdAllocator alloc(n, m, slack_);
-  for (std::uint64_t i = 0; i < m; ++i) alloc.place(gen);
-  res.loads = alloc.state().loads();
-  res.balls = m;
-  res.probes = alloc.probes();
-  return res;
+  ThresholdRule rule(n, m, slack_);
+  return run_rule(rule, m, n, gen);
 }
 
 }  // namespace bbb::core

@@ -13,39 +13,44 @@
 ///   c = 1 is the paper's protocol; c = 0 demands a *perfectly* tight
 ///   allocation (max load ceil(m/n)) at coupon-collector cost; larger c
 ///   trades balance for fewer probes.
+///
+/// The rule needs the total ball count m up-front — that is the
+/// protocol's defining limitation vs. adaptive. Under the dyn engine the
+/// registry supplies an *m hint* (target net population; defaults to n
+/// when unknown), the bound stays fixed, and departures can re-open
+/// capacity; if the population ever exceeds what the fixed bound admits,
+/// place_one detects the deadlock in O(1) and throws instead of spinning.
 
-#include "bbb/core/load_vector.hpp"
 #include "bbb/core/protocol.hpp"
-#include "bbb/rng/engine.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming threshold allocator. Needs the total ball count m up-front
-/// (that is the protocol's defining limitation vs. adaptive).
-class ThresholdAllocator {
+/// Streaming threshold rule with the fixed acceptance bound derived from
+/// (m, n, slack).
+class ThresholdRule final : public PlacementRule {
  public:
-  /// \param n bins; \param m total balls that will be placed;
+  /// \param n bins; \param m total balls the bound is provisioned for;
   /// \param slack integer slack c (see file comment), default 1 (paper).
   /// \throws std::invalid_argument if n == 0, or if slack == 0 with m == 0.
-  ThresholdAllocator(std::uint32_t n, std::uint64_t m, std::uint32_t slack = 1);
+  ThresholdRule(std::uint32_t n, std::uint64_t m, std::uint32_t slack = 1);
 
-  /// Place one ball; returns the chosen bin. Loops until an acceptable bin
-  /// is sampled; each sample counts one probe.
-  /// \throws std::logic_error if all m balls were already placed (the
-  ///         acceptance bound guarantees termination only for the first m).
-  std::uint32_t place(rng::Engine& gen);
-
-  [[nodiscard]] const LoadVector& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t bound_n() const noexcept override { return n_; }
   /// The integer acceptance bound: a bin is accepted iff load <= bound.
   [[nodiscard]] std::uint32_t accept_bound() const noexcept { return bound_; }
   [[nodiscard]] std::uint64_t m() const noexcept { return m_; }
 
+ protected:
+  /// \throws std::logic_error if every bin already exceeds the bound (the
+  /// fixed bound cannot admit another ball — the deadlock adaptive avoids).
+  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+
  private:
-  LoadVector state_;
+  std::uint32_t n_;
   std::uint64_t m_;
+  std::uint32_t slack_;
   std::uint32_t bound_;
-  std::uint64_t probes_ = 0;
 };
 
 /// Batch protocol wrapper: threshold (slack 1 = the paper's Figure 2).

@@ -1,0 +1,53 @@
+#include "bbb/core/rule.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bbb::core {
+
+PlacementRule::~PlacementRule() = default;
+
+void PlacementRule::on_remove(BinState& /*state*/, std::uint32_t /*bin*/) {}
+
+void PlacementRule::finalize(BinState& /*state*/, rng::Engine& /*gen*/) {}
+
+namespace {
+
+void validate_rule_n(const PlacementRule& rule, std::uint32_t n) {
+  const std::uint32_t bound = rule.bound_n();
+  if (bound != 0 && bound != n) {
+    throw std::invalid_argument("rule '" + rule.name() + "' was built for n = " +
+                                std::to_string(bound) + ", not n = " +
+                                std::to_string(n));
+  }
+}
+
+}  // namespace
+
+AllocationResult run_rule(PlacementRule& rule, std::uint64_t m, std::uint32_t n,
+                          rng::Engine& gen) {
+  validate_run_args(m, n);
+  validate_rule_n(rule, n);
+  BinState state(n);
+  for (std::uint64_t i = 0; i < m; ++i) (void)rule.place_one(state, gen);
+  rule.finalize(state, gen);
+  AllocationResult res;
+  res.loads = state.loads();
+  res.balls = state.balls();
+  res.probes = rule.probes();
+  res.reallocations = rule.reallocations();
+  res.rounds = rule.rounds();
+  res.completed = rule.completed();
+  return res;
+}
+
+StreamingAllocator::StreamingAllocator(std::uint32_t n,
+                                       std::unique_ptr<PlacementRule> rule)
+    : state_(n), rule_(std::move(rule)) {
+  if (!rule_) {
+    throw std::invalid_argument("StreamingAllocator: rule must not be null");
+  }
+  validate_rule_n(*rule_, n);
+}
+
+}  // namespace bbb::core

@@ -1,0 +1,149 @@
+#pragma once
+/// \file rule.hpp
+/// The single streaming core every protocol in the library is expressed
+/// in: a `PlacementRule` places one ball at a time into a shared
+/// `BinState` (`place_one`), carrying only its *rule-local* state (memory
+/// cache, threshold phase, recorded choices, cuckoo residents). Batch and
+/// dynamic execution are two drivers over the same vocabulary:
+///
+///   * batch — `run_rule` (and every `Protocol::run`) loops `place_one`
+///     over m fresh balls and reads the result off the BinState;
+///   * dynamic — `StreamingAllocator` pairs one rule with one BinState and
+///     adds `remove()` so the dyn engine can interleave departures.
+///
+/// Contract of `place_one`:
+///   * places exactly one ball (state.balls() grows by one), except for
+///     rules that can fail an insertion (cuckoo exhausting its eviction
+///     budget) — those leave the net count unchanged and record the
+///     failure in `completed()`;
+///   * draws randomness only through `gen`, in a deterministic order —
+///     the batch-equivalence suite (tests/dyn/batch_equivalence_test.cpp)
+///     pins streaming ≡ batch bit-for-bit for every rule with
+///     `batch_equivalent() == true`;
+///   * counts every random bin choice in `probes()` (the paper's
+///     allocation time).
+///
+/// Two self-describing traits keep the drivers honest:
+///   * `batch_equivalent()` — false for rules whose batch form is not the
+///     plain place_one loop: batched (round-synchronous LW rounds) and
+///     self-balancing (post-placement balancing sweeps in `finalize`);
+///   * `stable_ball_identity()` — false for reallocation-based rules
+///     (cuckoo) that move balls after placement; the dyn engine then
+///     selects departure victims by bin occupancy instead of ball
+///     identity, because a recorded "ball b sits in bin i" goes stale.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bbb/core/bin_state.hpp"
+#include "bbb/core/protocol.hpp"
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::core {
+
+/// One streaming decision rule. Instances are single-run: a rule carries
+/// placement state (probe counters, caches) and must not be shared across
+/// BinStates or replicates.
+class PlacementRule {
+ public:
+  virtual ~PlacementRule();
+
+  /// Spec-canonical identifier that round-trips through make_rule /
+  /// make_protocol, e.g. "adaptive", "greedy[2]", "memory[1,1]".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Place one ball; returns the bin the arriving ball landed in.
+  std::uint32_t place_one(BinState& state, rng::Engine& gen) {
+    const std::uint32_t bin = do_place(state, gen);
+    ++total_placed_;
+    return bin;
+  }
+
+  /// Called by the drivers *after* `state.remove_ball(bin)` so rules with
+  /// per-ball bookkeeping (cuckoo residents, recorded choice pairs) can
+  /// drop one ball of that bin. Default: nothing to maintain.
+  virtual void on_remove(BinState& state, std::uint32_t bin);
+
+  /// Batch-only post-placement pass (self-balancing sweeps). Streaming
+  /// drivers never call this. Default: nothing.
+  virtual void finalize(BinState& state, rng::Engine& gen);
+
+  /// True when `Protocol::run` is exactly the place_one loop, so an
+  /// arrivals-only stream reproduces the batch result bit-for-bit.
+  [[nodiscard]] virtual bool batch_equivalent() const noexcept { return true; }
+
+  /// False for rules that relocate balls after placement (cuckoo): the
+  /// dyn engine then picks departure victims by bin, not by ball.
+  [[nodiscard]] virtual bool stable_ball_identity() const noexcept { return true; }
+
+  /// Rules constructed against a specific n (group partitions, resident
+  /// tables, fixed bounds, skewed samplers) report it so the drivers can
+  /// reject a mismatched BinState instead of indexing out of bounds.
+  /// 0 = the rule works with any n.
+  [[nodiscard]] virtual std::uint32_t bound_n() const noexcept { return 0; }
+
+  /// Random bin choices drawn so far — the paper's allocation time.
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  /// Balls ever placed (monotone; the BinState's balls() is the net count).
+  [[nodiscard]] std::uint64_t total_placed() const noexcept { return total_placed_; }
+  /// Post-placement ball moves (cuckoo kicks, self-balancing switches).
+  [[nodiscard]] std::uint64_t reallocations() const noexcept { return reallocations_; }
+  /// Synchronous rounds / balancing passes used (0 for one-shot rules).
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  /// False once any placement failed or a pass budget was exhausted.
+  [[nodiscard]] bool completed() const noexcept { return completed_; }
+
+ protected:
+  /// The decision rule proper: pick a bin, mutate `state`, count probes.
+  virtual std::uint32_t do_place(BinState& state, rng::Engine& gen) = 0;
+
+  std::uint64_t probes_ = 0;
+  std::uint64_t total_placed_ = 0;
+  std::uint64_t reallocations_ = 0;
+  std::uint64_t rounds_ = 0;
+  bool completed_ = true;
+};
+
+/// The thin batch adapter: m balls through `rule` into a fresh BinState,
+/// then `finalize`, then the counters read back into an AllocationResult.
+/// Every sequential `Protocol::run` in core/protocols/ is this function.
+[[nodiscard]] AllocationResult run_rule(PlacementRule& rule, std::uint64_t m,
+                                        std::uint32_t n, rng::Engine& gen);
+
+/// One rule bound to one BinState — the streaming front-end applications
+/// and the dyn engine embed. place() allocates one ball with the rule's
+/// decision logic; remove() processes one departure.
+class StreamingAllocator {
+ public:
+  /// \throws std::invalid_argument if n == 0 (via BinState).
+  StreamingAllocator(std::uint32_t n, std::unique_ptr<PlacementRule> rule);
+
+  [[nodiscard]] std::string name() const { return rule_->name(); }
+
+  /// Allocate one ball; returns the chosen bin.
+  std::uint32_t place(rng::Engine& gen) { return rule_->place_one(state_, gen); }
+
+  /// Process one departure from `bin`, keeping the rule's bookkeeping in
+  /// step. \throws std::invalid_argument if the bin is empty.
+  void remove(std::uint32_t bin) {
+    state_.remove_ball(bin);
+    rule_->on_remove(state_, bin);
+  }
+
+  [[nodiscard]] const BinState& state() const noexcept { return state_; }
+  [[nodiscard]] const PlacementRule& rule() const noexcept { return *rule_; }
+  [[nodiscard]] PlacementRule& rule() noexcept { return *rule_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return rule_->probes(); }
+  /// Balls ever placed (monotone; state().balls() is the net count).
+  [[nodiscard]] std::uint64_t total_placed() const noexcept {
+    return rule_->total_placed();
+  }
+
+ private:
+  BinState state_;
+  std::unique_ptr<PlacementRule> rule_;
+};
+
+}  // namespace bbb::core

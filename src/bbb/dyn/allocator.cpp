@@ -1,228 +1,17 @@
 #include "bbb/dyn/allocator.hpp"
 
-#include <cmath>
-#include <stdexcept>
-
-#include "bbb/core/probe.hpp"
-#include "bbb/core/protocol.hpp"
-#include "bbb/core/spec.hpp"
+#include "bbb/core/protocols/registry.hpp"
 
 namespace bbb::dyn {
 
-// ---------------------------------------------------------------------------
-// DynState
-// ---------------------------------------------------------------------------
-
-DynState::DynState(std::uint32_t n)
-    : loads_(n),
-      level_count_(1, n),
-      phi_weight_(static_cast<double>(n)),
-      pow_neg_(1, 1.0),
-      nonempty_pos_(n, 0) {}
-
-double DynState::pow_neg(std::uint32_t l) const {
-  // (1+eps)^{-l}, extended one level at a time so lookups stay O(1): loads
-  // only ever move by one level per event.
-  while (pow_neg_.size() <= l) {
-    pow_neg_.push_back(pow_neg_.back() / (1.0 + core::kPotentialEpsilon));
-  }
-  return pow_neg_[l];
-}
-
-void DynState::add_ball(std::uint32_t bin) {
-  const std::uint32_t l = loads_.load(bin);
-  loads_.add_ball(bin);
-
-  if (level_count_.size() <= static_cast<std::size_t>(l) + 1) {
-    level_count_.resize(static_cast<std::size_t>(l) + 2, 0);
-  }
-  --level_count_[l];
-  ++level_count_[l + 1];
-  if (l + 1 > max_) max_ = l + 1;
-  // The moved bin was the last one at the minimum level: the new minimum is
-  // one level up (where this bin now sits), so min never skips a level.
-  if (l == min_ && level_count_[l] == 0) ++min_;
-
-  sum_sq_ += 2ULL * l + 1;
-  phi_weight_ += pow_neg(l + 1) - pow_neg(l);
-
-  if (l == 0) {
-    nonempty_pos_[bin] = static_cast<std::uint32_t>(nonempty_.size());
-    nonempty_.push_back(bin);
-  }
-}
-
-void DynState::remove_ball(std::uint32_t bin) {
-  const std::uint32_t l = loads_.load(bin);
-  if (l == 0) {
-    throw std::invalid_argument("DynState::remove_ball: bin " + std::to_string(bin) +
-                                " is empty");
-  }
-  loads_.remove_ball(bin);
-
-  --level_count_[l];
-  ++level_count_[l - 1];
-  if (l - 1 < min_) min_ = l - 1;
-  // The moved bin was the last one at the maximum level; it now occupies
-  // level l - 1, so the maximum drops by exactly one.
-  if (l == max_ && level_count_[l] == 0) --max_;
-
-  sum_sq_ -= 2ULL * l - 1;
-  phi_weight_ += pow_neg(l - 1) - pow_neg(l);
-
-  if (l == 1) {
-    const std::uint32_t pos = nonempty_pos_[bin];
-    const std::uint32_t last = nonempty_.back();
-    nonempty_[pos] = last;
-    nonempty_pos_[last] = pos;
-    nonempty_.pop_back();
-  }
-}
-
-double DynState::psi() const noexcept {
-  const auto t = static_cast<double>(loads_.balls());
-  return static_cast<double>(sum_sq_) - t * t / static_cast<double>(loads_.n());
-}
-
-double DynState::log_phi() const noexcept {
-  const double avg = loads_.average();
-  return std::log(phi_weight_) + (avg + 2.0) * std::log1p(core::kPotentialEpsilon);
-}
-
-std::uint32_t DynState::bins_with_load_at_least(std::uint32_t k) const noexcept {
-  if (k == 0) return loads_.n();
-  std::uint32_t count = 0;
-  for (std::size_t l = k; l < level_count_.size(); ++l) count += level_count_[l];
-  return count;
-}
-
-std::uint32_t DynState::sample_nonempty(rng::Engine& gen) const {
-  if (nonempty_.empty()) {
-    throw std::logic_error("DynState::sample_nonempty: every bin is empty");
-  }
-  return nonempty_[rng::uniform_below(gen, nonempty_.size())];
-}
-
-// ---------------------------------------------------------------------------
-// Allocators
-// ---------------------------------------------------------------------------
-
-StreamingAllocator::~StreamingAllocator() = default;
-
-std::uint32_t DynOneChoice::choose_bin(rng::Engine& gen) {
-  ++probes_;
-  return static_cast<std::uint32_t>(rng::uniform_below(gen, state_.n()));
-}
-
-DynGreedy::DynGreedy(std::uint32_t n, std::uint32_t d) : StreamingAllocator(n), d_(d) {
-  if (d == 0) throw std::invalid_argument("DynGreedy: d must be positive");
-}
-
-std::string DynGreedy::name() const { return "greedy[" + std::to_string(d_) + "]"; }
-
-std::uint32_t DynGreedy::choose_bin(rng::Engine& gen) {
-  // Same shared candidate scan as core::DChoiceAllocator::place, so the
-  // arrivals-only equivalence is bit-for-bit by construction.
-  return core::least_loaded_of(gen, state_.n(), d_, probes_,
-                               [this](std::uint32_t b) { return state_.load(b); });
-}
-
-DynAdaptive::DynAdaptive(std::uint32_t n, Bound bound, std::uint32_t slack)
-    : StreamingAllocator(n), bound_mode_(bound), slack_(slack) {}
-
-std::string DynAdaptive::name() const {
-  const std::string base =
-      bound_mode_ == Bound::kNet ? "adaptive-net" : "adaptive-total";
-  return slack_ == 1 ? base : base + "[" + std::to_string(slack_) + "]";
-}
-
-std::uint64_t DynAdaptive::accept_bound() const noexcept {
-  const std::uint64_t i =
-      (bound_mode_ == Bound::kNet ? state_.balls() : total_placed_) + 1;
-  const std::uint64_t base = core::ceil_div(i, state_.n());
-  // base >= 1 since i >= 1, so the slack-0 variant never underflows.
-  return slack_ == 0 ? base - 1 : base + slack_ - 1;
-}
-
-std::uint32_t DynAdaptive::choose_bin(rng::Engine& gen) {
-  // Termination for either variant: with i balls contributing to the bound,
-  // the i - 1 (or fewer) balls present cannot fill all n bins to
-  // ceil(i/n), so some bin is at or below every bound >= ceil(i/n) - 1.
-  const std::uint64_t bound = accept_bound();
-  return core::probe_until(gen, state_.n(), probes_, [this, bound](std::uint32_t b) {
-    return state_.load(b) <= bound;
-  });
-}
-
-DynThreshold::DynThreshold(std::uint32_t n, std::uint32_t bound)
-    : StreamingAllocator(n), bound_(bound) {}
-
-std::string DynThreshold::name() const {
-  return "threshold[" + std::to_string(bound_) + "]";
-}
-
-std::uint32_t DynThreshold::choose_bin(rng::Engine& gen) {
-  // A fixed bound cannot adapt: once every bin exceeds it the probe loop
-  // would never terminate. Detect that state in O(1) instead of spinning.
-  if (state_.min_load() > bound_) {
-    throw std::logic_error("DynThreshold: every bin is above the acceptance bound " +
-                           std::to_string(bound_));
-  }
-  return core::probe_until(gen, state_.n(), probes_, [this](std::uint32_t b) {
-    return state_.load(b) <= bound_;
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Registry
-// ---------------------------------------------------------------------------
-
-namespace {
-
-constexpr const char* kKind = "allocator";
-
-std::uint32_t optional_slack(const core::ParsedSpec& s, const std::string& spec) {
-  return core::spec_optional_arg_u32(s, 1, spec, kKind);
-}
-
-}  // namespace
-
 std::unique_ptr<StreamingAllocator> make_streaming_allocator(const std::string& spec,
-                                                             std::uint32_t n) {
-  const core::ParsedSpec s = core::parse_spec(spec, kKind);
-  if (s.name == "one-choice") {
-    if (!s.args.empty()) {
-      throw std::invalid_argument("allocator spec '" + spec + "': takes no arguments");
-    }
-    return std::make_unique<DynOneChoice>(n);
-  }
-  if (s.name == "greedy") {
-    if (s.args.size() != 1) {
-      throw std::invalid_argument("allocator spec '" + spec + "': needs greedy[d]");
-    }
-    return std::make_unique<DynGreedy>(n, core::spec_arg_u32(s, 0, spec, kKind));
-  }
-  if (s.name == "adaptive-net") {
-    return std::make_unique<DynAdaptive>(n, DynAdaptive::Bound::kNet,
-                                         optional_slack(s, spec));
-  }
-  if (s.name == "adaptive-total") {
-    return std::make_unique<DynAdaptive>(n, DynAdaptive::Bound::kTotal,
-                                         optional_slack(s, spec));
-  }
-  if (s.name == "threshold") {
-    if (s.args.size() != 1) {
-      throw std::invalid_argument("allocator spec '" + spec +
-                                  "': needs threshold[bound]");
-    }
-    return std::make_unique<DynThreshold>(n, core::spec_arg_u32(s, 0, spec, kKind));
-  }
-  throw std::invalid_argument("unknown streaming allocator '" + s.name + "'");
+                                                             std::uint32_t n,
+                                                             std::uint64_t m_hint) {
+  return std::make_unique<StreamingAllocator>(n, core::make_rule(spec, n, m_hint));
 }
 
 std::vector<std::string> streaming_allocator_specs() {
-  return {"one-choice", "greedy[d]", "adaptive-net", "adaptive-net[slack]",
-          "adaptive-total", "adaptive-total[slack]", "threshold[bound]"};
+  return core::protocol_specs();
 }
 
 }  // namespace bbb::dyn

@@ -1,234 +1,54 @@
 #pragma once
 /// \file allocator.hpp
-/// The dynamic-workload allocator layer: streaming place()/remove() with
-/// O(1) incremental metric maintenance.
+/// The dynamic-workload allocator layer — since the single-streaming-core
+/// refactor, a *thin veneer* over core/rule.hpp: the bin-load state with
+/// O(1) incremental metrics is `core::BinState`, the decision rules are
+/// the one registry in core/protocols/registry.hpp, and the pairing of the
+/// two is `core::StreamingAllocator`. This header re-exports those names
+/// for the dyn engine and builds allocators from spec strings.
 ///
-/// The batch `Protocol` interface fills fresh bins and stops; a serving
-/// system sees arrivals *and departures* (Luczak & McDiarmid's supermarket
-/// model, churn, bursts). Two pieces live here:
-///
-///  * `DynState` — a LoadVector plus the bookkeeping that makes every
-///    Section-2 metric incremental per event, no full rescan:
-///      - level counts (number of bins at each load) give max/min/gap in
-///        O(1) worst case, because one event moves one bin one level;
-///      - S2 = sum l_i^2 gives Psi = S2 - t^2/n;
-///      - W = sum (1+eps)^{-l_i} gives ln Phi = ln W + (t/n + 2) ln(1+eps);
-///      - the nonempty-bin index supports O(1) "serve a uniformly random
-///        busy queue" departures (the supermarket service event).
-///
-///  * `StreamingAllocator` — the dynamic counterpart of `Protocol`:
-///    place() allocates one ball with the wrapped protocol's decision rule,
-///    remove(bin) processes one departure. Wrapped rules: one-choice,
-///    greedy[d], threshold (fixed acceptance bound), and adaptive — where
-///    departures expose a genuine design fork the batch papers never face:
-///    the paper's bound for ball i is ceil(i/n) + slack - 1, but once balls
-///    leave, is i the number of balls *ever placed* (total; monotone bound
-///    that goes vacuous under sustained churn) or the number *in the
-///    system* (net; the bound stays tight forever)? Both variants are
-///    implemented (`DynAdaptive::Bound`); bench_dyn_churn measures the
-///    separation.
+/// Every registry spec runs here — the full batch vocabulary (one-choice,
+/// greedy[d], left[d], memory[d,k], threshold, doubling-threshold,
+/// adaptive and its net/total/stale/skewed variants, batched,
+/// self-balancing, cuckoo) under every workload generator. Departures
+/// expose one genuine design fork the batch papers never face: for
+/// bound-tracking rules, is the ball index i the number of balls *ever
+/// placed* (total; monotone bound that goes vacuous under sustained churn)
+/// or the number *in the system* (net; the bound stays tight forever)?
+/// Both variants are first-class specs (`adaptive-total`, `adaptive-net`);
+/// bench_dyn_churn measures the separation.
 ///
 /// Invariants (property-tested in tests/dyn/allocator_test.cpp):
-///   * every DynState metric equals the batch recomputation from
-///     core/metrics.hpp after any interleaving of add/remove;
+///   * every BinState metric equals the batch recomputation from
+///     core/metrics.hpp after any interleaving of add/remove, for every
+///     rule in the registry;
 ///   * place() followed by no remove() reproduces the matching batch
-///     protocol bit-for-bit from the same engine state
-///     (tests/dyn/batch_equivalence_test.cpp).
+///     protocol bit-for-bit from the same engine state for every rule
+///     with batch_equivalent() (tests/dyn/batch_equivalence_test.cpp).
 
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "bbb/core/load_vector.hpp"
-#include "bbb/core/metrics.hpp"
-#include "bbb/rng/engine.hpp"
-#include "bbb/rng/xoshiro256.hpp"
+#include "bbb/core/bin_state.hpp"
+#include "bbb/core/rule.hpp"
 
 namespace bbb::dyn {
 
-/// Bin loads plus incremental metrics. All mutators are O(1) worst case.
-class DynState {
- public:
-  /// \param n number of bins. \throws std::invalid_argument if n == 0.
-  explicit DynState(std::uint32_t n);
+using core::BinState;
+using core::StreamingAllocator;
 
-  /// Place one ball into `bin`, updating every derived metric.
-  void add_ball(std::uint32_t bin);
-
-  /// Remove one ball from `bin`. \throws std::invalid_argument if empty.
-  void remove_ball(std::uint32_t bin);
-
-  [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept {
-    return loads_.load(bin);
-  }
-  [[nodiscard]] std::uint32_t n() const noexcept { return loads_.n(); }
-  [[nodiscard]] std::uint64_t balls() const noexcept { return loads_.balls(); }
-  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept {
-    return loads_.loads();
-  }
-
-  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_; }
-  [[nodiscard]] std::uint32_t min_load() const noexcept { return min_; }
-  [[nodiscard]] std::uint32_t gap() const noexcept { return max_ - min_; }
-
-  /// Quadratic potential Psi = sum (l_i - t/n)^2 = S2 - t^2/n.
-  [[nodiscard]] double psi() const noexcept;
-
-  /// ln Phi with the paper's eps = 1/200, maintained incrementally.
-  [[nodiscard]] double log_phi() const noexcept;
-
-  /// Number of bins with load >= k (suffix sum over level counts; O(max
-  /// load), intended for snapshots, not per-event hot paths with large k).
-  [[nodiscard]] std::uint32_t bins_with_load_at_least(std::uint32_t k) const noexcept;
-
-  /// level_counts()[l] = number of bins with load exactly l. May carry
-  /// trailing zero entries above max_load().
-  [[nodiscard]] const std::vector<std::uint32_t>& level_counts() const noexcept {
-    return level_count_;
-  }
-
-  [[nodiscard]] std::uint32_t nonempty_bins() const noexcept {
-    return static_cast<std::uint32_t>(nonempty_.size());
-  }
-
-  /// A uniformly random bin among those with load > 0 — the supermarket
-  /// model's "one busy server completes a job" event.
-  /// \throws std::logic_error if every bin is empty.
-  [[nodiscard]] std::uint32_t sample_nonempty(rng::Engine& gen) const;
-
- private:
-  core::LoadVector loads_;
-  std::vector<std::uint32_t> level_count_;  // level_count_[l] = #bins at load l
-  std::uint32_t max_ = 0;
-  std::uint32_t min_ = 0;
-  std::uint64_t sum_sq_ = 0;  // S2 = sum l_i^2 (exact while it fits 64 bits)
-  double phi_weight_;         // W = sum (1+eps)^{-l_i}
-  mutable std::vector<double> pow_neg_;      // cache of (1+eps)^{-l}
-  std::vector<std::uint32_t> nonempty_;      // bin ids with load > 0
-  std::vector<std::uint32_t> nonempty_pos_;  // bin -> index in nonempty_
-
-  [[nodiscard]] double pow_neg(std::uint32_t l) const;
-};
-
-/// Abstract streaming allocator: one protocol decision rule over a DynState.
-class StreamingAllocator {
- public:
-  /// \throws std::invalid_argument if n == 0 (via DynState).
-  explicit StreamingAllocator(std::uint32_t n) : state_(n) {}
-  virtual ~StreamingAllocator();
-
-  /// Short stable identifier that round-trips through
-  /// make_streaming_allocator, e.g. "adaptive-net", "greedy[2]".
-  [[nodiscard]] virtual std::string name() const = 0;
-
-  /// Allocate one ball; returns the chosen bin.
-  std::uint32_t place(rng::Engine& gen) {
-    const std::uint32_t bin = choose_bin(gen);
-    state_.add_ball(bin);
-    ++total_placed_;
-    return bin;
-  }
-
-  /// Process one departure from `bin`.
-  /// \throws std::invalid_argument if the bin is empty.
-  void remove(std::uint32_t bin) { state_.remove_ball(bin); }
-
-  [[nodiscard]] const DynState& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
-  /// Balls ever placed (monotone; state().balls() is the net count).
-  [[nodiscard]] std::uint64_t total_placed() const noexcept { return total_placed_; }
-
- protected:
-  /// Pick the bin for the next ball, counting probes. Decision loops are
-  /// shared with the batch allocators (core/probe.hpp), so arrivals-only
-  /// streams reproduce the batch results bit-for-bit by construction.
-  virtual std::uint32_t choose_bin(rng::Engine& gen) = 0;
-
-  DynState state_;
-  std::uint64_t probes_ = 0;
-  std::uint64_t total_placed_ = 0;
-};
-
-/// One-choice: each ball to one uniform bin (the M/M/1 farm baseline).
-class DynOneChoice final : public StreamingAllocator {
- public:
-  explicit DynOneChoice(std::uint32_t n) : StreamingAllocator(n) {}
-  [[nodiscard]] std::string name() const override { return "one-choice"; }
-
- protected:
-  std::uint32_t choose_bin(rng::Engine& gen) override;
-};
-
-/// greedy[d]: d uniform candidates, least loaded wins, reservoir tie-break
-/// — identical randomness consumption to core::DChoiceAllocator.
-class DynGreedy final : public StreamingAllocator {
- public:
-  /// \throws std::invalid_argument if d == 0.
-  DynGreedy(std::uint32_t n, std::uint32_t d);
-  [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
-
- protected:
-  std::uint32_t choose_bin(rng::Engine& gen) override;
-
- private:
-  std::uint32_t d_;
-};
-
-/// The paper's adaptive protocol under departures, both bound variants.
-class DynAdaptive final : public StreamingAllocator {
- public:
-  enum class Bound : std::uint8_t {
-    kTotal,  ///< i = balls ever placed — the literal reading of Figure 1
-    kNet,    ///< i = balls in the system — the bound that stays tight
-  };
-
-  DynAdaptive(std::uint32_t n, Bound bound, std::uint32_t slack = 1);
-  [[nodiscard]] std::string name() const override;
-  [[nodiscard]] Bound bound_mode() const noexcept { return bound_mode_; }
-  /// Acceptance bound the next ball will use (load <= bound accepted).
-  [[nodiscard]] std::uint64_t accept_bound() const noexcept;
-
- protected:
-  std::uint32_t choose_bin(rng::Engine& gen) override;
-
- private:
-  Bound bound_mode_;
-  std::uint32_t slack_;
-};
-
-/// Threshold with a fixed per-bin acceptance bound b (accept load <= b).
-/// The dynamic reading of Czumaj & Stemann: for a target net population m,
-/// b = ceil(m/n) + slack - 1 reproduces the batch ThresholdAllocator.
-class DynThreshold final : public StreamingAllocator {
- public:
-  DynThreshold(std::uint32_t n, std::uint32_t bound);
-  [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::uint32_t accept_bound() const noexcept { return bound_; }
-
- protected:
-  /// \throws std::logic_error if every bin already exceeds the bound (the
-  /// fixed bound cannot admit another ball — the deadlock adaptive avoids).
-  std::uint32_t choose_bin(rng::Engine& gen) override;
-
- private:
-  std::uint32_t bound_;
-};
-
-/// Build a streaming allocator from a spec string. Recognized specs:
-///   one-choice
-///   greedy[d]                e.g. greedy[2]
-///   adaptive-net             = adaptive-net[1]
-///   adaptive-net[slack]
-///   adaptive-total           = adaptive-total[1]
-///   adaptive-total[slack]
-///   threshold[bound]         fixed acceptance bound (accept load <= bound)
+/// Build a streaming allocator from a registry spec (see
+/// core/protocols/registry.hpp for the grammar). `m_hint` provisions
+/// rules that need a total ball count up-front (threshold's fixed bound);
+/// 0 = unknown, which the registry resolves to n.
 /// \throws std::invalid_argument for unknown names or malformed args.
 [[nodiscard]] std::unique_ptr<StreamingAllocator> make_streaming_allocator(
-    const std::string& spec, std::uint32_t n);
+    const std::string& spec, std::uint32_t n, std::uint64_t m_hint = 0);
 
-/// All recognized spec shapes, for --help / --list output.
+/// All recognized spec shapes (== core::protocol_specs()), for --help /
+/// --list output.
 [[nodiscard]] std::vector<std::string> streaming_allocator_specs();
 
 }  // namespace bbb::dyn

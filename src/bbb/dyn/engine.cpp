@@ -56,11 +56,17 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
   if (config.events == 0) {
     throw std::invalid_argument("run_dynamic: events must be positive");
   }
-  const auto alloc = make_streaming_allocator(config.allocator_spec, config.n);
+  const auto alloc =
+      make_streaming_allocator(config.allocator_spec, config.n, config.m_hint);
   const auto workload = make_workload(config.workload_spec, config.n);
   rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
 
-  const DepartSelect select = workload->depart_select();
+  // Eviction-based rules (cuckoo) relocate balls after placement, so a
+  // recorded ball->bin assignment goes stale; fall back to bin-occupancy
+  // victims for them regardless of what the workload asks for.
+  const DepartSelect select = alloc->rule().stable_ball_identity()
+                                  ? workload->depart_select()
+                                  : DepartSelect::kUniformNonemptyBin;
   const bool track_balls = select != DepartSelect::kUniformNonemptyBin;
   BallRegistry registry;
 
@@ -91,7 +97,7 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
     if (e > config.warmup) {
       const double weight = ev.time - prev_time;
       weight_sum += weight;
-      const DynState& state = alloc->state();
+      const BinState& state = alloc->state();
       balls_sum += weight * static_cast<double>(state.balls());
       psi_sum += weight * state.psi();
       gap_sum += weight * static_cast<double>(state.gap());
@@ -137,7 +143,7 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
     }
     if (e <= config.warmup) continue;
 
-    const DynState& state = alloc->state();
+    const BinState& state = alloc->state();
     const std::uint64_t measured = e - config.warmup;
     if (measured % stride == 0 || measured == config.events) {
       DynSnapshot snap;
@@ -181,7 +187,7 @@ DynSummary run_dynamic(const DynConfig& config, par::ThreadPool& pool) {
   }
   // Validate both specs (and capture canonical names) before spawning work.
   const std::string alloc_name =
-      make_streaming_allocator(config.allocator_spec, config.n)->name();
+      make_streaming_allocator(config.allocator_spec, config.n, config.m_hint)->name();
   const std::string workload_name = make_workload(config.workload_spec, config.n)->name();
 
   DynSummary summary;

@@ -20,6 +20,11 @@
 /// master seed s uses engine rng::SeedSequence(s).engine(r) for the
 /// workload clock, the allocator's probes, and victim selection, in one
 /// sequential stream — results are bit-identical for any thread count.
+///
+/// Victim selection caveat: rules that relocate balls after placement
+/// (cuckoo; `stable_ball_identity() == false`) make any recorded
+/// "ball b sits in bin i" stale, so for those the engine overrides the
+/// workload's ball-based victim selection with uniform-nonempty-bin.
 
 #include <cstdint>
 #include <string>
@@ -37,6 +42,8 @@ struct DynConfig {
   std::string allocator_spec = "adaptive-net";
   std::string workload_spec = "supermarket[90]";
   std::uint32_t n = 1024;         ///< bins
+  std::uint64_t m_hint = 0;       ///< total-count hint for fixed-bound rules
+                                  ///< (threshold); 0 = unknown (registry uses n)
   std::uint64_t warmup = 32'768;  ///< burn-in events before measurement
   std::uint64_t events = 65'536;  ///< measured events
   std::uint64_t stride = 1'024;   ///< measured events between snapshots

@@ -16,6 +16,10 @@ struct ExperimentConfig {
   std::uint32_t n = 1;                     ///< bins
   std::uint32_t replicates = 20;           ///< independent runs
   std::uint64_t seed = 42;                 ///< master seed
+  /// Keep the raw per-replicate rows in RunSummary::records. Summary
+  /// statistics are always folded; switch this off in large sweeps so a
+  /// grid of thousands of configs does not retain every raw row in memory.
+  bool keep_records = true;
 
   /// Human-readable "spec m=... n=... reps=..." line for logs.
   [[nodiscard]] std::string describe() const;

@@ -62,6 +62,10 @@ RunSummary run_experiment(const ExperimentConfig& config, par::ThreadPool& pool)
     summary.rounds.add(rec.rounds);
     if (!rec.completed) ++summary.failures;
   }
+  if (!config.keep_records) {
+    summary.records.clear();
+    summary.records.shrink_to_fit();
+  }
   return summary;
 }
 

@@ -29,7 +29,9 @@ struct RunSummary {
   stats::RunningStats reallocations;
   stats::RunningStats rounds;
   std::uint32_t failures = 0;  ///< replicates with completed == false
-  std::vector<ReplicateRecord> records;  ///< raw rows, replicate order
+  /// Raw rows in replicate order; empty when the config set
+  /// keep_records = false (the folded statistics above are unaffected).
+  std::vector<ReplicateRecord> records;
 
   /// probes / m — the per-ball allocation cost the paper's Table 1 compares.
   [[nodiscard]] double probes_per_ball() const;

@@ -2,6 +2,30 @@
 
 namespace bbb::sim {
 
+std::vector<TracePoint> trace_allocation(core::StreamingAllocator& alloc,
+                                         rng::Engine& gen, std::uint64_t m,
+                                         std::uint64_t stride) {
+  std::vector<TracePoint> points;
+  if (stride == 0) stride = 1;
+  points.reserve(static_cast<std::size_t>(m / stride) + 2);
+  const core::BinState& state = alloc.state();
+  for (std::uint64_t i = 1; i <= m; ++i) {
+    (void)alloc.place(gen);
+    if (i % stride == 0 || i == m) {
+      TracePoint p;
+      p.balls = state.balls();
+      p.probes = alloc.probes();
+      p.max_load = state.max_load();
+      p.min_load = state.min_load();
+      p.psi = state.psi();
+      p.log_phi = state.log_phi();
+      points.push_back(p);
+      if (i == m) break;
+    }
+  }
+  return points;
+}
+
 io::Table trace_table(const std::vector<TracePoint>& points) {
   io::Table table({"balls", "probes", "max", "min", "psi", "ln_phi"});
   for (const TracePoint& p : points) {

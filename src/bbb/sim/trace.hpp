@@ -1,14 +1,20 @@
 #pragma once
 /// \file trace.hpp
-/// Time-series recording for streaming allocators: snapshot the load
+/// Time-series recording for streaming allocation: snapshot the load
 /// metrics every `stride` balls. This is how the smoothness claims
 /// (Corollary 3.5 vs. Lemma 4.2) become a curve over t rather than a single
 /// end-of-run number.
+///
+/// Since the single-streaming-core refactor every per-point metric is read
+/// off the allocator's incremental `core::BinState` in O(1) — the old
+/// implementation rescanned all n loads at every trace point, which made
+/// per-ball trajectories (stride 1) of large runs O(m n). bench_micro_state
+/// measures the difference.
 
 #include <cstdint>
 #include <vector>
 
-#include "bbb/core/metrics.hpp"
+#include "bbb/core/rule.hpp"
 #include "bbb/io/table.hpp"
 #include "bbb/rng/xoshiro256.hpp"
 
@@ -25,32 +31,12 @@ struct TracePoint {
 };
 
 /// Drive a streaming allocator for m balls, snapshotting every `stride`
-/// balls (and always at t = m). Works with any class exposing
-/// place(Engine&), state() -> LoadVector-like, and probes().
-template <typename Allocator>
-std::vector<TracePoint> trace_allocation(Allocator& alloc, rng::Engine& gen,
-                                         std::uint64_t m, std::uint64_t stride) {
-  std::vector<TracePoint> points;
-  if (stride == 0) stride = 1;
-  points.reserve(static_cast<std::size_t>(m / stride) + 2);
-  for (std::uint64_t i = 1; i <= m; ++i) {
-    alloc.place(gen);
-    if (i % stride == 0 || i == m) {
-      TracePoint p;
-      p.balls = alloc.state().balls();
-      p.probes = alloc.probes();
-      const auto& loads = alloc.state().loads();
-      const core::LoadMetrics metrics = core::compute_metrics(loads, p.balls);
-      p.max_load = metrics.max;
-      p.min_load = metrics.min;
-      p.psi = metrics.psi;
-      p.log_phi = metrics.log_phi;
-      points.push_back(p);
-      if (i == m) break;
-    }
-  }
-  return points;
-}
+/// balls (and always at t = m). Per-point cost is O(1) — metrics come from
+/// the allocator's incremental BinState, not a rescan of the loads.
+[[nodiscard]] std::vector<TracePoint> trace_allocation(core::StreamingAllocator& alloc,
+                                                       rng::Engine& gen,
+                                                       std::uint64_t m,
+                                                       std::uint64_t stride);
 
 /// Render a trace as a Table (balls, probes, max, min, psi, ln_phi).
 [[nodiscard]] io::Table trace_table(const std::vector<TracePoint>& points);

@@ -1,0 +1,153 @@
+/// Tests for the unified bin-load state: the LoadVector-style counting
+/// API plus the O(1) incremental metrics, checked against the batch
+/// recomputation in core/metrics.hpp.
+
+#include "bbb/core/bin_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bbb/core/metrics.hpp"
+
+namespace bbb::core {
+namespace {
+
+// Recompute every incremental metric from the raw loads and compare. This
+// is the core correctness property of BinState: no event sequence may
+// drift the incremental values away from the batch definitions.
+void expect_metrics_match(const BinState& state, double tol = 1e-9) {
+  const auto& loads = state.loads();
+  const LoadMetrics batch = compute_metrics(loads, state.balls());
+  EXPECT_EQ(state.max_load(), batch.max);
+  EXPECT_EQ(state.min_load(), batch.min);
+  EXPECT_EQ(state.gap(), batch.gap);
+  EXPECT_NEAR(state.psi(), batch.psi, tol * (1.0 + std::abs(batch.psi)));
+  EXPECT_NEAR(state.log_phi(), batch.log_phi, tol * (1.0 + std::abs(batch.log_phi)));
+  std::uint32_t nonempty = 0;
+  for (const auto l : loads) nonempty += l > 0 ? 1 : 0;
+  EXPECT_EQ(state.nonempty_bins(), nonempty);
+}
+
+TEST(BinState, RejectsZeroBins) {
+  EXPECT_THROW(BinState(0), std::invalid_argument);
+}
+
+TEST(BinState, StartsEmpty) {
+  BinState v(4);
+  EXPECT_EQ(v.n(), 4u);
+  EXPECT_EQ(v.balls(), 0u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(v.load(i), 0u);
+  EXPECT_DOUBLE_EQ(v.average(), 0.0);
+  EXPECT_EQ(v.max_load(), 0u);
+  EXPECT_EQ(v.min_load(), 0u);
+  EXPECT_EQ(v.nonempty_bins(), 0u);
+  EXPECT_DOUBLE_EQ(v.psi(), 0.0);
+  expect_metrics_match(v);
+}
+
+TEST(BinState, AddAndRemove) {
+  BinState v(3);
+  v.add_ball(1);
+  v.add_ball(1);
+  v.add_ball(2);
+  EXPECT_EQ(v.balls(), 3u);
+  EXPECT_EQ(v.load(0), 0u);
+  EXPECT_EQ(v.load(1), 2u);
+  EXPECT_EQ(v.load(2), 1u);
+  EXPECT_DOUBLE_EQ(v.average(), 1.0);
+  expect_metrics_match(v);
+  v.remove_ball(1);
+  EXPECT_EQ(v.balls(), 2u);
+  EXPECT_EQ(v.load(1), 1u);
+  expect_metrics_match(v);
+}
+
+TEST(BinState, ClearResetsEverything) {
+  BinState v(2);
+  v.add_ball(0);
+  v.add_ball(0);
+  v.add_ball(1);
+  v.clear();
+  EXPECT_EQ(v.balls(), 0u);
+  EXPECT_EQ(v.load(0), 0u);
+  EXPECT_EQ(v.load(1), 0u);
+  EXPECT_EQ(v.max_load(), 0u);
+  EXPECT_EQ(v.min_load(), 0u);
+  EXPECT_EQ(v.nonempty_bins(), 0u);
+  EXPECT_DOUBLE_EQ(v.psi(), 0.0);
+  expect_metrics_match(v);
+  // The cleared state is fully usable again.
+  v.add_ball(1);
+  EXPECT_EQ(v.max_load(), 1u);
+  expect_metrics_match(v);
+}
+
+TEST(BinState, LoadsViewMatchesState) {
+  BinState v(3);
+  v.add_ball(2);
+  v.add_ball(2);
+  const auto& loads = v.loads();
+  EXPECT_EQ(loads, (std::vector<std::uint32_t>{0, 0, 2}));
+}
+
+TEST(BinState, MetricsStayExactUnderRandomChurn) {
+  const std::uint32_t n = 32;
+  BinState state(n);
+  rng::Engine gen(123);
+  std::vector<std::uint32_t> mirror(n, 0);
+  std::uint64_t balls = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const bool add = balls == 0 || rng::bernoulli(gen, 0.55);
+    if (add) {
+      const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+      state.add_ball(bin);
+      ++mirror[bin];
+      ++balls;
+    } else {
+      const std::uint32_t bin = state.sample_nonempty(gen);
+      state.remove_ball(bin);
+      --mirror[bin];
+      --balls;
+    }
+    ASSERT_EQ(state.balls(), balls);
+    ASSERT_EQ(state.loads(), mirror);
+    if (step % 97 == 0) expect_metrics_match(state);
+  }
+  expect_metrics_match(state);
+}
+
+TEST(BinState, TailCountsMatchScan) {
+  BinState state(8);
+  rng::Engine gen(7);
+  for (int i = 0; i < 40; ++i) {
+    state.add_ball(static_cast<std::uint32_t>(rng::uniform_below(gen, 8)));
+  }
+  for (std::uint32_t k = 0; k <= state.max_load() + 2; ++k) {
+    std::uint32_t scan = 0;
+    for (const auto l : state.loads()) scan += l >= k ? 1 : 0;
+    EXPECT_EQ(state.bins_with_load_at_least(k), scan) << "k=" << k;
+  }
+}
+
+TEST(BinState, RemoveFromEmptyBinThrows) {
+  BinState state(4);
+  EXPECT_THROW(state.remove_ball(0), std::invalid_argument);
+  state.add_ball(1);
+  EXPECT_THROW(state.remove_ball(0), std::invalid_argument);
+  state.remove_ball(1);
+  EXPECT_EQ(state.balls(), 0u);
+}
+
+TEST(BinState, SampleNonemptyRequiresABall) {
+  BinState state(4);
+  rng::Engine gen(1);
+  EXPECT_THROW((void)state.sample_nonempty(gen), std::logic_error);
+  state.add_ball(2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(state.sample_nonempty(gen), 2u);
+}
+
+}  // namespace
+}  // namespace bbb::core

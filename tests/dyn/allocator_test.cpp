@@ -1,6 +1,8 @@
-/// Tests for the dynamic allocator layer: DynState's O(1) incremental
-/// metrics against batch recomputation, the streaming allocators'
-/// decision rules under churn, and the spec registry.
+/// Tests for the dynamic allocator layer, which since the unified
+/// streaming core is a veneer over core/rule.hpp: the spec registry, the
+/// rules' behavior under churn, and the central property that *every*
+/// registry rule keeps the incremental BinState metrics equal to the naive
+/// batch recomputation under randomized place/remove interleavings.
 
 #include "bbb/dyn/allocator.hpp"
 
@@ -8,18 +10,20 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bbb/core/metrics.hpp"
 #include "bbb/core/protocol.hpp"
+#include "bbb/core/protocols/adaptive.hpp"
+#include "bbb/core/protocols/cuckoo.hpp"
+#include "bbb/core/protocols/registry.hpp"
+#include "bbb/core/protocols/self_balancing.hpp"
 
 namespace bbb::dyn {
 namespace {
 
-// Recompute every incremental metric from the raw loads and compare. This
-// is the core correctness property of DynState: no event sequence may
-// drift the incremental values away from the batch definitions.
-void expect_metrics_match(const DynState& state, double tol = 1e-9) {
+void expect_metrics_match(const BinState& state, double tol = 1e-9) {
   const auto& loads = state.loads();
   const core::LoadMetrics batch = core::compute_metrics(loads, state.balls());
   EXPECT_EQ(state.max_load(), batch.max);
@@ -32,93 +36,79 @@ void expect_metrics_match(const DynState& state, double tol = 1e-9) {
   EXPECT_EQ(state.nonempty_bins(), nonempty);
 }
 
-TEST(DynState, FreshStateIsAllZeros) {
-  DynState state(16);
-  EXPECT_EQ(state.balls(), 0u);
-  EXPECT_EQ(state.max_load(), 0u);
-  EXPECT_EQ(state.min_load(), 0u);
-  EXPECT_EQ(state.nonempty_bins(), 0u);
-  EXPECT_DOUBLE_EQ(state.psi(), 0.0);
-  expect_metrics_match(state);
-}
+// ---------------------------------------------------------------- property
 
-TEST(DynState, ZeroBinsThrows) { EXPECT_THROW(DynState(0), std::invalid_argument); }
+// Every concrete spec shape in the registry, with parameters valid at the
+// test's n = 32 (left/stale need args <= n; threshold gets its bound from
+// the m hint below).
+const char* const kAllSpecs[] = {
+    "one-choice",        "greedy[2]",           "greedy[4]",
+    "left[2]",           "left[4]",             "memory[1,1]",
+    "memory[2,2]",       "threshold",           "threshold[2]",
+    "doubling-threshold[0]",                    "adaptive",
+    "adaptive[2]",       "adaptive-net",        "adaptive-net[2]",
+    "adaptive-total",    "stale-adaptive[1]",   "stale-adaptive[16]",
+    "skewed-adaptive[50]",                      "batched[4]",
+    "self-balancing",    "cuckoo[2,4]",
+};
 
-TEST(DynState, MetricsStayExactUnderRandomChurn) {
+class RegistryChurnTest : public ::testing::TestWithParam<const char*> {};
+
+// The satellite property: for every rule in the registry, a randomized
+// interleaving of placements and departures leaves every incremental
+// BinState metric equal to the naive recomputation from the raw loads.
+TEST_P(RegistryChurnTest, MetricsStayExactUnderRandomInterleavings) {
   const std::uint32_t n = 32;
-  DynState state(n);
-  rng::Engine gen(123);
-  std::vector<std::uint32_t> mirror(n, 0);
-  std::uint64_t balls = 0;
-  for (int step = 0; step < 5000; ++step) {
-    const bool add = balls == 0 || rng::bernoulli(gen, 0.55);
+  // Provision fixed-bound rules (threshold) far above the population cap
+  // below, so no interleaving can deadlock them.
+  const std::uint64_t m_hint = 16ULL * n;
+  const auto alloc = make_streaming_allocator(GetParam(), n, m_hint);
+  rng::Engine gen(2024);
+  // Population stays below 2n: batched[4] (capacity 4) and threshold
+  // (bound 16) can then always admit another ball.
+  const std::uint64_t cap = 2ULL * n;
+  for (int step = 0; step < 3000; ++step) {
+    const bool add = alloc->state().balls() == 0 ||
+                     (alloc->state().balls() < cap && rng::bernoulli(gen, 0.55));
     if (add) {
-      const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
-      state.add_ball(bin);
-      ++mirror[bin];
-      ++balls;
+      const std::uint32_t bin = alloc->place(gen);
+      ASSERT_LT(bin, n);
     } else {
-      const std::uint32_t bin = state.sample_nonempty(gen);
-      state.remove_ball(bin);
-      --mirror[bin];
-      --balls;
+      alloc->remove(alloc->state().sample_nonempty(gen));
     }
-    ASSERT_EQ(state.balls(), balls);
-    ASSERT_EQ(state.loads(), mirror);
-    if (step % 97 == 0) expect_metrics_match(state);
+    if (step % 97 == 0) expect_metrics_match(alloc->state());
   }
-  expect_metrics_match(state);
+  expect_metrics_match(alloc->state());
+  // The loads the rule produced are consistent with the ball count.
+  std::uint64_t total = 0;
+  for (const auto l : alloc->state().loads()) total += l;
+  EXPECT_EQ(total, alloc->state().balls());
 }
 
-TEST(DynState, TailCountsMatchScan) {
-  DynState state(8);
-  rng::Engine gen(7);
-  for (int i = 0; i < 40; ++i) {
-    state.add_ball(static_cast<std::uint32_t>(rng::uniform_below(gen, 8)));
-  }
-  for (std::uint32_t k = 0; k <= state.max_load() + 2; ++k) {
-    std::uint32_t scan = 0;
-    for (const auto l : state.loads()) scan += l >= k ? 1 : 0;
-    EXPECT_EQ(state.bins_with_load_at_least(k), scan) << "k=" << k;
-  }
-}
+INSTANTIATE_TEST_SUITE_P(AllRegistryRules, RegistryChurnTest,
+                         ::testing::ValuesIn(kAllSpecs));
 
-TEST(DynState, RemoveFromEmptyBinThrows) {
-  DynState state(4);
-  EXPECT_THROW(state.remove_ball(0), std::invalid_argument);
-  state.add_ball(1);
-  EXPECT_THROW(state.remove_ball(0), std::invalid_argument);
-  state.remove_ball(1);
-  EXPECT_EQ(state.balls(), 0u);
-}
-
-TEST(DynState, SampleNonemptyRequiresABall) {
-  DynState state(4);
-  rng::Engine gen(1);
-  EXPECT_THROW((void)state.sample_nonempty(gen), std::logic_error);
-  state.add_ball(2);
-  for (int i = 0; i < 20; ++i) EXPECT_EQ(state.sample_nonempty(gen), 2u);
-}
+// ------------------------------------------------------ adaptive mechanics
 
 TEST(DynAdaptive, NetBoundKeepsMaxLoadTightArrivalsOnly) {
   const std::uint32_t n = 64;
-  DynAdaptive alloc(n, DynAdaptive::Bound::kNet);
+  const auto alloc = make_streaming_allocator("adaptive-net", n);
   rng::Engine gen(42);
   for (std::uint64_t i = 1; i <= 10 * n; ++i) {
-    alloc.place(gen);
-    ASSERT_LE(alloc.state().max_load(), core::ceil_div(i, n) + 1) << "ball " << i;
+    alloc->place(gen);
+    ASSERT_LE(alloc->state().max_load(), core::ceil_div(i, n) + 1) << "ball " << i;
   }
 }
 
 TEST(DynAdaptive, NetAndTotalAgreeWithoutDepartures) {
   rng::Engine g1(9), g2(9);
-  DynAdaptive net(32, DynAdaptive::Bound::kNet);
-  DynAdaptive total(32, DynAdaptive::Bound::kTotal);
+  const auto net = make_streaming_allocator("adaptive-net", 32);
+  const auto total = make_streaming_allocator("adaptive-total", 32);
   for (int i = 0; i < 500; ++i) {
-    EXPECT_EQ(net.place(g1), total.place(g2));
+    EXPECT_EQ(net->place(g1), total->place(g2));
   }
-  EXPECT_EQ(net.state().loads(), total.state().loads());
-  EXPECT_EQ(net.probes(), total.probes());
+  EXPECT_EQ(net->state().loads(), total->state().loads());
+  EXPECT_EQ(net->probes(), total->probes());
   EXPECT_TRUE(g1 == g2);
 }
 
@@ -127,58 +117,153 @@ TEST(DynAdaptive, BoundsDivergeUnderChurn) {
   // so the total variant's bound keeps climbing while net's stays put.
   const std::uint32_t n = 8;
   rng::Engine gen(5);
-  DynAdaptive net(n, DynAdaptive::Bound::kNet);
-  DynAdaptive total(n, DynAdaptive::Bound::kTotal);
+  const auto net = make_streaming_allocator("adaptive-net", n);
+  const auto total = make_streaming_allocator("adaptive-total", n);
+  const auto& net_rule = dynamic_cast<const core::AdaptiveRule&>(net->rule());
+  const auto& total_rule = dynamic_cast<const core::AdaptiveRule&>(total->rule());
   for (std::uint32_t i = 0; i < 4 * n; ++i) {
-    net.place(gen);
-    total.place(gen);
+    net->place(gen);
+    total->place(gen);
   }
-  const std::uint64_t net_bound = net.accept_bound();
-  EXPECT_EQ(net_bound, total.accept_bound());
+  const std::uint64_t net_bound = net_rule.accept_bound(net->state());
+  EXPECT_EQ(net_bound, total_rule.accept_bound(total->state()));
   for (int cycle = 0; cycle < 100; ++cycle) {
-    const std::uint32_t victim_net = net.state().sample_nonempty(gen);
-    net.remove(victim_net);
-    net.place(gen);
-    const std::uint32_t victim_total = total.state().sample_nonempty(gen);
-    total.remove(victim_total);
-    total.place(gen);
+    net->remove(net->state().sample_nonempty(gen));
+    net->place(gen);
+    total->remove(total->state().sample_nonempty(gen));
+    total->place(gen);
   }
-  EXPECT_EQ(net.accept_bound(), net_bound);
-  EXPECT_GT(total.accept_bound(), net_bound + 10);
+  EXPECT_EQ(net_rule.accept_bound(net->state()), net_bound);
+  EXPECT_GT(total_rule.accept_bound(total->state()), net_bound + 10);
 }
+
+// ----------------------------------------------------- fixed-bound rules
 
 TEST(DynThreshold, DeadlockIsDetectedNotSpun) {
-  DynThreshold alloc(2, 0);  // accept only empty bins
+  // threshold[slack] with the default m hint (= n) accepts load <= slack;
+  // the slack-0 rule on 2 bins accepts only empty bins, so it admits two
+  // balls and then deadlocks.
+  const auto alloc = make_streaming_allocator("threshold[0]", 2);
   rng::Engine gen(3);
-  alloc.place(gen);
-  alloc.place(gen);
-  EXPECT_EQ(alloc.state().max_load(), 1u);
-  EXPECT_THROW(alloc.place(gen), std::logic_error);
+  alloc->place(gen);
+  alloc->place(gen);
+  EXPECT_EQ(alloc->state().max_load(), 1u);
+  EXPECT_THROW(alloc->place(gen), std::logic_error);
   // A departure re-opens capacity.
-  alloc.remove(0);
-  EXPECT_NO_THROW(alloc.place(gen));
+  alloc->remove(0);
+  EXPECT_NO_THROW(alloc->place(gen));
 }
 
-TEST(DynGreedy, ZeroChoicesThrows) {
-  EXPECT_THROW(DynGreedy(4, 0), std::invalid_argument);
+TEST(DynThreshold, MHintSetsTheBound) {
+  // m hint 40 over 10 bins with slack 2: accept load <= ceil(40/10)+1 = 5,
+  // so no bin can ever exceed 6 (bound + 1 by construction).
+  const auto alloc = make_streaming_allocator("threshold[2]", 10, 40);
+  rng::Engine gen(4);
+  for (int i = 0; i < 50; ++i) alloc->place(gen);
+  EXPECT_LE(alloc->state().max_load(), 6u);
 }
+
+TEST(DynBatched, CapacityHoldsUnderChurnAndDeadlockThrows) {
+  const auto alloc = make_streaming_allocator("batched[2]", 4);
+  rng::Engine gen(6);
+  for (int i = 0; i < 8; ++i) alloc->place(gen);
+  EXPECT_EQ(alloc->state().max_load(), 2u);
+  EXPECT_EQ(alloc->state().min_load(), 2u);
+  EXPECT_THROW(alloc->place(gen), std::logic_error);
+  alloc->remove(1);
+  EXPECT_EQ(alloc->place(gen), 1u);  // the only bin with spare capacity
+}
+
+TEST(DynCuckoo, ChurnMemoryStaysProportionalToPopulation) {
+  // Rule-local state must be O(max population), not O(total insertions):
+  // departed/parked item ids are recycled.
+  const std::uint32_t n = 32;
+  const auto alloc = make_streaming_allocator("cuckoo[2,4]", n);
+  auto& rule = dynamic_cast<core::CuckooRule&>(alloc->rule());
+  rng::Engine gen(11);
+  const std::uint64_t population = 2ULL * n;
+  for (std::uint64_t i = 0; i < population; ++i) alloc->place(gen);
+  for (int cycle = 0; cycle < 5000; ++cycle) {
+    alloc->remove(alloc->state().sample_nonempty(gen));
+    alloc->place(gen);
+  }
+  EXPECT_EQ(alloc->state().balls(), population);
+  // + stash slack: a failed insert can transiently hold one extra id.
+  EXPECT_LE(rule.tracked_items(), population + rule.stash() + 1);
+}
+
+TEST(DynSelfBalancing, ChurnMemoryStaysProportionalToPopulation) {
+  const std::uint32_t n = 32;
+  const auto alloc = make_streaming_allocator("self-balancing", n);
+  auto& rule = dynamic_cast<core::SelfBalancingRule&>(alloc->rule());
+  rng::Engine gen(12);
+  const std::uint64_t population = 2ULL * n;
+  for (std::uint64_t i = 0; i < population; ++i) alloc->place(gen);
+  for (int cycle = 0; cycle < 5000; ++cycle) {
+    alloc->remove(alloc->state().sample_nonempty(gen));
+    alloc->place(gen);
+  }
+  EXPECT_EQ(rule.tracked_balls(), population);
+}
+
+TEST(StreamingAllocator, RejectsRuleBuiltForDifferentN) {
+  // n-bound rules (group partitions, resident tables, fixed bounds)
+  // declare their n; pairing them with a mismatched BinState is an error,
+  // not out-of-bounds indexing.
+  for (const char* spec : {"left[2]", "cuckoo[2,4]", "skewed-adaptive[50]",
+                           "threshold", "doubling-threshold[0]",
+                           "stale-adaptive[2]"}) {
+    EXPECT_THROW(StreamingAllocator(64, core::make_rule(spec, 32)),
+                 std::invalid_argument)
+        << spec;
+  }
+  // Unbound rules work with any state size.
+  EXPECT_NO_THROW(StreamingAllocator(64, core::make_rule("greedy[2]", 32)));
+}
+
+TEST(DynCuckoo, BinVictimDepartureKeepsResidentsConsistent) {
+  const std::uint32_t n = 16;
+  const auto alloc = make_streaming_allocator("cuckoo[2,4]", n);
+  EXPECT_FALSE(alloc->rule().stable_ball_identity());
+  rng::Engine gen(8);
+  for (int i = 0; i < 3 * 16; ++i) alloc->place(gen);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    alloc->remove(alloc->state().sample_nonempty(gen));
+    alloc->place(gen);
+  }
+  expect_metrics_match(alloc->state());
+}
+
+// ---------------------------------------------------------------- registry
 
 TEST(Registry, BuildsEverySpecShape) {
   const std::uint32_t n = 16;
   EXPECT_EQ(make_streaming_allocator("one-choice", n)->name(), "one-choice");
   EXPECT_EQ(make_streaming_allocator("greedy[2]", n)->name(), "greedy[2]");
+  EXPECT_EQ(make_streaming_allocator("left[2]", n)->name(), "left[2]");
+  EXPECT_EQ(make_streaming_allocator("memory[1,1]", n)->name(), "memory[1,1]");
   EXPECT_EQ(make_streaming_allocator("adaptive-net", n)->name(), "adaptive-net");
   EXPECT_EQ(make_streaming_allocator("adaptive-net[2]", n)->name(), "adaptive-net[2]");
   EXPECT_EQ(make_streaming_allocator("adaptive-total", n)->name(), "adaptive-total");
   EXPECT_EQ(make_streaming_allocator("adaptive-total[3]", n)->name(),
             "adaptive-total[3]");
   EXPECT_EQ(make_streaming_allocator("threshold[4]", n)->name(), "threshold[4]");
+  EXPECT_EQ(make_streaming_allocator("doubling-threshold[0]", n)->name(),
+            "doubling-threshold[0]");
+  EXPECT_EQ(make_streaming_allocator("stale-adaptive[4]", n)->name(),
+            "stale-adaptive[4]");
+  EXPECT_EQ(make_streaming_allocator("skewed-adaptive[50]", n)->name(),
+            "skewed-adaptive[50]");
+  EXPECT_EQ(make_streaming_allocator("batched[4]", n)->name(), "batched[4]");
+  EXPECT_EQ(make_streaming_allocator("self-balancing", n)->name(), "self-balancing");
+  EXPECT_EQ(make_streaming_allocator("cuckoo[2,4]", n)->name(), "cuckoo[2,4]");
 }
 
 TEST(Registry, NameRoundTripsThroughRegistry) {
   for (const std::string spec :
-       {"one-choice", "greedy[3]", "adaptive-net", "adaptive-total[2]",
-        "threshold[5]"}) {
+       {"one-choice", "greedy[3]", "left[2]", "memory[2,1]", "adaptive-net",
+        "adaptive-total[2]", "threshold[5]", "stale-adaptive[2]",
+        "skewed-adaptive[50]", "batched[2]", "self-balancing", "cuckoo[2,4]"}) {
     const auto alloc = make_streaming_allocator(spec, 8);
     const auto rebuilt = make_streaming_allocator(alloc->name(), 8);
     EXPECT_EQ(rebuilt->name(), alloc->name());
@@ -192,8 +277,11 @@ TEST(Registry, RejectsMalformedSpecs) {
   EXPECT_THROW((void)make_streaming_allocator("greedy[x]", 8), std::invalid_argument);
   EXPECT_THROW((void)make_streaming_allocator("one-choice[1]", 8),
                std::invalid_argument);
-  EXPECT_THROW((void)make_streaming_allocator("threshold", 8), std::invalid_argument);
   EXPECT_THROW((void)make_streaming_allocator("adaptive-net[1,2]", 8),
+               std::invalid_argument);
+  // Parameters invalid at this n are rejected at construction.
+  EXPECT_THROW((void)make_streaming_allocator("left[9]", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_streaming_allocator("stale-adaptive[9]", 8),
                std::invalid_argument);
   // Negative and uint32-overflowing arguments are rejected, not wrapped.
   EXPECT_THROW((void)make_streaming_allocator("greedy[-1]", 8),
@@ -202,9 +290,10 @@ TEST(Registry, RejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
-TEST(Registry, SpecsListIsNonEmptyAndStable) {
+TEST(Registry, SpecsListCoversTheFullRegistry) {
   const auto specs = streaming_allocator_specs();
-  EXPECT_GE(specs.size(), 5u);
+  EXPECT_EQ(specs, core::protocol_specs());
+  EXPECT_GE(specs.size(), 15u);
 }
 
 }  // namespace

@@ -1,9 +1,15 @@
-/// The API-pinning property (satellite of the dyn subsystem): every
-/// streaming allocator, fed an arrivals-only event stream, reproduces the
-/// matching batch Protocol::run result *bit-for-bit* from the same engine
-/// state — identical loads, identical probe counts, and identical final
-/// engine state (so the two APIs consume randomness in lockstep, not just
-/// converge in distribution).
+/// The API-pinning property of the unified streaming core: every registry
+/// rule with batch_equivalent(), fed an arrivals-only event stream,
+/// reproduces the matching batch Protocol::run result *bit-for-bit* from
+/// the same engine state — identical loads, identical probe counts, and
+/// identical final engine state (so the two drivers consume randomness in
+/// lockstep by construction, not just converge in distribution).
+///
+/// The two documented exceptions carry batch_equivalent() == false:
+///   * batched — its batch form is the round-synchronous LW protocol over
+///     the whole ball set, not a place_one loop;
+///   * self-balancing — its batch form appends the balancing sweeps
+///     (finalize), which an open-ended stream never reaches.
 
 #include <gtest/gtest.h>
 
@@ -12,7 +18,6 @@
 
 #include "bbb/core/protocol.hpp"
 #include "bbb/core/protocols/registry.hpp"
-#include "bbb/core/protocols/threshold.hpp"
 #include "bbb/dyn/allocator.hpp"
 #include "bbb/rng/streams.hpp"
 
@@ -27,81 +32,86 @@ struct Shape {
 const Shape kShapes[] = {{1, 1}, {7, 3}, {100, 10}, {257, 64}, {1000, 33}};
 const std::uint64_t kSeeds[] = {1, 42, 0xdeadbeef};
 
-void expect_bitwise_equal(const std::string& dyn_spec, const std::string& batch_spec,
-                          Shape shape, std::uint64_t seed) {
+// Parameters valid at every shape above need n >= some minimum; the sweep
+// skips shapes a spec cannot run at (left[d]/cuckoo[d,k] need d <= n,
+// stale-adaptive[delta] needs delta <= n).
+std::uint32_t min_bins(const std::string& spec) {
+  if (spec.rfind("left[", 0) == 0) return spec[5] - '0';
+  if (spec.rfind("stale-adaptive[", 0) == 0) return spec[15] - '0';
+  if (spec.rfind("cuckoo", 0) == 0) return 2;
+  return 1;
+}
+
+void expect_bitwise_equal(const std::string& spec, Shape shape, std::uint64_t seed) {
   rng::Engine batch_gen(seed), dyn_gen(seed);
 
-  const auto protocol = core::make_protocol(batch_spec);
+  const auto protocol = core::make_protocol(spec);
   const core::AllocationResult batch = protocol->run(shape.m, shape.n, batch_gen);
 
-  const auto alloc = make_streaming_allocator(dyn_spec, shape.n);
+  // The m hint binds fixed-bound rules (threshold) to the same total the
+  // batch run received.
+  const auto alloc = make_streaming_allocator(spec, shape.n, shape.m);
   for (std::uint64_t i = 0; i < shape.m; ++i) alloc->place(dyn_gen);
 
   EXPECT_EQ(alloc->state().loads(), batch.loads)
-      << dyn_spec << " vs " << batch_spec << " m=" << shape.m << " n=" << shape.n
-      << " seed=" << seed;
-  EXPECT_EQ(alloc->probes(), batch.probes);
-  EXPECT_EQ(alloc->state().balls(), batch.balls);
+      << spec << " m=" << shape.m << " n=" << shape.n << " seed=" << seed;
+  EXPECT_EQ(alloc->probes(), batch.probes) << spec;
+  EXPECT_EQ(alloc->state().balls(), batch.balls) << spec;
   // Same draws in the same order: the engines end in the same state.
-  EXPECT_TRUE(dyn_gen == batch_gen);
+  EXPECT_TRUE(dyn_gen == batch_gen) << spec;
 }
 
-TEST(BatchEquivalence, OneChoice) {
+// Every batch-equivalent spec shape in the registry, swept over the shape
+// and seed grid.
+const char* const kEquivalentSpecs[] = {
+    "one-choice",        "greedy[2]",     "greedy[3]",
+    "greedy[5]",         "left[2]",       "left[4]",
+    "memory[1,1]",       "memory[2,2]",   "threshold",
+    "threshold[0]",      "threshold[2]",  "doubling-threshold[0]",
+    "doubling-threshold[7]",              "adaptive",
+    "adaptive[0]",       "adaptive[2]",   "adaptive-net",
+    "adaptive-net[2]",   "adaptive-total", "adaptive-total[2]",
+    "stale-adaptive[1]", "stale-adaptive[3]",
+    "skewed-adaptive[0]", "skewed-adaptive[75]",
+    "cuckoo[2,4]",       "cuckoo[3,2]",
+};
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchEquivalenceTest, StreamingReproducesBatchBitForBit) {
+  const std::string spec = GetParam();
+  ASSERT_TRUE(core::make_rule(spec, 8, 8)->batch_equivalent()) << spec;
+  for (const Shape shape : kShapes) {
+    if (shape.n < min_bins(spec)) continue;
+    for (const std::uint64_t seed : kSeeds) {
+      expect_bitwise_equal(spec, shape, seed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEquivalentRules, BatchEquivalenceTest,
+                         ::testing::ValuesIn(kEquivalentSpecs));
+
+TEST(BatchEquivalence, ExceptionsDeclareThemselves) {
+  // The two rules whose batch form is not the place_one loop say so; the
+  // sweep above relies on this trait to be exhaustive over the rest.
+  EXPECT_FALSE(core::make_rule("batched[2]", 8)->batch_equivalent());
+  EXPECT_FALSE(core::make_rule("self-balancing", 8)->batch_equivalent());
+  EXPECT_TRUE(core::make_rule("adaptive", 8)->batch_equivalent());
+}
+
+TEST(BatchEquivalence, AdaptiveNetEqualsAdaptiveWithoutDepartures) {
+  // With no departures, net == total, so all three adaptive spellings are
+  // the same process — the variants only diverge once balls leave.
   for (const Shape shape : kShapes) {
     for (const std::uint64_t seed : kSeeds) {
-      expect_bitwise_equal("one-choice", "one-choice", shape, seed);
-    }
-  }
-}
-
-TEST(BatchEquivalence, GreedyD) {
-  for (const std::uint32_t d : {2u, 3u, 5u}) {
-    const std::string spec = "greedy[" + std::to_string(d) + "]";
-    for (const Shape shape : kShapes) {
-      for (const std::uint64_t seed : kSeeds) {
-        expect_bitwise_equal(spec, spec, shape, seed);
-      }
-    }
-  }
-}
-
-TEST(BatchEquivalence, AdaptiveTotalBound) {
-  for (const std::uint32_t slack : {1u, 2u}) {
-    const std::string suffix = slack == 1 ? "" : "[" + std::to_string(slack) + "]";
-    const std::string batch = slack == 1 ? "adaptive" : "adaptive[2]";
-    for (const Shape shape : kShapes) {
-      for (const std::uint64_t seed : kSeeds) {
-        expect_bitwise_equal("adaptive-total" + suffix, batch, shape, seed);
-      }
-    }
-  }
-}
-
-TEST(BatchEquivalence, AdaptiveNetBoundEqualsTotalWithoutDepartures) {
-  // With no departures, net == total, so the net variant must match the
-  // batch adaptive protocol too — the two variants only diverge once balls
-  // leave.
-  for (const Shape shape : kShapes) {
-    for (const std::uint64_t seed : kSeeds) {
-      expect_bitwise_equal("adaptive-net", "adaptive", shape, seed);
-    }
-  }
-}
-
-TEST(BatchEquivalence, ThresholdFixedBound) {
-  // The dynamic threshold takes the acceptance bound directly; the batch
-  // allocator derives it from (m, slack). Matching the derivation makes
-  // the runs identical.
-  for (const std::uint32_t slack : {1u, 2u}) {
-    for (const Shape shape : kShapes) {
-      const auto bound = static_cast<std::uint32_t>(
-          core::ceil_div(shape.m, shape.n) + slack - 1);
-      const std::string dyn_spec = "threshold[" + std::to_string(bound) + "]";
-      const std::string batch_spec =
-          slack == 1 ? "threshold" : "threshold[" + std::to_string(slack) + "]";
-      for (const std::uint64_t seed : kSeeds) {
-        expect_bitwise_equal(dyn_spec, batch_spec, shape, seed);
-      }
+      rng::Engine g1(seed), g2(seed);
+      const auto batch = core::make_protocol("adaptive")->run(shape.m, shape.n, g1);
+      const auto alloc = make_streaming_allocator("adaptive-net", shape.n);
+      for (std::uint64_t i = 0; i < shape.m; ++i) alloc->place(g2);
+      EXPECT_EQ(alloc->state().loads(), batch.loads);
+      EXPECT_EQ(alloc->probes(), batch.probes);
+      EXPECT_TRUE(g1 == g2);
     }
   }
 }

@@ -64,7 +64,7 @@ TEST(DChoice, MoreChoicesNeverHurt) {
 
 TEST(DChoice, RejectsZeroD) {
   EXPECT_THROW(DChoiceProtocol{0}, std::invalid_argument);
-  EXPECT_THROW(DChoiceAllocator(10, 0), std::invalid_argument);
+  EXPECT_THROW(DChoiceRule{0}, std::invalid_argument);
 }
 
 TEST(DChoice, DOneEquivalentToOneChoiceInLaw) {
@@ -77,10 +77,10 @@ TEST(DChoice, DOneEquivalentToOneChoiceInLaw) {
 }
 
 TEST(LeftD, GroupsPartitionBins) {
-  LeftDAllocator alloc(10, 3);
+  LeftDRule rule(10, 3);
   std::vector<bool> covered(10, false);
   for (std::uint32_t g = 0; g < 3; ++g) {
-    const auto [first, last] = alloc.group_range(g);
+    const auto [first, last] = rule.group_range(g);
     EXPECT_LT(first, last);
     for (std::uint32_t b = first; b < last; ++b) {
       EXPECT_FALSE(covered[b]) << "bin " << b << " in two groups";
@@ -91,10 +91,10 @@ TEST(LeftD, GroupsPartitionBins) {
 }
 
 TEST(LeftD, GroupSizesNearlyEqual) {
-  LeftDAllocator alloc(1000, 7);
+  LeftDRule rule(1000, 7);
   std::uint32_t lo = 1000, hi = 0;
   for (std::uint32_t g = 0; g < 7; ++g) {
-    const auto [first, last] = alloc.group_range(g);
+    const auto [first, last] = rule.group_range(g);
     lo = std::min(lo, last - first);
     hi = std::max(hi, last - first);
   }
@@ -112,8 +112,8 @@ TEST(LeftD, CompetitiveWithGreedyAtSameD) {
 
 TEST(LeftD, Validation) {
   EXPECT_THROW(LeftDProtocol{0}, std::invalid_argument);
-  EXPECT_THROW(LeftDAllocator(4, 5), std::invalid_argument);  // d > n
-  LeftDAllocator ok(4, 4);
+  EXPECT_THROW(LeftDRule(4, 5), std::invalid_argument);  // d > n
+  LeftDRule ok(4, 4);
   EXPECT_THROW((void)ok.group_range(4), std::invalid_argument);
 }
 
@@ -124,13 +124,14 @@ TEST(MemoryDK, FreshProbesOnlyCountD) {
 }
 
 TEST(MemoryDK, MemoryHoldsAtMostKDistinctBins) {
-  MemoryDKAllocator alloc(64, 2, 3);
+  BinState state(64);
+  MemoryDKRule rule(2, 3);
   rng::Engine gen(5);
   for (int i = 0; i < 200; ++i) {
-    alloc.place(gen);
-    EXPECT_LE(alloc.memory().size(), 3u);
+    rule.place_one(state, gen);
+    EXPECT_LE(rule.memory().size(), 3u);
     // Entries must be distinct.
-    auto mem = alloc.memory();
+    auto mem = rule.memory();
     std::sort(mem.begin(), mem.end());
     EXPECT_EQ(std::adjacent_find(mem.begin(), mem.end()), mem.end());
   }
@@ -147,7 +148,7 @@ TEST(MemoryDK, BeatsOneChoiceAtMEqualsN) {
 TEST(MemoryDK, Validation) {
   EXPECT_THROW(MemoryDKProtocol(0, 1), std::invalid_argument);
   EXPECT_THROW(MemoryDKProtocol(1, 0), std::invalid_argument);
-  EXPECT_THROW(MemoryDKAllocator(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(MemoryDKRule(0, 1), std::invalid_argument);
 }
 
 }  // namespace

@@ -8,70 +8,77 @@ namespace bbb::core {
 namespace {
 
 TEST(Cuckoo, Validation) {
-  EXPECT_THROW(CuckooTable(0, {2, 4, 100}), std::invalid_argument);
-  EXPECT_THROW(CuckooTable(8, {0, 4, 100}), std::invalid_argument);
-  EXPECT_THROW(CuckooTable(8, {2, 0, 100}), std::invalid_argument);
-  EXPECT_THROW(CuckooTable(8, {2, 4, 0}), std::invalid_argument);
-  EXPECT_THROW(CuckooTable(2, {3, 4, 100}), std::invalid_argument);  // d > n
+  EXPECT_THROW(CuckooRule(0, {2, 4, 100}), std::invalid_argument);
+  EXPECT_THROW(CuckooRule(8, {0, 4, 100}), std::invalid_argument);
+  EXPECT_THROW(CuckooRule(8, {2, 0, 100}), std::invalid_argument);
+  EXPECT_THROW(CuckooRule(8, {2, 4, 0}), std::invalid_argument);
+  EXPECT_THROW(CuckooRule(2, {3, 4, 100}), std::invalid_argument);  // d > n
 }
 
 TEST(Cuckoo, BucketSizeNeverExceeded) {
-  CuckooTable table(128, {2, 4, 200});
+  BinState state(128);
+  CuckooRule rule(128, {2, 4, 200});
   rng::Engine gen(1);
-  for (int i = 0; i < 400; ++i) (void)table.insert(gen);
-  for (std::uint32_t l : table.loads()) EXPECT_LE(l, 4u);
+  for (int i = 0; i < 400; ++i) (void)rule.place_one(state, gen);
+  for (std::uint32_t l : state.loads()) EXPECT_LE(l, 4u);
 }
 
 TEST(Cuckoo, ModerateLoadFactorAlwaysSucceeds) {
   // d=2, k=4 supports load factors well above 0.9; at 0.75 every insert
   // must succeed.
   constexpr std::uint32_t n = 1024;
-  CuckooTable table(n, {2, 4, 500});
+  BinState state(n);
+  CuckooRule rule(n, {2, 4, 500});
   rng::Engine gen(2);
   const auto target = static_cast<std::uint64_t>(0.75 * 4 * n);
   for (std::uint64_t i = 0; i < target; ++i) {
-    ASSERT_TRUE(table.insert(gen)) << "failed at item " << i;
+    (void)rule.place_one(state, gen);
+    ASSERT_EQ(rule.stash(), 0u) << "failed at item " << i;
   }
-  EXPECT_EQ(table.stash(), 0u);
-  EXPECT_NEAR(table.load_factor(), 0.75, 0.01);
+  EXPECT_TRUE(rule.completed());
+  EXPECT_EQ(state.balls(), target);
 }
 
 TEST(Cuckoo, OverfullTableFailsCleanly) {
   // More items than slots: failures are inevitable and must be reported,
   // with the table still consistent.
   constexpr std::uint32_t n = 64;
-  CuckooTable table(n, {2, 2, 50});
+  BinState state(n);
+  CuckooRule rule(n, {2, 2, 50});
   rng::Engine gen(3);
-  std::uint64_t failures = 0;
   for (std::uint64_t i = 0; i < 3ULL * 2 * n; ++i) {
-    if (!table.insert(gen)) ++failures;
+    (void)rule.place_one(state, gen);
   }
-  EXPECT_GT(failures, 0u);
-  EXPECT_EQ(table.stash(), failures);
+  EXPECT_GT(rule.stash(), 0u);
+  EXPECT_FALSE(rule.completed());
   // Stored items + stash == attempts.
   std::uint64_t stored = 0;
-  for (std::uint32_t l : table.loads()) stored += l;
-  EXPECT_EQ(stored + table.stash(), table.items());
+  for (std::uint32_t l : state.loads()) stored += l;
+  EXPECT_EQ(stored + rule.stash(), rule.total_placed());
+  EXPECT_EQ(stored, state.balls());
 }
 
 TEST(Cuckoo, MovesCountedOnlyWhenEvicting) {
   // A nearly empty table never evicts.
-  CuckooTable table(256, {2, 4, 100});
+  BinState state(256);
+  CuckooRule rule(256, {2, 4, 100});
   rng::Engine gen(4);
-  for (int i = 0; i < 32; ++i) ASSERT_TRUE(table.insert(gen));
-  EXPECT_EQ(table.moves(), 0u);
+  for (int i = 0; i < 32; ++i) (void)rule.place_one(state, gen);
+  EXPECT_EQ(rule.moves(), 0u);
+  EXPECT_EQ(rule.reallocations(), 0u);
 }
 
 TEST(Cuckoo, ProbesAreDPerItem) {
-  CuckooTable table(256, {3, 4, 100});
+  BinState state(256);
+  CuckooRule rule(256, {3, 4, 100});
   rng::Engine gen(5);
-  for (int i = 0; i < 100; ++i) (void)table.insert(gen);
-  EXPECT_EQ(table.probes(), 300u);
+  for (int i = 0; i < 100; ++i) (void)rule.place_one(state, gen);
+  EXPECT_EQ(rule.probes(), 300u);
 }
 
-TEST(CuckooProtocol, RunAggregatesTable) {
+TEST(CuckooProtocol, RunAggregatesRule) {
   rng::Engine gen(6);
-  CuckooTable::Params params{2, 4, 500};
+  CuckooRule::Params params{2, 4, 500};
   const AllocationResult res = CuckooProtocol{params}.run(2048, 1024, gen);
   EXPECT_TRUE(res.completed);  // load factor 0.5, trivially feasible
   EXPECT_EQ(res.balls, 2048u);
@@ -82,7 +89,7 @@ TEST(CuckooProtocol, RunAggregatesTable) {
 
 TEST(CuckooProtocol, ReportsFailureAboveCapacity) {
   rng::Engine gen(7);
-  CuckooTable::Params params{2, 2, 100};
+  CuckooRule::Params params{2, 2, 100};
   const AllocationResult res = CuckooProtocol{params}.run(600, 128, gen);  // 600 > 256
   EXPECT_FALSE(res.completed);
   EXPECT_LT(res.balls, 600u);

@@ -91,11 +91,12 @@ TEST(LoadDistribution, AdaptiveMinLoadTracksStages) {
   constexpr std::uint32_t n = 512;
   constexpr std::uint32_t stages = 32;
   rng::Engine gen(34);
-  AdaptiveAllocator alloc(n);
+  BinState state(n);
+  AdaptiveRule rule;
   std::uint32_t prev_min = 0;
   for (std::uint32_t tau = 1; tau <= stages; ++tau) {
-    for (std::uint32_t b = 0; b < n; ++b) (void)alloc.place(gen);
-    const std::uint32_t cur_min = min_load(alloc.state().loads());
+    for (std::uint32_t b = 0; b < n; ++b) (void)rule.place_one(state, gen);
+    const std::uint32_t cur_min = min_load(state.loads());
     EXPECT_GE(cur_min, prev_min) << "stage " << tau;
     prev_min = cur_min;
   }

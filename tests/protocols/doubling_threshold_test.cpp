@@ -12,24 +12,25 @@ namespace bbb::core {
 namespace {
 
 TEST(DoublingThreshold, Validation) {
-  EXPECT_THROW(DoublingThresholdAllocator(0), std::invalid_argument);
+  EXPECT_THROW(DoublingThresholdRule(0), std::invalid_argument);
 }
 
 TEST(DoublingThreshold, GuessDefaultsToN) {
-  DoublingThresholdAllocator alloc(64);
-  EXPECT_EQ(alloc.guess(), 64u);
-  EXPECT_EQ(alloc.accept_bound(), 1u);
+  DoublingThresholdRule rule(64);
+  EXPECT_EQ(rule.guess(), 64u);
+  EXPECT_EQ(rule.accept_bound(), 1u);
 }
 
 TEST(DoublingThreshold, GuessDoublesWhenExhausted) {
   constexpr std::uint32_t n = 16;
-  DoublingThresholdAllocator alloc(n);
+  BinState state(n);
+  DoublingThresholdRule rule(n);
   rng::Engine gen(3);
-  for (std::uint32_t i = 0; i < n; ++i) (void)alloc.place(gen);
-  EXPECT_EQ(alloc.guess(), n);  // doubling happens lazily on the next place
-  (void)alloc.place(gen);
-  EXPECT_EQ(alloc.guess(), 2 * n);
-  EXPECT_EQ(alloc.accept_bound(), 2u);
+  for (std::uint32_t i = 0; i < n; ++i) (void)rule.place_one(state, gen);
+  EXPECT_EQ(rule.guess(), n);  // doubling happens lazily on the next place
+  (void)rule.place_one(state, gen);
+  EXPECT_EQ(rule.guess(), 2 * n);
+  EXPECT_EQ(rule.accept_bound(), 2u);
 }
 
 TEST(DoublingThreshold, ConservesBalls) {
@@ -72,9 +73,9 @@ TEST(DoublingThreshold, AllocationTimeStaysLinear) {
 }
 
 TEST(DoublingThreshold, ExplicitInitialGuessHonored) {
-  DoublingThresholdAllocator alloc(10, 100);
-  EXPECT_EQ(alloc.guess(), 100u);
-  EXPECT_EQ(alloc.accept_bound(), 10u);
+  DoublingThresholdRule rule(10, 100);
+  EXPECT_EQ(rule.guess(), 100u);
+  EXPECT_EQ(rule.accept_bound(), 10u);
 }
 
 TEST(DoublingThreshold, RegistryRoundTrip) {

@@ -88,9 +88,13 @@ TEST_P(ProtocolInvariantTest, RerunIsIndependentOfInstanceState) {
 
 std::vector<GridCase> build_grid() {
   const std::vector<std::string> specs = {
-      "one-choice",  "greedy[2]",      "greedy[4]",   "left[2]",   "left[4]",
-      "memory[1,1]", "memory[2,2]",    "threshold",   "adaptive",  "adaptive[2]",
-      "batched[4]",  "self-balancing", "cuckoo[2,4]", "stale-adaptive[1]"};
+      "one-choice",     "greedy[2]",      "greedy[4]",
+      "left[2]",        "left[4]",        "memory[1,1]",
+      "memory[2,2]",    "threshold",      "threshold[2]",
+      "adaptive",       "adaptive[2]",    "adaptive-net",
+      "adaptive-total", "batched[4]",     "self-balancing",
+      "cuckoo[2,4]",    "stale-adaptive[1]",
+      "doubling-threshold[0]",            "skewed-adaptive[50]"};
   const std::vector<std::pair<std::uint64_t, std::uint32_t>> shapes = {
       {0, 7},        // no balls
       {1, 1},        // single everything

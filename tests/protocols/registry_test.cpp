@@ -10,10 +10,31 @@ namespace {
 TEST(Registry, BuildsEveryListedShape) {
   for (const auto& spec :
        {"one-choice", "greedy[2]", "left[3]", "memory[1,1]", "threshold",
-        "threshold[2]", "adaptive", "adaptive[0]", "batched[2]", "self-balancing",
-        "cuckoo[2,4]"}) {
+        "threshold[2]", "adaptive", "adaptive[0]", "adaptive-net", "adaptive-net[2]",
+        "adaptive-total", "batched[2]", "self-balancing", "cuckoo[2,4]"}) {
     EXPECT_NO_THROW((void)make_protocol(spec)) << spec;
   }
+}
+
+TEST(Registry, RuleFactoryBuildsEveryListedShape) {
+  // The same grammar backs the streaming factory; names round-trip and the
+  // rule's canonical name equals the batch protocol's.
+  for (const auto& spec :
+       {"one-choice", "greedy[2]", "left[3]", "memory[1,1]", "threshold",
+        "threshold[2]", "doubling-threshold[0]", "adaptive", "adaptive-net",
+        "adaptive-total[2]", "stale-adaptive[4]", "skewed-adaptive[50]", "batched[2]",
+        "self-balancing", "cuckoo[2,4]"}) {
+    const auto rule = make_rule(spec, 16);
+    const auto again = make_rule(rule->name(), 16);
+    EXPECT_EQ(again->name(), rule->name()) << spec;
+    EXPECT_EQ(make_protocol(spec)->name(), rule->name()) << spec;
+  }
+}
+
+TEST(Registry, RuleFactoryRejectsUnknownAndMalformed) {
+  EXPECT_THROW((void)make_rule("nonsense", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_rule("greedy[", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_rule("left[9]", 8), std::invalid_argument);  // d > n
 }
 
 // Round-trip: the canonical name() of a built protocol must itself be a
@@ -60,6 +81,17 @@ TEST(Registry, InvalidParametersPropagate) {
   EXPECT_THROW((void)make_protocol("memory[0,1]"), std::invalid_argument);
   EXPECT_THROW((void)make_protocol("batched[0]"), std::invalid_argument);
   EXPECT_THROW((void)make_protocol("cuckoo[0,4]"), std::invalid_argument);
+}
+
+TEST(Registry, BothFactoriesAgreeOnBatchedArgs) {
+  // Overflowing capacities are rejected, not truncated, and arity errors
+  // are the same on the batch and streaming sides of the registry.
+  EXPECT_THROW((void)make_protocol("batched[4294967297]"), std::invalid_argument);
+  EXPECT_THROW((void)make_rule("batched[4294967297]", 8), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("batched[2,9]"), std::invalid_argument);
+  EXPECT_THROW((void)make_rule("batched[2,9]", 8), std::invalid_argument);
+  EXPECT_EQ(make_protocol("batched")->name(), "batched[2]");
+  EXPECT_EQ(make_rule("batched", 8)->name(), "batched[2]");
 }
 
 TEST(Registry, SpecListNonEmptyAndDocumentsShapes) {

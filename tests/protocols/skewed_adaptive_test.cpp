@@ -12,8 +12,8 @@ namespace bbb::core {
 namespace {
 
 TEST(SkewedAdaptive, Validation) {
-  EXPECT_THROW(SkewedAdaptiveAllocator(0, 1.0), std::invalid_argument);
-  EXPECT_THROW(SkewedAdaptiveAllocator(8, -1.0), std::invalid_argument);
+  EXPECT_THROW(SkewedAdaptiveRule(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(SkewedAdaptiveRule(8, -1.0), std::invalid_argument);
 }
 
 // The load guarantee is distribution-free: it must hold for every skew.
@@ -73,11 +73,12 @@ TEST(SkewedAdaptive, StreamingAndBatchAgree) {
   constexpr std::uint32_t n = 64;
   constexpr std::uint64_t m = 500;
   rng::Engine g1(21), g2(21);
-  SkewedAdaptiveAllocator alloc(n, 0.5);
-  for (std::uint64_t i = 0; i < m; ++i) (void)alloc.place(g1);
+  BinState state(n);
+  SkewedAdaptiveRule rule(n, 0.5);
+  for (std::uint64_t i = 0; i < m; ++i) (void)rule.place_one(state, g1);
   const auto batch = SkewedAdaptiveProtocol{50}.run(m, n, g2);
-  EXPECT_EQ(alloc.state().loads(), batch.loads);
-  EXPECT_EQ(alloc.probes(), batch.probes);
+  EXPECT_EQ(state.loads(), batch.loads);
+  EXPECT_EQ(rule.probes(), batch.probes);
 }
 
 TEST(SkewedAdaptive, NameRoundTripsThroughRegistry) {

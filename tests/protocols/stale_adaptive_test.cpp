@@ -10,9 +10,9 @@ namespace bbb::core {
 namespace {
 
 TEST(StaleAdaptive, Validation) {
-  EXPECT_THROW(StaleAdaptiveAllocator(0, 1), std::invalid_argument);
-  EXPECT_THROW(StaleAdaptiveAllocator(8, 0), std::invalid_argument);
-  EXPECT_THROW(StaleAdaptiveAllocator(8, 9), std::invalid_argument);  // delta > n
+  EXPECT_THROW(StaleAdaptiveRule(0, 1), std::invalid_argument);
+  EXPECT_THROW(StaleAdaptiveRule(8, 0), std::invalid_argument);
+  EXPECT_THROW(StaleAdaptiveRule(8, 9), std::invalid_argument);  // delta > n
   EXPECT_THROW(StaleAdaptiveProtocol{0}, std::invalid_argument);
 }
 
@@ -61,17 +61,18 @@ INSTANTIATE_TEST_SUITE_P(DeltaSweep, StaleDeltaTest,
 
 TEST(StaleAdaptive, BoundLagsPublication) {
   constexpr std::uint32_t n = 8;
-  StaleAdaptiveAllocator alloc(n, 8);  // publish once per stage
+  BinState state(n);
+  StaleAdaptiveRule rule(n, 8);  // publish once per stage
   rng::Engine gen(3);
-  EXPECT_EQ(alloc.accept_bound(), 1u);
+  EXPECT_EQ(rule.accept_bound(), 1u);
   for (int i = 0; i < 7; ++i) {
-    (void)alloc.place(gen);
-    EXPECT_EQ(alloc.published_count(), 0u);  // not yet published
-    EXPECT_EQ(alloc.accept_bound(), 1u);
+    (void)rule.place_one(state, gen);
+    EXPECT_EQ(rule.published_count(), 0u);  // not yet published
+    EXPECT_EQ(rule.accept_bound(), 1u);
   }
-  (void)alloc.place(gen);  // 8th ball triggers publication
-  EXPECT_EQ(alloc.published_count(), 8u);
-  EXPECT_EQ(alloc.accept_bound(), 2u);
+  (void)rule.place_one(state, gen);  // 8th ball triggers publication
+  EXPECT_EQ(rule.published_count(), 8u);
+  EXPECT_EQ(rule.accept_bound(), 2u);
 }
 
 TEST(StaleAdaptive, NamesRoundTrip) {

@@ -92,26 +92,28 @@ INSTANTIATE_TEST_SUITE_P(
 // -------------------------------------------------------- adaptive mechanics
 
 TEST(Adaptive, BoundStartsAtSlackAndBumpsPerStage) {
-  AdaptiveAllocator alloc(4, 1);
+  BinState state(4);
+  AdaptiveRule rule(1);
   rng::Engine gen(3);
-  EXPECT_EQ(alloc.accept_bound(), 1u);  // balls 1..4: ceil(i/4) = 1
-  for (int i = 0; i < 4; ++i) alloc.place(gen);
-  EXPECT_EQ(alloc.accept_bound(), 2u);  // balls 5..8: ceil(i/4) = 2
-  for (int i = 0; i < 4; ++i) alloc.place(gen);
-  EXPECT_EQ(alloc.accept_bound(), 3u);
+  EXPECT_EQ(rule.accept_bound(state), 1u);  // balls 1..4: ceil(i/4) = 1
+  for (int i = 0; i < 4; ++i) rule.place_one(state, gen);
+  EXPECT_EQ(rule.accept_bound(state), 2u);  // balls 5..8: ceil(i/4) = 2
+  for (int i = 0; i < 4; ++i) rule.place_one(state, gen);
+  EXPECT_EQ(rule.accept_bound(state), 3u);
 }
 
 TEST(Adaptive, EveryPrefixRespectsItsOwnBound) {
   // Strictly stronger than the final-load test: after every single ball i,
   // no bin may exceed ceil(i/n) + 1.
   constexpr std::uint32_t n = 16;
-  AdaptiveAllocator alloc(n, 1);
+  BinState state(n);
+  AdaptiveRule rule(1);
   rng::Engine gen(11);
   for (std::uint64_t i = 1; i <= 20 * n; ++i) {
-    alloc.place(gen);
+    rule.place_one(state, gen);
     const auto cap = static_cast<std::uint32_t>(ceil_div(i, n) + 1);
     for (std::uint32_t b = 0; b < n; ++b) {
-      ASSERT_LE(alloc.state().load(b), cap) << "after ball " << i;
+      ASSERT_LE(state.load(b), cap) << "after ball " << i;
     }
   }
 }
@@ -120,41 +122,53 @@ TEST(Adaptive, StreamingMatchesBatchProtocol) {
   constexpr std::uint32_t n = 32;
   constexpr std::uint64_t m = 500;
   rng::Engine g1(21), g2(21);
-  AdaptiveAllocator alloc(n, 1);
-  for (std::uint64_t i = 0; i < m; ++i) alloc.place(g1);
+  BinState state(n);
+  AdaptiveRule rule(1);
+  for (std::uint64_t i = 0; i < m; ++i) rule.place_one(state, g1);
   const AllocationResult batch = AdaptiveProtocol{1}.run(m, n, g2);
-  EXPECT_EQ(alloc.state().loads(), batch.loads);
-  EXPECT_EQ(alloc.probes(), batch.probes);
+  EXPECT_EQ(state.loads(), batch.loads);
+  EXPECT_EQ(rule.probes(), batch.probes);
 }
 
 TEST(Adaptive, RejectsZeroBins) {
-  EXPECT_THROW(AdaptiveAllocator(0, 1), std::invalid_argument);
+  // The shared BinState owns the n > 0 invariant for every rule.
+  EXPECT_THROW(BinState(0), std::invalid_argument);
+  rng::Engine gen(1);
+  EXPECT_THROW((void)AdaptiveProtocol{}.run(10, 0, gen), std::invalid_argument);
 }
 
 // ------------------------------------------------------- threshold mechanics
 
 TEST(Threshold, AcceptBoundIsCeilOfAverage) {
-  ThresholdAllocator a(10, 100);
+  ThresholdRule a(10, 100);
   EXPECT_EQ(a.accept_bound(), 10u);
-  ThresholdAllocator b(10, 101);
+  ThresholdRule b(10, 101);
   EXPECT_EQ(b.accept_bound(), 11u);
-  ThresholdAllocator c(10, 100, 2);
+  ThresholdRule c(10, 100, 2);
   EXPECT_EQ(c.accept_bound(), 11u);
-  ThresholdAllocator d(10, 100, 0);
+  ThresholdRule d(10, 100, 0);
   EXPECT_EQ(d.accept_bound(), 9u);
 }
 
-TEST(Threshold, ThrowsWhenPlacingBeyondM) {
-  ThresholdAllocator alloc(4, 2);
+TEST(Threshold, DeadlockedBoundThrowsInsteadOfSpinning) {
+  // slack 0 over m = n accepts only empty bins: once every bin holds a
+  // ball the fixed bound can never admit another, and the rule reports
+  // the deadlock in O(1) rather than probing forever.
+  BinState state(2);
+  ThresholdRule rule(2, 2, 0);
   rng::Engine gen(5);
-  alloc.place(gen);
-  alloc.place(gen);
-  EXPECT_THROW(alloc.place(gen), std::logic_error);
+  rule.place_one(state, gen);
+  rule.place_one(state, gen);
+  EXPECT_EQ(state.max_load(), 1u);
+  EXPECT_THROW(rule.place_one(state, gen), std::logic_error);
+  // A departure re-opens capacity (the dynamic reading of the bound).
+  state.remove_ball(0);
+  EXPECT_NO_THROW(rule.place_one(state, gen));
 }
 
 TEST(Threshold, SlackZeroRejectedOnlyForZeroM) {
-  EXPECT_THROW(ThresholdAllocator(4, 0, 0), std::invalid_argument);
-  EXPECT_NO_THROW(ThresholdAllocator(4, 4, 0));
+  EXPECT_THROW(ThresholdRule(4, 0, 0), std::invalid_argument);
+  EXPECT_NO_THROW(ThresholdRule(4, 4, 0));
 }
 
 TEST(Threshold, SlackZeroGivesPerfectlyFlatLoad) {

@@ -17,12 +17,32 @@
 namespace bbb::rng {
 namespace {
 
+// Seeds 0 and 42 for both engines, matching the SplitMix64 pin pair below:
+// seed 0 exercises the all-zero-state seeding path (SplitMix64 expansion
+// must keep the engine state nonzero), seed 42 is the implementation pin
+// every recorded experiment used.
+TEST(GoldenPins, Xoshiro256Seed0) {
+  Xoshiro256PlusPlus gen(0);
+  EXPECT_EQ(gen(), 0x53175d61490b23dfULL);
+  EXPECT_EQ(gen(), 0x61da6f3dc380d507ULL);
+  EXPECT_EQ(gen(), 0x5c0fdf91ec9a7bfcULL);
+  EXPECT_EQ(gen(), 0x02eebf8c3bbe5e1aULL);
+}
+
 TEST(GoldenPins, Xoshiro256Seed42) {
   Xoshiro256PlusPlus gen(42);
   EXPECT_EQ(gen(), 0xd0764d4f4476689fULL);
   EXPECT_EQ(gen(), 0x519e4174576f3791ULL);
   EXPECT_EQ(gen(), 0xfbe07cfb0c24ed8cULL);
   EXPECT_EQ(gen(), 0xb37d9f600cd835b8ULL);
+}
+
+TEST(GoldenPins, Pcg32Seed0Stream0) {
+  Pcg32 gen(0, 0);
+  EXPECT_EQ(gen.next_u32(), 0xe4c14788u);
+  EXPECT_EQ(gen.next_u32(), 0x379c6516u);
+  EXPECT_EQ(gen.next_u32(), 0x5c4ab3bbu);
+  EXPECT_EQ(gen.next_u32(), 0x601d23e0u);
 }
 
 TEST(GoldenPins, Pcg32Seed42Stream0) {

@@ -25,6 +25,21 @@ TEST(Runner, SummaryCountsMatchReplicates) {
   EXPECT_EQ(s.failures, 0u);
 }
 
+TEST(Runner, KeepRecordsOffDropsRawRowsButNotStats) {
+  // Large sweeps switch keep_records off so thousands of summaries do not
+  // retain every raw replicate row; the folded statistics are unaffected.
+  ExperimentConfig cfg = small_config();
+  const RunSummary with = run_experiment(cfg);
+  cfg.keep_records = false;
+  const RunSummary without = run_experiment(cfg);
+  EXPECT_TRUE(without.records.empty());
+  EXPECT_EQ(without.records.capacity(), 0u);  // memory actually released
+  EXPECT_EQ(without.probes.count(), 8u);
+  EXPECT_DOUBLE_EQ(without.probes.mean(), with.probes.mean());
+  EXPECT_DOUBLE_EQ(without.psi.mean(), with.psi.mean());
+  EXPECT_DOUBLE_EQ(without.max_load.mean(), with.max_load.mean());
+}
+
 TEST(Runner, StatsAgreeWithRawRecords) {
   const RunSummary s = run_experiment(small_config());
   double mean_probes = 0;

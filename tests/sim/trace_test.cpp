@@ -2,15 +2,21 @@
 
 #include <gtest/gtest.h>
 
-#include "bbb/core/protocols/adaptive.hpp"
-#include "bbb/core/protocols/one_choice.hpp"
+#include <cmath>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/core/protocols/registry.hpp"
 #include "bbb/rng/xoshiro256.hpp"
 
 namespace bbb::sim {
 namespace {
 
+core::StreamingAllocator make(const char* spec, std::uint32_t n) {
+  return {n, core::make_rule(spec, n)};
+}
+
 TEST(Trace, SnapshotsAtStrideAndEnd) {
-  core::AdaptiveAllocator alloc(32);
+  auto alloc = make("adaptive", 32);
   rng::Engine gen(1);
   const auto points = trace_allocation(alloc, gen, 100, 30);
   // Snapshots at 30, 60, 90, 100.
@@ -22,7 +28,7 @@ TEST(Trace, SnapshotsAtStrideAndEnd) {
 }
 
 TEST(Trace, ExactMultipleDoesNotDuplicateFinalPoint) {
-  core::OneChoiceAllocator alloc(16);
+  auto alloc = make("one-choice", 16);
   rng::Engine gen(2);
   const auto points = trace_allocation(alloc, gen, 60, 20);
   ASSERT_EQ(points.size(), 3u);
@@ -30,7 +36,7 @@ TEST(Trace, ExactMultipleDoesNotDuplicateFinalPoint) {
 }
 
 TEST(Trace, MonotoneBallsAndProbes) {
-  core::AdaptiveAllocator alloc(64);
+  auto alloc = make("adaptive", 64);
   rng::Engine gen(3);
   const auto points = trace_allocation(alloc, gen, 1000, 100);
   for (std::size_t i = 1; i < points.size(); ++i) {
@@ -40,14 +46,17 @@ TEST(Trace, MonotoneBallsAndProbes) {
 }
 
 TEST(Trace, ZeroStrideTreatedAsOne) {
-  core::OneChoiceAllocator alloc(8);
+  auto alloc = make("one-choice", 8);
   rng::Engine gen(4);
   const auto points = trace_allocation(alloc, gen, 5, 0);
   EXPECT_EQ(points.size(), 5u);
 }
 
-TEST(Trace, MetricsMatchFinalState) {
-  core::AdaptiveAllocator alloc(32);
+TEST(Trace, MetricsMatchFullRecomputation) {
+  // The trace reads the incremental BinState; every point must equal what
+  // the naive metrics.hpp pass would have produced at that prefix. Check
+  // the final point against the full recomputation.
+  auto alloc = make("adaptive", 32);
   rng::Engine gen(5);
   const auto points = trace_allocation(alloc, gen, 320, 100);
   const auto& last = points.back();
@@ -55,11 +64,26 @@ TEST(Trace, MetricsMatchFinalState) {
   EXPECT_EQ(last.probes, alloc.probes());
   const auto metrics = core::compute_metrics(alloc.state().loads(), 320);
   EXPECT_EQ(last.max_load, metrics.max);
+  EXPECT_EQ(last.min_load, metrics.min);
   EXPECT_DOUBLE_EQ(last.psi, metrics.psi);
+  EXPECT_NEAR(last.log_phi, metrics.log_phi, 1e-9 * (1.0 + std::abs(metrics.log_phi)));
+}
+
+TEST(Trace, EveryRegistryRuleTraces) {
+  // The tracer accepts the full registry — the scenario-matrix promise.
+  for (const char* spec : {"greedy[2]", "left[2]", "memory[1,1]", "threshold",
+                           "doubling-threshold[0]", "adaptive-net", "batched[4]",
+                           "self-balancing", "cuckoo[2,4]"}) {
+    core::StreamingAllocator alloc(16, core::make_rule(spec, 16, 48));
+    rng::Engine gen(6);
+    const auto points = trace_allocation(alloc, gen, 48, 16);
+    ASSERT_EQ(points.size(), 3u) << spec;
+    EXPECT_LE(points.back().balls, 48u) << spec;  // cuckoo may stash
+  }
 }
 
 TEST(Trace, TableHasOneRowPerPoint) {
-  core::OneChoiceAllocator alloc(8);
+  auto alloc = make("one-choice", 8);
   rng::Engine gen(6);
   const auto points = trace_allocation(alloc, gen, 50, 10);
   const io::Table table = trace_table(points);

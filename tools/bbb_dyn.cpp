@@ -1,9 +1,12 @@
-/// bbb_dyn — the dynamic-workload driver: run any streaming allocator
-/// against any workload generator, print steady-state metrics, the
-/// occupancy tail, and optionally a snapshot trajectory CSV.
+/// bbb_dyn — the dynamic-workload driver: run any rule from the protocol
+/// registry (the full batch vocabulary — greedy, left, memory, threshold,
+/// adaptive variants, batched, self-balancing, cuckoo, ...) against any
+/// workload generator, print steady-state metrics, the occupancy tail,
+/// and optionally a snapshot trajectory CSV.
 ///
 ///   $ bbb_dyn --allocator=greedy[2] --workload=supermarket[90] --n=4096
-///   $ bbb_dyn --allocator=adaptive-net --workload='churn[32768]' --n=4096
+///   $ bbb_dyn --allocator=memory[1,1] --workload='churn[32768]' --n=4096
+///   $ bbb_dyn --allocator=threshold[2] --mhint=8192 --workload='bursty[95,10,5]'
 ///   $ bbb_dyn --list=1                      # print every spec string
 ///   $ bbb_dyn --csv=snapshots.csv ...       # replicate-0 trajectory dump
 
@@ -19,10 +22,12 @@ int main(int argc, char** argv) {
   bbb::io::ArgParser args("bbb_dyn",
                           "run one dynamic (arrivals + departures) experiment");
   args.add_flag("allocator", std::string("adaptive-net"),
-                "streaming allocator spec (see --list=1)");
+                "protocol registry spec (see --list=1)");
   args.add_flag("workload", std::string("supermarket[90]"),
                 "workload spec (see --list=1)");
   args.add_flag("n", std::uint64_t{1024}, "bins");
+  args.add_flag("mhint", std::uint64_t{0},
+                "total-count hint for fixed-bound rules like threshold (0 = n)");
   args.add_flag("warmup", std::uint64_t{32768}, "burn-in events before measuring");
   args.add_flag("events", std::uint64_t{65536}, "measured events");
   args.add_flag("stride", std::uint64_t{1024}, "measured events between snapshots");
@@ -38,7 +43,7 @@ int main(int argc, char** argv) {
     if (!args.parse(argc, argv)) return 0;
 
     if (args.get_u64("list") != 0) {
-      std::puts("streaming allocators:");
+      std::puts("rules (every protocol registry spec):");
       for (const auto& s : bbb::dyn::streaming_allocator_specs()) {
         std::printf("  %s\n", s.c_str());
       }
@@ -51,6 +56,7 @@ int main(int argc, char** argv) {
     cfg.allocator_spec = args.get_string("allocator");
     cfg.workload_spec = args.get_string("workload");
     cfg.n = static_cast<std::uint32_t>(args.get_u64("n"));
+    cfg.m_hint = args.get_u64("mhint");
     cfg.warmup = args.get_u64("warmup");
     cfg.events = args.get_u64("events");
     cfg.stride = args.get_u64("stride");

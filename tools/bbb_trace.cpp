@@ -5,70 +5,40 @@
 ///
 ///   $ bbb_trace --protocol=adaptive --m=1000000 --n=10000 --points=20
 ///
-/// Supported protocols (the streaming subset): adaptive, adaptive[slack],
-/// threshold, threshold[slack], one-choice, greedy[d], left[d].
+/// Every registry spec is accepted (--list=1 prints them); snapshots are
+/// read off the incremental BinState, so even per-ball traces (--points=m)
+/// of million-ball runs cost O(m), not O(m n).
 
 #include <cstdio>
-#include <memory>
 #include <string>
 
-#include "bbb/core/protocols/adaptive.hpp"
-#include "bbb/core/protocols/d_choice.hpp"
-#include "bbb/core/protocols/left_d.hpp"
-#include "bbb/core/protocols/one_choice.hpp"
-#include "bbb/core/protocols/threshold.hpp"
+#include "bbb/core/protocols/registry.hpp"
 #include "bbb/io/argparse.hpp"
 #include "bbb/io/csv.hpp"
 #include "bbb/sim/trace.hpp"
 
-namespace {
-
-// Minimal streaming-protocol dispatch: parse the subset of registry specs
-// that have a streaming allocator and run the trace through it.
-std::vector<bbb::sim::TracePoint> trace_spec(const std::string& spec, std::uint64_t m,
-                                             std::uint32_t n, std::uint64_t stride,
-                                             bbb::rng::Engine& gen) {
-  const auto bracket_arg = [&spec](std::uint32_t fallback) -> std::uint32_t {
-    const auto lb = spec.find('[');
-    if (lb == std::string::npos) return fallback;
-    return static_cast<std::uint32_t>(std::stoul(spec.substr(lb + 1)));
-  };
-  if (spec.rfind("adaptive", 0) == 0) {
-    bbb::core::AdaptiveAllocator alloc(n, bracket_arg(1));
-    return bbb::sim::trace_allocation(alloc, gen, m, stride);
-  }
-  if (spec.rfind("threshold", 0) == 0) {
-    bbb::core::ThresholdAllocator alloc(n, m, bracket_arg(1));
-    return bbb::sim::trace_allocation(alloc, gen, m, stride);
-  }
-  if (spec == "one-choice") {
-    bbb::core::OneChoiceAllocator alloc(n);
-    return bbb::sim::trace_allocation(alloc, gen, m, stride);
-  }
-  if (spec.rfind("greedy", 0) == 0) {
-    bbb::core::DChoiceAllocator alloc(n, bracket_arg(2));
-    return bbb::sim::trace_allocation(alloc, gen, m, stride);
-  }
-  if (spec.rfind("left", 0) == 0) {
-    bbb::core::LeftDAllocator alloc(n, bracket_arg(2));
-    return bbb::sim::trace_allocation(alloc, gen, m, stride);
-  }
-  throw std::invalid_argument("bbb_trace: no streaming allocator for '" + spec + "'");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   bbb::io::ArgParser args("bbb_trace", "load-distribution trajectory of a protocol");
-  args.add_flag("protocol", std::string("adaptive"), "streaming protocol spec");
+  args.add_flag("protocol", std::string("adaptive"),
+                "registry protocol spec (see --list=1)");
   args.add_flag("m", std::uint64_t{100'000}, "balls");
   args.add_flag("n", std::uint64_t{10'000}, "bins");
   args.add_flag("points", std::uint64_t{10}, "snapshots to record");
   args.add_flag("seed", std::uint64_t{42}, "seed");
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
   args.add_flag("csv", std::string(""), "also dump points to this CSV file");
+  args.add_flag("list", std::uint64_t{0}, "1 = print protocol spec strings and exit");
   try {
     if (!args.parse(argc, argv)) return 0;
+
+    if (args.get_u64("list") != 0) {
+      std::puts("protocols:");
+      for (const auto& s : bbb::core::protocol_specs()) {
+        std::printf("  %s\n", s.c_str());
+      }
+      return 0;
+    }
+
     const auto m = args.get_u64("m");
     const auto n = static_cast<std::uint32_t>(args.get_u64("n"));
     const auto points = args.get_u64("points");
@@ -76,12 +46,14 @@ int main(int argc, char** argv) {
     if (points == 0) throw std::invalid_argument("--points must be positive");
 
     bbb::rng::Engine gen(args.get_u64("seed"));
-    const auto trace =
-        trace_spec(args.get_string("protocol"), m, n, m / points, gen);
+    // The m hint binds fixed-bound rules (threshold) to this run's total.
+    bbb::core::StreamingAllocator alloc(
+        n, bbb::core::make_rule(args.get_string("protocol"), n, m));
+    const auto trace = bbb::sim::trace_allocation(alloc, gen, m, m / points);
 
     auto table = bbb::sim::trace_table(trace);
-    table.set_title(args.get_string("protocol") + " trajectory, m = " +
-                    std::to_string(m) + ", n = " + std::to_string(n));
+    table.set_title(alloc.name() + " trajectory, m = " + std::to_string(m) +
+                    ", n = " + std::to_string(n));
     std::fputs(table.render(format).c_str(), stdout);
 
     const std::string csv_path = args.get_string("csv");
