@@ -22,6 +22,9 @@ inline void add_common_flags(io::ArgParser& args, std::uint64_t default_reps) {
   args.add_flag("seed", std::uint64_t{42}, "master seed");
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
   args.add_flag("threads", std::uint64_t{0}, "worker threads (0 = hardware)");
+  args.add_flag("smoke", std::uint64_t{0},
+                "1 = minimal smoke run: reps=1 and tiny problem sizes (CI "
+                "uses this to keep every bench binary building AND running)");
 }
 
 struct CommonFlags {
@@ -29,12 +32,21 @@ struct CommonFlags {
   std::uint64_t seed;
   io::Format format;
   std::size_t threads;
+  bool smoke;
 };
 
 inline CommonFlags read_common_flags(const io::ArgParser& args) {
-  return CommonFlags{static_cast<std::uint32_t>(args.get_u64("reps")),
+  const bool smoke = args.get_u64("smoke") != 0;
+  return CommonFlags{smoke ? 1u : static_cast<std::uint32_t>(args.get_u64("reps")),
                      args.get_u64("seed"), io::parse_format(args.get_string("format")),
-                     static_cast<std::size_t>(args.get_u64("threads"))};
+                     static_cast<std::size_t>(args.get_u64("threads")), smoke};
+}
+
+/// `value` normally, `smoke_value` under --smoke=1 — how each harness
+/// shrinks its problem-size knobs for the CI smoke step.
+inline std::uint64_t smoke_or(const CommonFlags& flags, std::uint64_t value,
+                              std::uint64_t smoke_value) {
+  return flags.smoke ? smoke_value : value;
 }
 
 /// Run one (spec, m, n) cell with the shared flags.

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   bbb::bench::add_common_flags(args, 4);
   if (!args.parse(argc, argv)) return 0;
   const auto flags = bbb::bench::read_common_flags(args);
-  const auto n = static_cast<std::uint32_t>(args.get_u64("n"));
+  const auto n =
+      static_cast<std::uint32_t>(bbb::bench::smoke_or(flags, args.get_u64("n"), 256));
   const std::uint64_t phi = args.get_u64("phi");
   const std::uint64_t population = phi * n;
 

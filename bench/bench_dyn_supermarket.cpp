@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   bbb::bench::add_common_flags(args, 4);
   if (!args.parse(argc, argv)) return 0;
   const auto flags = bbb::bench::read_common_flags(args);
-  const auto n = static_cast<std::uint32_t>(args.get_u64("n"));
+  const auto n =
+      static_cast<std::uint32_t>(bbb::bench::smoke_or(flags, args.get_u64("n"), 256));
   const double lambda = static_cast<double>(args.get_u64("lambda")) / 100.0;
   const auto kmax = static_cast<std::uint32_t>(args.get_u64("kmax"));
 

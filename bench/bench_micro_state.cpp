@@ -68,6 +68,49 @@ void BM_BinStateAddRemove(benchmark::State& bench) {
 }
 BENCHMARK(BM_BinStateAddRemove)->Arg(10'000)->Arg(1'000'000);
 
+// Weighted placement path: one add_ball(bin, w) moves a bin w levels in a
+// single event. Cost is O(1) amortized per unit of weight, so the per-event
+// time should grow far slower than w itself.
+void BM_BinStateWeightedAddRemove(benchmark::State& bench) {
+  const std::uint32_t n = 100'000;
+  const auto w = static_cast<std::uint32_t>(bench.range(0));
+  bbb::core::BinState state = filled_state(n);
+  bbb::rng::Engine gen(13);
+  for (auto _ : bench) {
+    const auto bin = static_cast<std::uint32_t>(bbb::rng::uniform_below(gen, n));
+    state.add_ball(bin, w);
+    state.remove_ball(bin, w);
+  }
+  bench.SetItemsProcessed(static_cast<std::int64_t>(bench.iterations()) * 2 * w);
+}
+BENCHMARK(BM_BinStateWeightedAddRemove)->Arg(1)->Arg(8)->Arg(64);
+
+// Capacity-proportional probe: one Walker alias-table draw (one bounded
+// uniform + one double compare) versus the plain uniform probe.
+void BM_CapacitySamplerDraw(benchmark::State& bench) {
+  const auto n = static_cast<std::uint32_t>(bench.range(0));
+  std::vector<std::uint32_t> caps(n);
+  for (std::uint32_t i = 0; i < n; ++i) caps[i] = 1u << (i % 4);  // 1,2,4,8
+  const bbb::core::BinState state(caps);
+  bbb::rng::Engine gen(29);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(state.sample_capacity_proportional(gen));
+  }
+  bench.SetItemsProcessed(static_cast<std::int64_t>(bench.iterations()));
+}
+BENCHMARK(BM_CapacitySamplerDraw)->Arg(10'000)->Arg(1'000'000);
+
+void BM_UniformProbeDraw(benchmark::State& bench) {
+  const auto n = static_cast<std::uint32_t>(bench.range(0));
+  const bbb::core::BinState state(n);  // uniform: sampler falls back to uniform
+  bbb::rng::Engine gen(29);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(state.sample_capacity_proportional(gen));
+  }
+  bench.SetItemsProcessed(static_cast<std::int64_t>(bench.iterations()));
+}
+BENCHMARK(BM_UniformProbeDraw)->Arg(10'000)->Arg(1'000'000);
+
 // Per-ball trace trajectory (stride 1) through the incremental tracer:
 // place + O(1) snapshot per ball. Reported as balls/second.
 void BM_TracePerBallIncremental(benchmark::State& bench) {

@@ -2,48 +2,108 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "bbb/core/metrics.hpp"
 
 namespace bbb::core {
 
+namespace {
+
+// Levels above this are computed by std::pow instead of extending the
+// (1+eps)^{-l} cache, so one huge weighted add cannot allocate an
+// unbounded cache. (1/1.005)^{2^20} underflows to 0 long before this.
+constexpr std::uint32_t kPowCacheMax = 1u << 20;
+
+}  // namespace
+
 BinState::BinState(std::uint32_t n)
-    : level_count_(1, n),
-      phi_weight_(static_cast<double>(n)),
+    : phi_weight_(static_cast<double>(n)),
       pow_neg_(1, 1.0),
-      nonempty_pos_(n, 0) {
+      nonempty_pos_(n, 0),
+      total_capacity_(n) {
   if (n == 0) throw std::invalid_argument("BinState: n must be positive");
   loads_.assign(n, 0);
+  levels_.reset(n);
+}
+
+BinState::BinState(std::vector<std::uint32_t> capacities)
+    : BinState(capacities.empty()
+                   ? 0
+                   : static_cast<std::uint32_t>(capacities.size())) {
+  capacities_ = std::move(capacities);
+  init_capacity_classes();
+}
+
+void BinState::init_capacity_classes() {
+  total_capacity_ = 0;
+  std::map<std::uint32_t, std::uint32_t> bins_of;  // capacity -> #bins
+  for (const std::uint32_t c : capacities_) {
+    if (c == 0) throw std::invalid_argument("BinState: capacities must be >= 1");
+    total_capacity_ += c;
+    ++bins_of[c];
+  }
+  classes_.clear();
+  classes_.reserve(bins_of.size());
+  std::map<std::uint32_t, std::uint32_t> class_index;  // capacity -> class id
+  for (const auto& [c, bins] : bins_of) {
+    class_index[c] = static_cast<std::uint32_t>(classes_.size());
+    CapacityClass cls;
+    cls.capacity = c;
+    cls.bins = bins;
+    cls.levels.reset(bins);
+    classes_.push_back(std::move(cls));
+  }
+  class_of_.resize(capacities_.size());
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    class_of_[i] = class_index[capacities_[i]];
+  }
+  if (classes_.size() > 1) {
+    std::vector<double> weights(capacities_.begin(), capacities_.end());
+    cap_sampler_.emplace(weights);
+  }
 }
 
 double BinState::pow_neg(std::uint32_t l) const {
+  if (l >= kPowCacheMax) {
+    return std::pow(1.0 + kPotentialEpsilon, -static_cast<double>(l));
+  }
   // (1+eps)^{-l}, extended one level at a time so lookups stay O(1): loads
-  // only ever move by one level per event.
+  // move by the event's weight per event, and each level is computed once.
   while (pow_neg_.size() <= l) {
     pow_neg_.push_back(pow_neg_.back() / (1.0 + kPotentialEpsilon));
   }
   return pow_neg_[l];
 }
 
-void BinState::add_ball(std::uint32_t bin) {
-  const std::uint32_t l = loads_[bin];
-  ++loads_[bin];
-  ++balls_;
-
-  if (level_count_.size() <= static_cast<std::size_t>(l) + 1) {
-    level_count_.resize(static_cast<std::size_t>(l) + 2, 0);
+void BinState::add_ball(std::uint32_t bin, std::uint32_t weight) {
+  if (weight == 0) {
+    throw std::invalid_argument("BinState::add_ball: weight must be positive");
   }
-  --level_count_[l];
-  ++level_count_[l + 1];
-  if (l + 1 > max_) max_ = l + 1;
-  // The moved bin was the last one at the minimum level: the new minimum is
-  // one level up (where this bin now sits), so min never skips a level.
-  if (l == min_ && level_count_[l] == 0) ++min_;
+  const std::uint32_t l = loads_[bin];
+  if (l > std::numeric_limits<std::uint32_t>::max() - weight) {
+    throw std::invalid_argument("BinState::add_ball: bin " + std::to_string(bin) +
+                                " load would overflow 32 bits");
+  }
+  const std::uint32_t nl = l + weight;
+  loads_[bin] = nl;
+  balls_ += weight;
 
-  sum_sq_ += 2ULL * l + 1;
-  phi_weight_ += pow_neg(l + 1) - pow_neg(l);
+  levels_.move_up(l, nl);
+  // (l+w)^2 - l^2 = (2l + w) w, exact in 64 bits while S2 itself fits.
+  const std::uint64_t sq_delta =
+      (2ULL * l + weight) * static_cast<std::uint64_t>(weight);
+  sum_sq_ += sq_delta;
+  phi_weight_ += pow_neg(nl) - pow_neg(l);
+  if (!classes_.empty()) {
+    CapacityClass& cls = classes_[class_of_[bin]];
+    cls.levels.move_up(l, nl);
+    cls.sum_sq += sq_delta;
+  }
 
   if (l == 0) {
     nonempty_pos_[bin] = static_cast<std::uint32_t>(nonempty_.size());
@@ -51,26 +111,33 @@ void BinState::add_ball(std::uint32_t bin) {
   }
 }
 
-void BinState::remove_ball(std::uint32_t bin) {
-  const std::uint32_t l = loads_[bin];
-  if (l == 0) {
-    throw std::invalid_argument("BinState::remove_ball: bin " + std::to_string(bin) +
-                                " is empty");
+void BinState::remove_ball(std::uint32_t bin, std::uint32_t weight) {
+  if (weight == 0) {
+    throw std::invalid_argument("BinState::remove_ball: weight must be positive");
   }
-  --loads_[bin];
-  --balls_;
+  const std::uint32_t l = loads_[bin];
+  if (l < weight) {
+    throw std::invalid_argument("BinState::remove_ball: bin " + std::to_string(bin) +
+                                " holds " + std::to_string(l) + " < weight " +
+                                std::to_string(weight));
+  }
+  const std::uint32_t nl = l - weight;
+  loads_[bin] = nl;
+  balls_ -= weight;
 
-  --level_count_[l];
-  ++level_count_[l - 1];
-  if (l - 1 < min_) min_ = l - 1;
-  // The moved bin was the last one at the maximum level; it now occupies
-  // level l - 1, so the maximum drops by exactly one.
-  if (l == max_ && level_count_[l] == 0) --max_;
+  levels_.move_down(l, nl);
+  // l^2 - (l-w)^2 = (2l - w) w.
+  const std::uint64_t sq_delta =
+      (2ULL * l - weight) * static_cast<std::uint64_t>(weight);
+  sum_sq_ -= sq_delta;
+  phi_weight_ += pow_neg(nl) - pow_neg(l);
+  if (!classes_.empty()) {
+    CapacityClass& cls = classes_[class_of_[bin]];
+    cls.levels.move_down(l, nl);
+    cls.sum_sq -= sq_delta;
+  }
 
-  sum_sq_ -= 2ULL * l - 1;
-  phi_weight_ += pow_neg(l - 1) - pow_neg(l);
-
-  if (l == 1) {
+  if (nl == 0) {
     const std::uint32_t pos = nonempty_pos_[bin];
     const std::uint32_t last = nonempty_.back();
     nonempty_[pos] = last;
@@ -88,10 +155,50 @@ double BinState::log_phi() const noexcept {
   return std::log(phi_weight_) + (average() + 2.0) * std::log1p(kPotentialEpsilon);
 }
 
+std::uint32_t BinState::sample_capacity_proportional(rng::Engine& gen) const {
+  if (!cap_sampler_.has_value()) {
+    return static_cast<std::uint32_t>(rng::uniform_below(gen, loads_.size()));
+  }
+  return (*cap_sampler_)(gen);
+}
+
+double BinState::max_norm_load() const noexcept {
+  if (classes_.empty()) return static_cast<double>(levels_.max);
+  double best = 0.0;
+  for (const CapacityClass& cls : classes_) {
+    const double v =
+        static_cast<double>(cls.levels.max) / static_cast<double>(cls.capacity);
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+double BinState::min_norm_load() const noexcept {
+  if (classes_.empty()) return static_cast<double>(levels_.min);
+  double best = std::numeric_limits<double>::infinity();
+  for (const CapacityClass& cls : classes_) {
+    const double v =
+        static_cast<double>(cls.levels.min) / static_cast<double>(cls.capacity);
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+double BinState::weighted_psi() const noexcept {
+  const auto t = static_cast<double>(balls_);
+  const double centering = t * t / static_cast<double>(total_capacity_);
+  if (classes_.empty()) return static_cast<double>(sum_sq_) - centering;
+  double sum = 0.0;
+  for (const CapacityClass& cls : classes_) {
+    sum += static_cast<double>(cls.sum_sq) / static_cast<double>(cls.capacity);
+  }
+  return sum - centering;
+}
+
 std::uint32_t BinState::bins_with_load_at_least(std::uint32_t k) const noexcept {
   if (k == 0) return n();
   std::uint32_t count = 0;
-  for (std::size_t l = k; l < level_count_.size(); ++l) count += level_count_[l];
+  for (std::size_t l = k; l < levels_.count.size(); ++l) count += levels_.count[l];
   return count;
 }
 
@@ -105,12 +212,18 @@ std::uint32_t BinState::sample_nonempty(rng::Engine& gen) const {
 void BinState::clear() noexcept {
   std::fill(loads_.begin(), loads_.end(), 0u);
   balls_ = 0;
-  level_count_.assign(1, n());
-  max_ = 0;
-  min_ = 0;
+  levels_.reset(n());
   sum_sq_ = 0;
   phi_weight_ = static_cast<double>(n());
   nonempty_.clear();
+  // Reset the bin->index slots too: a stale entry is never read by the
+  // add/remove protocol, but "cleared == freshly constructed" is the
+  // contract, and any future reader of the index must not see garbage.
+  std::fill(nonempty_pos_.begin(), nonempty_pos_.end(), 0u);
+  for (CapacityClass& cls : classes_) {
+    cls.levels.reset(cls.bins);
+    cls.sum_sq = 0;
+  }
 }
 
 }  // namespace bbb::core

@@ -10,43 +10,78 @@
 /// via `PlacementRule::place_one`, and every consumer (batch adapter,
 /// dynamic engine, tracer) reads the same O(1) metrics.
 ///
+/// Balls carry integer *weights* (a chain of w jobs placed as one atomic
+/// decision is `add_ball(bin, w)`), and bins carry integer *capacities*
+/// c_i (a server twice as fast as its neighbor has twice the capacity).
+/// Unit weights and uniform capacities — the paper's setting — are the
+/// defaults and cost nothing extra.
+///
 /// Notation: this is the paper's load vector l = (l_1, ..., l_n) after t
-/// placements; `balls()` is t, `average()` is t/n (the centering used by
-/// the potentials Ψ and Φ in metrics.hpp). Incremental bookkeeping:
+/// units of weight have been placed; `balls()` is t, `average()` is t/n
+/// (the centering used by the potentials Ψ and Φ in metrics.hpp). With
+/// capacities, C = sum c_i and the normalized load of bin i is l_i/c_i;
+/// `norm_average()` is t/C. Incremental bookkeeping:
 ///   - level counts (number of bins at each load) give max/min/gap in
-///     O(1) worst case, because one event moves one bin one level;
+///     O(1 + w) per event, because one event moves one bin w levels (the
+///     min/max rescans are bounded by the level distance moved, so the
+///     cost stays O(1) amortized per unit of weight);
 ///   - S2 = sum l_i^2 gives Psi = S2 - t^2/n;
+///   - per-capacity-class S2_c = sum_{c_i = c} l_i^2 gives the weighted
+///     potential Psi_w = sum l_i^2/c_i - t^2/C in exact integer parts;
+///   - per-class level counts give max/min of l_i/c_i in O(#classes);
 ///   - W = sum (1+eps)^{-l_i} gives ln Phi = ln W + (t/n + 2) ln(1+eps);
 ///   - the nonempty-bin index supports O(1) "serve a uniformly random
-///     busy queue" departures (the supermarket service event).
+///     busy queue" departures (the supermarket service event);
+///   - a Walker alias table over the capacities gives O(1) probes
+///     proportional to c_i (`sample_capacity_proportional`).
 ///
 /// Invariants (property-tested in tests/core/bin_state_test.cpp and,
-/// against the naive metrics.hpp recomputation under random add/remove
-/// interleavings, in tests/dyn/allocator_test.cpp):
+/// against the naive metrics.hpp recomputation under random weighted
+/// add/remove interleavings, in tests/dyn/allocator_test.cpp):
 ///   * balls() == sum of load(i) over all bins whenever control is
 ///     outside add_ball/remove_ball;
 ///   * every incremental metric equals the batch recomputation from
-///     core/metrics.hpp after any interleaving of add/remove.
+///     core/metrics.hpp after any interleaving of add/remove;
+///   * clear() is indistinguishable from fresh construction.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "bbb/rng/alias_table.hpp"
 #include "bbb/rng/engine.hpp"
 #include "bbb/rng/xoshiro256.hpp"
 
 namespace bbb::core {
 
-/// Bin loads plus incremental metrics. All mutators are O(1) worst case.
+/// Bin loads plus incremental metrics. Mutators are O(1) amortized per
+/// unit of weight moved; metric reads are O(1) (normalized max/min/gap:
+/// O(#distinct capacities)).
 class BinState {
  public:
+  /// Uniform-capacity state (the paper's setting: every c_i = 1).
   /// \param n number of bins. \throws std::invalid_argument if n == 0.
   explicit BinState(std::uint32_t n);
 
-  /// Place one ball into `bin`, updating every derived metric.
-  void add_ball(std::uint32_t bin);
+  /// Heterogeneous-capacity state: bin i has capacity capacities[i] >= 1.
+  /// \throws std::invalid_argument if empty or any capacity is 0.
+  explicit BinState(std::vector<std::uint32_t> capacities);
 
-  /// Remove one ball from `bin`. \throws std::invalid_argument if empty.
-  void remove_ball(std::uint32_t bin);
+  /// Place one unit ball into `bin`, updating every derived metric.
+  void add_ball(std::uint32_t bin) { add_ball(bin, 1); }
+
+  /// Place one ball of integer weight `weight` into `bin` as a single
+  /// atomic event (the whole chain lands together).
+  /// \throws std::invalid_argument if weight == 0 or the bin load would
+  ///         overflow 32 bits.
+  void add_ball(std::uint32_t bin, std::uint32_t weight);
+
+  /// Remove one unit ball from `bin`. \throws std::invalid_argument if empty.
+  void remove_ball(std::uint32_t bin) { remove_ball(bin, 1); }
+
+  /// Remove `weight` units from `bin` as one event.
+  /// \throws std::invalid_argument if weight == 0 or weight > load(bin).
+  void remove_ball(std::uint32_t bin, std::uint32_t weight);
 
   [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept {
     return loads_[bin];
@@ -54,6 +89,7 @@ class BinState {
   [[nodiscard]] std::uint32_t n() const noexcept {
     return static_cast<std::uint32_t>(loads_.size());
   }
+  /// Total weight in the system (== sum of loads; unit balls each count 1).
   [[nodiscard]] std::uint64_t balls() const noexcept { return balls_; }
 
   /// Average load balls/n.
@@ -65,15 +101,66 @@ class BinState {
     return loads_;
   }
 
-  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_; }
-  [[nodiscard]] std::uint32_t min_load() const noexcept { return min_; }
-  [[nodiscard]] std::uint32_t gap() const noexcept { return max_ - min_; }
+  [[nodiscard]] std::uint32_t max_load() const noexcept { return levels_.max; }
+  [[nodiscard]] std::uint32_t min_load() const noexcept { return levels_.min; }
+  [[nodiscard]] std::uint32_t gap() const noexcept { return levels_.max - levels_.min; }
 
   /// Quadratic potential Psi = sum (l_i - t/n)^2 = S2 - t^2/n.
   [[nodiscard]] double psi() const noexcept;
 
   /// ln Phi with the paper's eps = 1/200, maintained incrementally.
   [[nodiscard]] double log_phi() const noexcept;
+
+  // -- capacities ----------------------------------------------------------
+
+  /// True when every bin has the same capacity (probing proportional to
+  /// capacity degenerates to uniform). The default constructor's state is
+  /// always uniform.
+  [[nodiscard]] bool uniform_capacity() const noexcept { return classes_.size() <= 1; }
+
+  /// Capacity of `bin` (1 for the uniform default constructor).
+  [[nodiscard]] std::uint32_t capacity(std::uint32_t bin) const noexcept {
+    return capacities_.empty() ? 1 : capacities_[bin];
+  }
+
+  /// Per-bin capacities; empty when constructed uniform (all c_i = 1).
+  [[nodiscard]] const std::vector<std::uint32_t>& capacities() const noexcept {
+    return capacities_;
+  }
+
+  /// C = sum c_i (== n for the uniform default).
+  [[nodiscard]] std::uint64_t total_capacity() const noexcept { return total_capacity_; }
+
+  /// A random bin drawn proportionally to capacity: P(i) = c_i / C.
+  /// Uniform capacities use one `uniform_below` draw (bit-for-bit the
+  /// classic uniform probe); heterogeneous capacities use the O(1) Walker
+  /// alias table built at construction.
+  [[nodiscard]] std::uint32_t sample_capacity_proportional(rng::Engine& gen) const;
+
+  // -- capacity-normalized metrics -----------------------------------------
+
+  /// Normalized average t/C — the target every l_i/c_i converges to under
+  /// capacity-proportional placement.
+  [[nodiscard]] double norm_average() const noexcept {
+    return static_cast<double>(balls_) / static_cast<double>(total_capacity_);
+  }
+
+  /// max_i l_i/c_i. O(#distinct capacities) per read.
+  [[nodiscard]] double max_norm_load() const noexcept;
+  /// min_i l_i/c_i. O(#distinct capacities) per read.
+  [[nodiscard]] double min_norm_load() const noexcept;
+  /// max_i l_i/c_i - min_i l_i/c_i.
+  [[nodiscard]] double norm_gap() const noexcept {
+    return max_norm_load() - min_norm_load();
+  }
+
+  /// Capacity-weighted quadratic potential
+  ///   Psi_w = sum c_i (l_i/c_i - t/C)^2 = sum l_i^2/c_i - t^2/C,
+  /// the heterogeneous generalization of psi() (equal to it when every
+  /// c_i = 1). Maintained from exact per-class integer sums.
+  [[nodiscard]] double weighted_psi() const noexcept;
+
+  // -- level / nonempty structure ------------------------------------------
 
   /// Number of bins with load >= k (suffix sum over level counts; O(max
   /// load), intended for snapshots, not per-event hot paths with large k).
@@ -82,7 +169,7 @@ class BinState {
   /// level_counts()[l] = number of bins with load exactly l. May carry
   /// trailing zero entries above max_load().
   [[nodiscard]] const std::vector<std::uint32_t>& level_counts() const noexcept {
-    return level_count_;
+    return levels_.count;
   }
 
   [[nodiscard]] std::uint32_t nonempty_bins() const noexcept {
@@ -94,22 +181,74 @@ class BinState {
   /// \throws std::logic_error if every bin is empty.
   [[nodiscard]] std::uint32_t sample_nonempty(rng::Engine& gen) const;
 
-  /// Reset to the all-empty state (loads, ball count, and every metric).
+  /// Reset to the all-empty state (loads, ball count, and every metric);
+  /// capacities are part of the system, not the load, and are kept. A
+  /// cleared state is indistinguishable from a freshly constructed one
+  /// (property-tested in tests/core/bin_state_test.cpp).
   void clear() noexcept;
 
  private:
+  /// Histogram of bin loads for one group of bins, with incremental
+  /// max/min. A move of one bin from level `from` to `to` rescans at most
+  /// |to - from| levels, so cost is O(1) amortized per unit of weight.
+  struct LevelTracker {
+    std::vector<std::uint32_t> count;  // count[l] = #bins of the group at load l
+    std::uint32_t max = 0;
+    std::uint32_t min = 0;
+
+    void reset(std::uint32_t bins) {
+      count.assign(1, bins);
+      max = 0;
+      min = 0;
+    }
+    void move_up(std::uint32_t from, std::uint32_t to) {
+      if (count.size() <= to) count.resize(static_cast<std::size_t>(to) + 1, 0);
+      --count[from];
+      ++count[to];
+      if (to > max) max = to;
+      // The moved bin was the last one at the minimum level: the next
+      // occupied level is at most `to` (where this bin now sits).
+      if (from == min && count[from] == 0) {
+        while (count[min] == 0) ++min;
+      }
+    }
+    void move_down(std::uint32_t from, std::uint32_t to) {
+      --count[from];
+      ++count[to];
+      if (to < min) min = to;
+      // Symmetric: the next occupied level going down is at least `to`.
+      if (from == max && count[from] == 0) {
+        while (count[max] == 0) --max;
+      }
+    }
+  };
+
+  /// Bins sharing one capacity value, tracked together so l_i/c_i extremes
+  /// and the weighted potential stay incremental.
+  struct CapacityClass {
+    std::uint32_t capacity = 1;
+    std::uint32_t bins = 0;
+    LevelTracker levels;
+    std::uint64_t sum_sq = 0;  // sum l_i^2 over this class
+  };
+
+  void init_capacity_classes();
+  [[nodiscard]] double pow_neg(std::uint32_t l) const;
+
   std::vector<std::uint32_t> loads_;
   std::uint64_t balls_ = 0;
-  std::vector<std::uint32_t> level_count_;  // level_count_[l] = #bins at load l
-  std::uint32_t max_ = 0;
-  std::uint32_t min_ = 0;
+  LevelTracker levels_;  // all bins together: max/min/gap and tail counts
   std::uint64_t sum_sq_ = 0;  // S2 = sum l_i^2 (exact while it fits 64 bits)
   double phi_weight_;         // W = sum (1+eps)^{-l_i}
   mutable std::vector<double> pow_neg_;      // cache of (1+eps)^{-l}
   std::vector<std::uint32_t> nonempty_;      // bin ids with load > 0
   std::vector<std::uint32_t> nonempty_pos_;  // bin -> index in nonempty_
 
-  [[nodiscard]] double pow_neg(std::uint32_t l) const;
+  std::vector<std::uint32_t> capacities_;  // empty = uniform c_i = 1
+  std::uint64_t total_capacity_;
+  std::vector<std::uint32_t> class_of_;  // bin -> index into classes_
+  std::vector<CapacityClass> classes_;   // one entry per distinct capacity
+  std::optional<rng::AliasTable> cap_sampler_;  // only when heterogeneous
 };
 
 }  // namespace bbb::core

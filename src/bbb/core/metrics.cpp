@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace bbb::core {
@@ -95,6 +96,37 @@ stats::IntHistogram load_histogram(std::span<const std::uint32_t> loads) {
   stats::IntHistogram h;
   for (std::uint32_t l : loads) h.add(static_cast<std::int64_t>(l));
   return h;
+}
+
+NormalizedLoadMetrics compute_normalized_metrics(
+    std::span<const std::uint32_t> loads, std::span<const std::uint32_t> capacities,
+    std::uint64_t balls) {
+  require_nonempty(loads, "compute_normalized_metrics");
+  if (loads.size() != capacities.size()) {
+    throw std::invalid_argument(
+        "compute_normalized_metrics: loads and capacities differ in size");
+  }
+  std::uint64_t total_capacity = 0;
+  for (std::uint32_t c : capacities) {
+    if (c == 0) {
+      throw std::invalid_argument("compute_normalized_metrics: zero capacity");
+    }
+    total_capacity += c;
+  }
+  NormalizedLoadMetrics m;
+  m.norm_average = static_cast<double>(balls) / static_cast<double>(total_capacity);
+  m.max_norm = 0.0;
+  m.min_norm = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double norm =
+        static_cast<double>(loads[i]) / static_cast<double>(capacities[i]);
+    m.max_norm = std::max(m.max_norm, norm);
+    m.min_norm = std::min(m.min_norm, norm);
+    const double d = norm - m.norm_average;
+    m.weighted_psi += static_cast<double>(capacities[i]) * d * d;
+  }
+  m.gap_norm = m.max_norm - m.min_norm;
+  return m;
 }
 
 LoadMetrics compute_metrics(std::span<const std::uint32_t> loads, std::uint64_t balls) {

@@ -78,4 +78,24 @@ struct LoadMetrics {
 [[nodiscard]] LoadMetrics compute_metrics(std::span<const std::uint32_t> loads,
                                           std::uint64_t balls);
 
+/// Capacity-normalized metrics for heterogeneous bins: with capacities c_i
+/// and C = sum c_i, the normalized load of bin i is l_i/c_i and the
+/// capacity-weighted potential is Psi_w = sum c_i (l_i/c_i - t/C)^2. These
+/// are the batch (full-rescan) definitions BinState's incremental
+/// bookkeeping is property-tested against; with every c_i = 1 they reduce
+/// to the unweighted metrics above.
+struct NormalizedLoadMetrics {
+  double max_norm = 0.0;      ///< max_i l_i/c_i
+  double min_norm = 0.0;      ///< min_i l_i/c_i
+  double gap_norm = 0.0;      ///< max - min of l_i/c_i
+  double weighted_psi = 0.0;  ///< sum c_i (l_i/c_i - t/C)^2
+  double norm_average = 0.0;  ///< t / C
+};
+
+/// \throws std::invalid_argument if the spans are empty, differ in size,
+///         or any capacity is zero.
+[[nodiscard]] NormalizedLoadMetrics compute_normalized_metrics(
+    std::span<const std::uint32_t> loads, std::span<const std::uint32_t> capacities,
+    std::uint64_t balls);
+
 }  // namespace bbb::core

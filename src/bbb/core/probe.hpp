@@ -32,6 +32,49 @@ std::uint32_t probe_until(Engine& gen, std::uint32_t n, std::uint64_t& probes,
   }
 }
 
+/// Exact comparison of normalized loads l_a/c_a vs l_b/c_b by
+/// cross-multiplication: both operands are uint32, so the uint64 products
+/// cannot overflow and no floating-point tie ambiguity enters the
+/// tie-break randomness stream.
+[[nodiscard]] inline bool norm_load_less(std::uint32_t la, std::uint32_t ca,
+                                         std::uint32_t lb, std::uint32_t cb) noexcept {
+  return static_cast<std::uint64_t>(la) * cb < static_cast<std::uint64_t>(lb) * ca;
+}
+
+/// Capacity-proportional greedy[d] candidate scan: d candidates drawn by
+/// `draw(gen)` (an alias-table capacity sampler), the least *normalized*
+/// load l/c wins, ties (equal l/c, cross-multiplied exactly) broken
+/// uniformly at random reservoir-style — the same randomness-consumption
+/// shape as `least_loaded_of`. Adds exactly d to `probes`.
+template <rng::Engine64 Engine, typename DrawFn, typename LoadFn, typename CapFn>
+std::uint32_t least_norm_loaded_of(Engine& gen, std::uint32_t d, std::uint64_t& probes,
+                                   DrawFn&& draw, LoadFn&& load, CapFn&& cap) {
+  std::uint32_t best = draw(gen);
+  std::uint32_t best_load = load(best);
+  std::uint32_t best_cap = cap(best);
+  std::uint32_t ties = 1;  // candidates seen with the current best l/c
+  for (std::uint32_t j = 1; j < d; ++j) {
+    const std::uint32_t c = draw(gen);
+    const std::uint32_t l = load(c);
+    const std::uint32_t cc = cap(c);
+    if (norm_load_less(l, cc, best_load, best_cap)) {
+      best = c;
+      best_load = l;
+      best_cap = cc;
+      ties = 1;
+    } else if (!norm_load_less(best_load, best_cap, l, cc)) {
+      ++ties;
+      if (rng::uniform_below(gen, ties) == 0) {
+        best = c;
+        best_load = l;
+        best_cap = cc;
+      }
+    }
+  }
+  probes += d;
+  return best;
+}
+
 /// greedy[d] candidate scan: d uniform candidates with replacement, the
 /// least loaded wins, ties broken uniformly at random among the tied
 /// candidates (reservoir style — one extra draw per tie). Adds exactly d

@@ -25,7 +25,8 @@ std::uint64_t AdaptiveRule::accept_bound(const BinState& state) const noexcept {
   return slack_ == 0 ? base - 1 : base + slack_ - 1;
 }
 
-std::uint32_t AdaptiveRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t AdaptiveRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   const std::uint32_t n = state.n();
   const std::uint64_t bound = accept_bound(state);
   const std::uint32_t bin =

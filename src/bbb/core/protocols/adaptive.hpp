@@ -60,7 +60,8 @@ class AdaptiveRule final : public PlacementRule {
   /// qualifies; for slack == 0 the bound ceil(i/n) - 1 still admits at
   /// least one bin because the i - 1 (or fewer) balls present cannot fill
   /// all n bins to ceil(i/n).
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t slack_;

@@ -19,7 +19,8 @@ std::string BatchedRule::name() const {
   return "batched[" + std::to_string(capacity_) + "]";
 }
 
-std::uint32_t BatchedRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t BatchedRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   // Every bin full and nobody departing: the capacity bound can never
   // admit another ball. Detect in O(1) instead of spinning.
   if (state.min_load() >= capacity_) {

@@ -43,7 +43,8 @@ class BatchedRule final : public PlacementRule {
  protected:
   /// \throws std::logic_error once every bin is at capacity (no departure
   /// has re-opened space — the fixed-capacity deadlock).
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t capacity_;

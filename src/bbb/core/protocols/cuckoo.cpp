@@ -18,7 +18,8 @@ std::string CuckooRule::name() const {
          std::to_string(params_.bucket_size) + "]";
 }
 
-std::uint32_t CuckooRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t CuckooRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   // Reuse the id of a departed/parked item when one is available, so the
   // per-item choice table stays O(max population) under churn instead of
   // growing with every insertion ever made.

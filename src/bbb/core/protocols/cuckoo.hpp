@@ -67,7 +67,8 @@ class CuckooRule final : public PlacementRule {
   /// displaced item is parked, completed() turns false, and the returned
   /// bucket is where the arriving item last rested (the parked item can be
   /// the arriving one, in which case it is in no bucket at all).
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   [[nodiscard]] std::uint32_t choice(std::uint64_t item,

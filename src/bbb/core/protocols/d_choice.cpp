@@ -12,10 +12,23 @@ DChoiceRule::DChoiceRule(std::uint32_t d) : d_(d) {
 
 std::string DChoiceRule::name() const { return "greedy[" + std::to_string(d_) + "]"; }
 
-std::uint32_t DChoiceRule::do_place(BinState& state, rng::Engine& gen) {
-  const std::uint32_t best = least_loaded_of(
-      gen, state.n(), d_, probes_, [&state](std::uint32_t b) { return state.load(b); });
-  state.add_ball(best);
+std::uint32_t DChoiceRule::do_place(BinState& state, std::uint32_t weight,
+                                    rng::Engine& gen) {
+  std::uint32_t best;
+  if (state.uniform_capacity()) {
+    best = least_loaded_of(gen, state.n(), d_, probes_,
+                           [&state](std::uint32_t b) { return state.load(b); });
+  } else {
+    // Heterogeneous capacities: probe proportionally to c_i and join the
+    // candidate with the least *normalized* load l/c — the weighted
+    // two-choice rule that equalizes l_i/c_i instead of raw loads.
+    best = least_norm_loaded_of(
+        gen, d_, probes_,
+        [&state](rng::Engine& g) { return state.sample_capacity_proportional(g); },
+        [&state](std::uint32_t b) { return state.load(b); },
+        [&state](std::uint32_t b) { return state.capacity(b); });
+  }
+  state.add_ball(best, weight);
   return best;
 }
 

@@ -19,9 +19,11 @@ class DChoiceRule final : public PlacementRule {
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
+  [[nodiscard]] bool supports_weights() const noexcept override { return true; }
 
  protected:
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t d_;

@@ -20,7 +20,8 @@ std::string DoublingThresholdRule::name() const {
   return "doubling-threshold[" + std::to_string(initial_guess_) + "]";
 }
 
-std::uint32_t DoublingThresholdRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t DoublingThresholdRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   const std::uint32_t n = state.n();
   // Guess exhausted: double and recompute the bound before placing. The
   // clock is the monotone total placement count, not the net population.

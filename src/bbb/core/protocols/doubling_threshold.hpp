@@ -37,7 +37,8 @@ class DoublingThresholdRule final : public PlacementRule {
   [[nodiscard]] std::uint32_t accept_bound() const noexcept { return bound_; }
 
  protected:
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t n_;

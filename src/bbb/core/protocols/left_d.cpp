@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "bbb/core/probe.hpp"
+
 namespace bbb::core {
 
 LeftDRule::LeftDRule(std::uint32_t n, std::uint32_t d) : n_(n), d_(d) {
@@ -23,24 +25,45 @@ std::pair<std::uint32_t, std::uint32_t> LeftDRule::group_range(std::uint32_t g) 
   return {first, last};
 }
 
-std::uint32_t LeftDRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t LeftDRule::do_place(BinState& state, std::uint32_t weight,
+                                  rng::Engine& gen) {
+  const bool uniform = state.uniform_capacity();
+  if (!uniform && sampled_state_ != &state) {
+    // First placement on a heterogeneous state (or the rule was pointed at
+    // a different state, contract-violating but cheap to survive): one
+    // capacity alias table per group, rebuilt whenever the driven state
+    // changes so the probes always follow *this* state's capacities.
+    group_samplers_.clear();
+    group_samplers_.reserve(d_);
+    const auto& caps = state.capacities();
+    for (std::uint32_t g = 0; g < d_; ++g) {
+      const auto [first, last] = group_range(g);
+      group_samplers_.emplace_back(
+          std::vector<double>(caps.begin() + first, caps.begin() + last));
+    }
+    sampled_state_ = &state;
+  }
   // Sample one bin per group, left to right. The strict `<` comparison
-  // implements Vöcking's always-go-left tie-breaking: an equal load in a
-  // later (righter) group never displaces the current best.
+  // implements Vöcking's always-go-left tie-breaking: an equal (normalized)
+  // load in a later (righter) group never displaces the current best.
   std::uint32_t best = 0;
   std::uint32_t best_load = 0;
+  std::uint32_t best_cap = 1;
   for (std::uint32_t g = 0; g < d_; ++g) {
     const auto [first, last] = group_range(g);
-    const auto c =
-        static_cast<std::uint32_t>(first + rng::uniform_below(gen, last - first));
+    const auto c = static_cast<std::uint32_t>(
+        uniform ? first + rng::uniform_below(gen, last - first)
+                : first + group_samplers_[g](gen));
     const std::uint32_t l = state.load(c);
-    if (g == 0 || l < best_load) {
+    const std::uint32_t cc = state.capacity(c);
+    if (g == 0 || norm_load_less(l, cc, best_load, best_cap)) {
       best = c;
       best_load = l;
+      best_cap = cc;
     }
   }
   probes_ += d_;
-  state.add_ball(best);
+  state.add_ball(best, weight);
   return best;
 }
 

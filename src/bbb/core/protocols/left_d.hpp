@@ -8,13 +8,19 @@
 /// golden ratio — exponentially better in d than greedy[d]'s ln d.
 
 #include <utility>
+#include <vector>
 
 #include "bbb/core/protocol.hpp"
 #include "bbb/core/rule.hpp"
+#include "bbb/rng/alias_table.hpp"
 
 namespace bbb::core {
 
-/// Streaming left[d] rule. Bound to a fixed n (the group partition).
+/// Streaming left[d] rule. Bound to a fixed n (the group partition). On a
+/// heterogeneous-capacity state the per-group probe is proportional to
+/// capacity within the group (one alias table per group, built lazily from
+/// the first state seen — rules are single-run) and the comparison uses
+/// normalized loads l/c, still with Vöcking's strict always-go-left ties.
 class LeftDRule final : public PlacementRule {
  public:
   /// \throws std::invalid_argument if n == 0, d == 0, or d > n.
@@ -23,17 +29,21 @@ class LeftDRule final : public PlacementRule {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::uint32_t bound_n() const noexcept override { return n_; }
   [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
+  [[nodiscard]] bool supports_weights() const noexcept override { return true; }
 
   /// Half-open bin range [first, last) of group g (for tests).
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> group_range(
       std::uint32_t g) const;
 
  protected:
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t n_;
   std::uint32_t d_;
+  std::vector<rng::AliasTable> group_samplers_;  // lazily built, heterogeneous only
+  const BinState* sampled_state_ = nullptr;      // the state the tables were built for
 };
 
 /// Batch protocol wrapper: left[d].

@@ -16,7 +16,8 @@ std::string MemoryDKRule::name() const {
   return "memory[" + std::to_string(d_) + "," + std::to_string(k_) + "]";
 }
 
-std::uint32_t MemoryDKRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t MemoryDKRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   candidates_.clear();
   for (std::uint32_t j = 0; j < d_; ++j) {
     candidates_.push_back(

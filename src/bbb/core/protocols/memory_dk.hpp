@@ -32,7 +32,8 @@ class MemoryDKRule final : public PlacementRule {
   }
 
  protected:
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t d_;

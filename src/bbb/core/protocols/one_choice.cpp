@@ -2,10 +2,17 @@
 
 namespace bbb::core {
 
-std::uint32_t OneChoiceRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t OneChoiceRule::do_place(BinState& state, std::uint32_t weight,
+                                      rng::Engine& gen) {
   ++probes_;
-  const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, state.n()));
-  state.add_ball(bin);
+  // Uniform capacities keep the classic single uniform draw (bit-for-bit
+  // the historical randomness stream); heterogeneous capacities probe
+  // proportionally to c_i through the state's alias table.
+  const std::uint32_t bin =
+      state.uniform_capacity()
+          ? static_cast<std::uint32_t>(rng::uniform_below(gen, state.n()))
+          : state.sample_capacity_proportional(gen);
+  state.add_ball(bin, weight);
   return bin;
 }
 

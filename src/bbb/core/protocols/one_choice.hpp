@@ -11,12 +11,16 @@
 namespace bbb::core {
 
 /// Streaming single-choice rule (stateless beyond the base counters).
+/// Probes uniformly on uniform-capacity states and proportionally to c_i
+/// on heterogeneous ones; weight-w chains commit atomically.
 class OneChoiceRule final : public PlacementRule {
  public:
   [[nodiscard]] std::string name() const override { return "one-choice"; }
+  [[nodiscard]] bool supports_weights() const noexcept override { return true; }
 
  protected:
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 };
 
 /// Batch protocol wrapper.

@@ -75,9 +75,57 @@ std::string slack_name(const std::string& base, std::uint32_t slack) {
   return slack == 1 ? base : base + "[" + std::to_string(slack) + "]";
 }
 
+/// Batch wrapper for `capacities=...:spec`: run() cycles the profile over
+/// the n bins, builds the inner rule bound to (n, m), and drives the shared
+/// place_one loop over the capacitated BinState. Note the one rule whose
+/// batch form is not that loop: a capacitated `batched[...]` runs the
+/// capacity-bounded *streaming* form, not the round-synchronous LW rounds.
+class CapacitatedProtocol final : public Protocol {
+ public:
+  CapacitatedProtocol(std::vector<std::uint32_t> profile, std::string inner_spec,
+                      std::string inner_name)
+      : profile_(std::move(profile)),
+        inner_spec_(std::move(inner_spec)),
+        inner_name_(std::move(inner_name)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return capacities_prefix(profile_) + inner_name_;
+  }
+
+  [[nodiscard]] AllocationResult run(std::uint64_t m, std::uint32_t n,
+                                     rng::Engine& gen) const override {
+    validate_run_args(m, n);
+    BinState state(expand_capacities(profile_, n));
+    const auto rule = make_rule(inner_spec_, n, m);
+    auto result = run_rule(*rule, m, state, gen);
+    return result;
+  }
+
+ private:
+  std::vector<std::uint32_t> profile_;
+  std::string inner_spec_;
+  std::string inner_name_;
+};
+
+void reject_weighted_prefix(const SpecPrefix& prefix, const std::string& spec) {
+  if (prefix.weighted) {
+    throw std::invalid_argument("protocol spec '" + spec +
+                                "': 'weighted:' is a workload modifier, not a "
+                                "protocol one");
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
+  const SpecPrefix prefix = split_spec_prefix(spec, kKind);
+  reject_weighted_prefix(prefix, spec);
+  if (!prefix.capacities.empty()) {
+    // Validate the inner spec eagerly (and capture its canonical name).
+    auto inner = make_protocol(prefix.rest);
+    return std::make_unique<CapacitatedProtocol>(prefix.capacities, prefix.rest,
+                                                 inner->name());
+  }
   const ParsedSpec s = parse_spec(spec, kKind);
   if (s.name == "one-choice") {
     reject_args(s, spec);
@@ -137,6 +185,16 @@ std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
 
 std::unique_ptr<PlacementRule> make_rule(const std::string& spec, std::uint32_t n,
                                          std::uint64_t m_hint) {
+  const SpecPrefix prefix = split_spec_prefix(spec, kKind);
+  reject_weighted_prefix(prefix, spec);
+  if (!prefix.capacities.empty()) {
+    // A bare rule has no state to carry the capacities; pairing it with a
+    // uniform BinState would silently drop them.
+    throw std::invalid_argument(
+        "protocol spec '" + spec +
+        "': 'capacities=' needs the matching state — build the pair through "
+        "make_streaming_allocator (or run via make_protocol)");
+  }
   const ParsedSpec s = parse_spec(spec, kKind);
   if (s.name == "one-choice") {
     reject_args(s, spec);
@@ -187,6 +245,20 @@ std::unique_ptr<PlacementRule> make_rule(const std::string& spec, std::uint32_t 
   throw std::invalid_argument("unknown protocol '" + s.name + "'");
 }
 
+std::unique_ptr<StreamingAllocator> make_streaming_allocator(const std::string& spec,
+                                                             std::uint32_t n,
+                                                             std::uint64_t m_hint) {
+  const SpecPrefix prefix = split_spec_prefix(spec, kKind);
+  reject_weighted_prefix(prefix, spec);
+  auto rule = make_rule(prefix.rest, n, m_hint);
+  if (prefix.capacities.empty()) {
+    return std::make_unique<StreamingAllocator>(n, std::move(rule));
+  }
+  return std::make_unique<StreamingAllocator>(
+      BinState(expand_capacities(prefix.capacities, n)), std::move(rule),
+      capacities_prefix(prefix.capacities));
+}
+
 std::vector<std::string> protocol_specs() {
   return {"one-choice",
           "greedy[d]",
@@ -205,7 +277,8 @@ std::vector<std::string> protocol_specs() {
           "skewed-adaptive[s*100]",
           "batched[capacity]",
           "self-balancing",
-          "cuckoo[d,k]"};
+          "cuckoo[d,k]",
+          "capacities=c0,c1,...:spec"};
 }
 
 }  // namespace bbb::core

@@ -34,6 +34,14 @@
 ///   self-balancing
 ///   cuckoo[d,k]          e.g. cuckoo[2,4]
 ///
+/// Any spec may carry a heterogeneous-capacity prefix
+///   capacities=c0,c1,...:spec    e.g. capacities=1,2,4,8:greedy[2]
+/// the profile is cycled over the run's n bins (bin i gets c_{i mod k}).
+/// The probe-based rules one-choice / greedy[d] / left[d] then probe
+/// proportionally to capacity and compare normalized loads l_i/c_i; every
+/// other rule runs its classic uniform-probe logic over the capacitated
+/// state (the uniform-probe baseline on unequal servers).
+///
 /// The three adaptive spellings are identical on arrivals-only streams;
 /// net and total only diverge once departures arrive (see adaptive.hpp).
 
@@ -55,12 +63,21 @@ namespace bbb::core {
 /// `m_hint` provisions rules that need the total ball count up-front
 /// (threshold's fixed bound); 0 means unknown, which falls back to m = n —
 /// i.e. `threshold[c]` with no hint accepts load <= c. All other rules
-/// ignore the hint.
+/// ignore the hint. Rules read capacities off the BinState they are driven
+/// against, so a `capacities=` prefix is rejected here: build the matching
+/// state + rule pair through make_streaming_allocator (or make_protocol).
 /// \throws std::invalid_argument for unknown names, malformed args, or
 ///         parameters invalid at this n (left[d] with d > n, ...).
 [[nodiscard]] std::unique_ptr<PlacementRule> make_rule(const std::string& spec,
                                                        std::uint32_t n,
                                                        std::uint64_t m_hint = 0);
+
+/// Build a rule *and* its matching BinState from a spec that may carry a
+/// `capacities=` prefix; the profile is cycled over the n bins. The
+/// allocator's name() round-trips the full spec (prefix included).
+/// \throws std::invalid_argument as make_rule, or for a malformed prefix.
+[[nodiscard]] std::unique_ptr<StreamingAllocator> make_streaming_allocator(
+    const std::string& spec, std::uint32_t n, std::uint64_t m_hint = 0);
 
 /// All recognized spec shapes, for --help / --list output.
 [[nodiscard]] std::vector<std::string> protocol_specs();

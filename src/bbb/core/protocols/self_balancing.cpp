@@ -13,7 +13,8 @@ SelfBalancingRule::SelfBalancingRule(std::uint32_t max_passes)
   }
 }
 
-std::uint32_t SelfBalancingRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t SelfBalancingRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   if (residents_.size() != state.n()) residents_.resize(state.n());
   // greedy[2], remembering both choices of this ball. The draw order (a,
   // b, then one tie-break word) matches the original CRS phase 1 so the

@@ -48,7 +48,8 @@ class SelfBalancingRule final : public PlacementRule {
   }
 
  protected:
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t max_passes_;

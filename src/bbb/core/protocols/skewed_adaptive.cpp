@@ -12,7 +12,8 @@ std::string SkewedAdaptiveRule::name() const {
   return "skewed-adaptive[" + std::to_string(s100) + "]";
 }
 
-std::uint32_t SkewedAdaptiveRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t SkewedAdaptiveRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   const std::uint32_t n = state.n();
   for (;;) {
     const std::uint32_t bin = zipf_(gen);

@@ -30,7 +30,8 @@ class SkewedAdaptiveRule final : public PlacementRule {
   [[nodiscard]] double s() const noexcept { return zipf_.s(); }
 
  protected:
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t n_;

@@ -23,7 +23,8 @@ std::string StaleAdaptiveRule::name() const {
   return "stale-adaptive[" + std::to_string(delta_) + "]";
 }
 
-std::uint32_t StaleAdaptiveRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t StaleAdaptiveRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   const std::uint32_t n = state.n();
   const std::uint32_t bin = probe_until(
       gen, n, probes_,

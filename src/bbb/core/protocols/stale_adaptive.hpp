@@ -47,7 +47,8 @@ class StaleAdaptiveRule final : public PlacementRule {
   [[nodiscard]] std::uint64_t published_count() const noexcept { return published_; }
 
  protected:
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t n_;

@@ -25,7 +25,8 @@ std::string ThresholdRule::name() const {
   return slack_ == 1 ? "threshold" : "threshold[" + std::to_string(slack_) + "]";
 }
 
-std::uint32_t ThresholdRule::do_place(BinState& state, rng::Engine& gen) {
+std::uint32_t ThresholdRule::do_place(BinState& state, std::uint32_t /*weight*/,
+                                    rng::Engine& gen) {
   // A fixed bound cannot adapt: once every bin exceeds it the probe loop
   // would never terminate. Detect that state in O(1) instead of spinning.
   if (state.min_load() > bound_) {

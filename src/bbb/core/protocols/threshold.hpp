@@ -44,7 +44,8 @@ class ThresholdRule final : public PlacementRule {
  protected:
   /// \throws std::logic_error if every bin already exceeds the bound (the
   /// fixed bound cannot admit another ball — the deadlock adaptive avoids).
-  std::uint32_t do_place(BinState& state, rng::Engine& gen) override;
+  std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                         rng::Engine& gen) override;
 
  private:
   std::uint32_t n_;

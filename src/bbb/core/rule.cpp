@@ -11,6 +11,21 @@ void PlacementRule::on_remove(BinState& /*state*/, std::uint32_t /*bin*/) {}
 
 void PlacementRule::finalize(BinState& /*state*/, rng::Engine& /*gen*/) {}
 
+std::uint32_t PlacementRule::place_one(BinState& state, std::uint32_t weight,
+                                       rng::Engine& gen) {
+  if (weight == 0) {
+    throw std::invalid_argument("place_one: weight must be positive");
+  }
+  if (weight > 1 && !supports_weights()) {
+    throw std::logic_error("rule '" + name() +
+                           "' cannot place weighted balls atomically; the "
+                           "driver must explode the chain into unit placements");
+  }
+  const std::uint32_t bin = do_place(state, weight, gen);
+  total_placed_ += weight;
+  return bin;
+}
+
 namespace {
 
 void validate_rule_n(const PlacementRule& rule, std::uint32_t n) {
@@ -27,8 +42,14 @@ void validate_rule_n(const PlacementRule& rule, std::uint32_t n) {
 AllocationResult run_rule(PlacementRule& rule, std::uint64_t m, std::uint32_t n,
                           rng::Engine& gen) {
   validate_run_args(m, n);
-  validate_rule_n(rule, n);
   BinState state(n);
+  return run_rule(rule, m, state, gen);
+}
+
+AllocationResult run_rule(PlacementRule& rule, std::uint64_t m, BinState& state,
+                          rng::Engine& gen) {
+  validate_run_args(m, state.n());
+  validate_rule_n(rule, state.n());
   for (std::uint64_t i = 0; i < m; ++i) (void)rule.place_one(state, gen);
   rule.finalize(state, gen);
   AllocationResult res;
@@ -43,11 +64,33 @@ AllocationResult run_rule(PlacementRule& rule, std::uint64_t m, std::uint32_t n,
 
 StreamingAllocator::StreamingAllocator(std::uint32_t n,
                                        std::unique_ptr<PlacementRule> rule)
-    : state_(n), rule_(std::move(rule)) {
+    : StreamingAllocator(BinState(n), std::move(rule)) {}
+
+StreamingAllocator::StreamingAllocator(BinState state,
+                                       std::unique_ptr<PlacementRule> rule,
+                                       std::string name_prefix)
+    : state_(std::move(state)),
+      rule_(std::move(rule)),
+      name_prefix_(std::move(name_prefix)) {
   if (!rule_) {
     throw std::invalid_argument("StreamingAllocator: rule must not be null");
   }
-  validate_rule_n(*rule_, n);
+  validate_rule_n(*rule_, state_.n());
+}
+
+std::uint32_t StreamingAllocator::place_weighted(std::uint32_t weight,
+                                                 rng::Engine& gen) {
+  if (weight == 0) {
+    throw std::invalid_argument("place_weighted: weight must be positive");
+  }
+  if (weight == 1 || rule_->supports_weights()) {
+    return rule_->place_one(state_, weight, gen);
+  }
+  // Centralized unit-explode fallback for rules without atomic weighted
+  // placement: w independent unit decisions.
+  std::uint32_t bin = 0;
+  for (std::uint32_t w = 0; w < weight; ++w) bin = rule_->place_one(state_, gen);
+  return bin;
 }
 
 }  // namespace bbb::core

@@ -12,10 +12,10 @@
 ///     adds `remove()` so the dyn engine can interleave departures.
 ///
 /// Contract of `place_one`:
-///   * places exactly one ball (state.balls() grows by one), except for
-///     rules that can fail an insertion (cuckoo exhausting its eviction
-///     budget) — those leave the net count unchanged and record the
-///     failure in `completed()`;
+///   * places exactly one ball of the given integer weight (state.balls()
+///     grows by the weight), except for rules that can fail an insertion
+///     (cuckoo exhausting its eviction budget) — those leave the net count
+///     unchanged and record the failure in `completed()`;
 ///   * draws randomness only through `gen`, in a deterministic order —
 ///     the batch-equivalence suite (tests/dyn/batch_equivalence_test.cpp)
 ///     pins streaming ≡ batch bit-for-bit for every rule with
@@ -23,14 +23,20 @@
 ///   * counts every random bin choice in `probes()` (the paper's
 ///     allocation time).
 ///
-/// Two self-describing traits keep the drivers honest:
+/// Three self-describing traits keep the drivers honest:
 ///   * `batch_equivalent()` — false for rules whose batch form is not the
 ///     plain place_one loop: batched (round-synchronous LW rounds) and
 ///     self-balancing (post-placement balancing sweeps in `finalize`);
 ///   * `stable_ball_identity()` — false for reallocation-based rules
 ///     (cuckoo) that move balls after placement; the dyn engine then
 ///     selects departure victims by bin occupancy instead of ball
-///     identity, because a recorded "ball b sits in bin i" goes stale.
+///     identity, because a recorded "ball b sits in bin i" goes stale;
+///   * `supports_weights()` — true for rules that can commit a whole
+///     weight-w chain to one bin as a single atomic decision (one-choice,
+///     greedy[d], left[d]). place_one with weight > 1 throws for every
+///     other rule; the drivers (the dyn engine, `place_weighted`) then
+///     fall back to exploding the chain into unit placements — that
+///     fallback lives here and in dyn/engine.cpp, not per-rule.
 
 #include <cstdint>
 #include <memory>
@@ -54,12 +60,17 @@ class PlacementRule {
   /// make_protocol, e.g. "adaptive", "greedy[2]", "memory[1,1]".
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Place one ball; returns the bin the arriving ball landed in.
+  /// Place one unit ball; returns the bin the arriving ball landed in.
   std::uint32_t place_one(BinState& state, rng::Engine& gen) {
-    const std::uint32_t bin = do_place(state, gen);
-    ++total_placed_;
-    return bin;
+    return place_one(state, 1, gen);
   }
+
+  /// Place one ball of integer weight `weight` as a single atomic decision
+  /// (the whole chain lands in the returned bin).
+  /// \throws std::invalid_argument if weight == 0, std::logic_error if
+  ///         weight > 1 and the rule does not `supports_weights()` — the
+  ///         caller must explode the chain into unit placements instead.
+  std::uint32_t place_one(BinState& state, std::uint32_t weight, rng::Engine& gen);
 
   /// Called by the drivers *after* `state.remove_ball(bin)` so rules with
   /// per-ball bookkeeping (cuckoo residents, recorded choice pairs) can
@@ -78,6 +89,13 @@ class PlacementRule {
   /// dyn engine then picks departure victims by bin, not by ball.
   [[nodiscard]] virtual bool stable_ball_identity() const noexcept { return true; }
 
+  /// True for rules whose decision is independent of the arriving weight
+  /// modulo the final add (one-choice, greedy[d], left[d]) and can
+  /// therefore commit a weight-w chain to one bin atomically. Rules whose
+  /// acceptance logic is per-unit (threshold bounds, cuckoo buckets, ...)
+  /// return false and rely on the drivers' unit-explode fallback.
+  [[nodiscard]] virtual bool supports_weights() const noexcept { return false; }
+
   /// Rules constructed against a specific n (group partitions, resident
   /// tables, fixed bounds, skewed samplers) report it so the drivers can
   /// reject a mismatched BinState instead of indexing out of bounds.
@@ -86,7 +104,8 @@ class PlacementRule {
 
   /// Random bin choices drawn so far — the paper's allocation time.
   [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
-  /// Balls ever placed (monotone; the BinState's balls() is the net count).
+  /// Total weight ever placed (monotone; a weight-w chain counts w; the
+  /// BinState's balls() is the net count).
   [[nodiscard]] std::uint64_t total_placed() const noexcept { return total_placed_; }
   /// Post-placement ball moves (cuckoo kicks, self-balancing switches).
   [[nodiscard]] std::uint64_t reallocations() const noexcept { return reallocations_; }
@@ -96,8 +115,11 @@ class PlacementRule {
   [[nodiscard]] bool completed() const noexcept { return completed_; }
 
  protected:
-  /// The decision rule proper: pick a bin, mutate `state`, count probes.
-  virtual std::uint32_t do_place(BinState& state, rng::Engine& gen) = 0;
+  /// The decision rule proper: pick a bin, mutate `state` (adding the full
+  /// `weight` there), count probes. Rules without `supports_weights()` are
+  /// only ever called with weight == 1 (guarded in place_one).
+  virtual std::uint32_t do_place(BinState& state, std::uint32_t weight,
+                                 rng::Engine& gen) = 0;
 
   std::uint64_t probes_ = 0;
   std::uint64_t total_placed_ = 0;
@@ -112,6 +134,13 @@ class PlacementRule {
 [[nodiscard]] AllocationResult run_rule(PlacementRule& rule, std::uint64_t m,
                                         std::uint32_t n, rng::Engine& gen);
 
+/// Batch adapter over a caller-provided state — how heterogeneous
+/// capacities enter a batch run (`capacities=...:` protocol specs build
+/// the capacitated BinState and drive the same loop). `state` is used as
+/// given (not cleared); the result reads the state after `finalize`.
+[[nodiscard]] AllocationResult run_rule(PlacementRule& rule, std::uint64_t m,
+                                        BinState& state, rng::Engine& gen);
+
 /// One rule bound to one BinState — the streaming front-end applications
 /// and the dyn engine embed. place() allocates one ball with the rule's
 /// decision logic; remove() processes one departure.
@@ -120,10 +149,22 @@ class StreamingAllocator {
   /// \throws std::invalid_argument if n == 0 (via BinState).
   StreamingAllocator(std::uint32_t n, std::unique_ptr<PlacementRule> rule);
 
-  [[nodiscard]] std::string name() const { return rule_->name(); }
+  /// Adopt a pre-built (possibly heterogeneous-capacity) state.
+  /// `name_prefix` is prepended to the rule name so capacitated specs
+  /// round-trip (e.g. "capacities=1,2,4,8:greedy[2]").
+  StreamingAllocator(BinState state, std::unique_ptr<PlacementRule> rule,
+                     std::string name_prefix = "");
 
-  /// Allocate one ball; returns the chosen bin.
+  [[nodiscard]] std::string name() const { return name_prefix_ + rule_->name(); }
+
+  /// Allocate one unit ball; returns the chosen bin.
   std::uint32_t place(rng::Engine& gen) { return rule_->place_one(state_, gen); }
+
+  /// Allocate one weight-w ball. Atomic (whole chain into the returned
+  /// bin) when the rule supports weights; otherwise the centralized
+  /// unit-explode fallback places w independent unit balls and returns the
+  /// last bin chosen.
+  std::uint32_t place_weighted(std::uint32_t weight, rng::Engine& gen);
 
   /// Process one departure from `bin`, keeping the rule's bookkeeping in
   /// step. \throws std::invalid_argument if the bin is empty.
@@ -144,6 +185,7 @@ class StreamingAllocator {
  private:
   BinState state_;
   std::unique_ptr<PlacementRule> rule_;
+  std::string name_prefix_;
 };
 
 }  // namespace bbb::core

@@ -4,6 +4,14 @@
 /// in the library: batch protocols (core/protocols/registry.hpp),
 /// streaming allocators and workloads (dyn/). One parser, one error
 /// format, so the grammars cannot drift apart.
+///
+/// Specs may carry *modifier prefixes* peeled off the front before the
+/// name[args] core:
+///   capacities=c0,c1,...:rest   heterogeneous bins — the capacity profile
+///                               is cycled over the n bins of the run
+///                               (protocol/allocator registries);
+///   weighted:rest               atomic weighted arrivals — a whole chain
+///                               lands in one bin (workload registry).
 
 #include <cstdint>
 #include <string>
@@ -50,5 +58,28 @@ struct ParsedSpec {
                                                   std::uint32_t fallback,
                                                   const std::string& spec,
                                                   const std::string& kind);
+
+/// Modifier prefixes split off the front of a spec (see file comment).
+/// `rest` is the remaining name[args] core.
+struct SpecPrefix {
+  std::vector<std::uint32_t> capacities;  ///< empty = no capacities= prefix
+  bool weighted = false;                  ///< weighted: prefix present
+  std::string rest;
+};
+
+/// Peel `weighted:` and `capacities=...:` prefixes (in any order, each at
+/// most once) off `spec`.
+/// \throws std::invalid_argument for malformed prefixes (empty or
+///         non-integer capacity lists, zero capacities, duplicates).
+[[nodiscard]] SpecPrefix split_spec_prefix(const std::string& spec,
+                                           const std::string& kind);
+
+/// Cycle a capacity profile over n bins: bin i gets profile[i % size].
+/// \throws std::invalid_argument if the profile is empty or n == 0.
+[[nodiscard]] std::vector<std::uint32_t> expand_capacities(
+    const std::vector<std::uint32_t>& profile, std::uint32_t n);
+
+/// Render a profile back to its canonical prefix, "capacities=1,2,4:".
+[[nodiscard]] std::string capacities_prefix(const std::vector<std::uint32_t>& profile);
 
 }  // namespace bbb::core

@@ -7,7 +7,7 @@ namespace bbb::dyn {
 std::unique_ptr<StreamingAllocator> make_streaming_allocator(const std::string& spec,
                                                              std::uint32_t n,
                                                              std::uint64_t m_hint) {
-  return std::make_unique<StreamingAllocator>(n, core::make_rule(spec, n, m_hint));
+  return core::make_streaming_allocator(spec, n, m_hint);
 }
 
 std::vector<std::string> streaming_allocator_specs() {

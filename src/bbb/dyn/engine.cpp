@@ -68,6 +68,12 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
                                   ? workload->depart_select()
                                   : DepartSelect::kUniformNonemptyBin;
   const bool track_balls = select != DepartSelect::kUniformNonemptyBin;
+  // Atomic weighted arrivals (weighted:chains): the whole chain lands in
+  // one bin via place_one(state, w, gen) when the rule can commit it
+  // atomically; rules without supports_weights() keep the unit-explode
+  // fallback below.
+  const bool atomic_weights =
+      workload->atomic_arrivals() && alloc->rule().supports_weights();
   BallRegistry registry;
 
   DynReplicate rep;
@@ -117,11 +123,19 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
     prev_time = ev.time;
 
     if (ev.kind == EventKind::kArrival) {
-      for (std::uint32_t w = 0; w < ev.weight; ++w) {
-        const std::uint32_t bin = alloc->place(gen);
-        if (track_balls) registry.push(bin);
+      if (atomic_weights && ev.weight > 1) {
+        const std::uint32_t bin = alloc->place_weighted(ev.weight, gen);
+        // Departures are still per unit ball: register each chain link.
+        if (track_balls) {
+          for (std::uint32_t w = 0; w < ev.weight; ++w) registry.push(bin);
+        }
+      } else {
+        for (std::uint32_t w = 0; w < ev.weight; ++w) {
+          const std::uint32_t bin = alloc->place(gen);
+          if (track_balls) registry.push(bin);
+        }
       }
-    } else if (ctx.balls > 0) {  // generators never emit departures when empty
+    } else if (ctx.balls > 0) {
       std::uint32_t bin = 0;
       switch (select) {
         case DepartSelect::kUniformBall:
@@ -135,6 +149,12 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
           break;
       }
       alloc->remove(bin);
+    } else {
+      // The shipped generators never emit a departure when the system is
+      // empty (that clock has rate zero); count instead of silently
+      // swallowing so a broken custom generator is visible — the event
+      // still advanced the clock and consumed a measured slot.
+      ++rep.dropped_departures;
     }
 
     if (e == config.warmup) {
@@ -209,6 +229,7 @@ DynSummary run_dynamic(const DynConfig& config, par::ThreadPool& pool) {
     summary.max_load.add(rep.mean_max);
     summary.peak_max.add(static_cast<double>(rep.peak_max));
     summary.probes_per_ball.add(rep.probes_per_ball);
+    summary.dropped_departures += rep.dropped_departures;
     for (std::size_t k = 0; k < summary.tail.size() && k < rep.tail.size(); ++k) {
       summary.tail[k].add(rep.tail[k]);
     }

@@ -76,6 +76,13 @@ struct DynReplicate {
   double mean_max = 0.0;
   std::uint32_t peak_max = 0;       ///< worst max load seen while measuring
   double probes_per_ball = 0.0;     ///< probes per placed ball, measured window
+  /// Departure events that arrived with zero balls in the system. The
+  /// shipped generators never emit one (their departure clock has rate
+  /// zero when empty, asserted across every generator x allocator combo in
+  /// tests/dyn/engine_test.cpp); a nonzero count flags a broken custom
+  /// generator — the event still consumed measured time and was *not*
+  /// applied.
+  std::uint64_t dropped_departures = 0;
   std::vector<double> tail;         ///< tail[k] = time-avg frac bins load >= k
   std::vector<DynSnapshot> snapshots;
 };
@@ -91,6 +98,7 @@ struct DynSummary {
   stats::RunningStats max_load;
   stats::RunningStats peak_max;
   stats::RunningStats probes_per_ball;
+  std::uint64_t dropped_departures = 0;   ///< summed over replicates
   std::vector<stats::RunningStats> tail;  ///< per-k fold of replicate tails
   std::vector<DynReplicate> replicates;   ///< raw rows, replicate order
 

@@ -143,11 +143,12 @@ DynEvent BurstyWorkload::next(rng::Engine& gen, const WorkloadContext& ctx) {
 // ---------------------------------------------------------------------------
 
 ChainWorkload::ChainWorkload(std::uint32_t n, double lambda, double s,
-                             std::uint32_t max_len)
+                             std::uint32_t max_len, bool atomic)
     : n_(n),
       lambda_(lambda),
       s_(s),
       max_len_(max_len),
+      atomic_(atomic),
       lengths_(max_len == 0 ? 1 : max_len, s < 0.0 ? 0.0 : s) {
   if (n == 0) throw std::invalid_argument("ChainWorkload: n must be positive");
   if (!(lambda > 0.0) || lambda >= 1.0) {
@@ -164,8 +165,9 @@ ChainWorkload::ChainWorkload(std::uint32_t n, double lambda, double s,
 }
 
 std::string ChainWorkload::name() const {
-  return "chains[" + scaled100(lambda_) + "," + scaled100(s_) + "," +
-         std::to_string(max_len_) + "]";
+  const std::string base = "chains[" + scaled100(lambda_) + "," + scaled100(s_) +
+                           "," + std::to_string(max_len_) + "]";
+  return atomic_ ? "weighted:" + base : base;
 }
 
 DynEvent ChainWorkload::next(rng::Engine& gen, const WorkloadContext& ctx) {
@@ -198,7 +200,17 @@ std::uint64_t arg_at(const core::ParsedSpec& s, std::size_t i, const std::string
 }  // namespace
 
 std::unique_ptr<Workload> make_workload(const std::string& spec, std::uint32_t n) {
-  const core::ParsedSpec s = core::parse_spec(spec, kKind);
+  const core::SpecPrefix prefix = core::split_spec_prefix(spec, kKind);
+  if (!prefix.capacities.empty()) {
+    throw std::invalid_argument("workload spec '" + spec +
+                                "': 'capacities=' is an allocator modifier, not a "
+                                "workload one");
+  }
+  const core::ParsedSpec s = core::parse_spec(prefix.rest, kKind);
+  if (prefix.weighted && s.name != "chains") {
+    throw std::invalid_argument("workload spec '" + spec +
+                                "': 'weighted:' applies to chains only");
+  }
   if (s.name == "supermarket") {
     const double lambda = static_cast<double>(arg_at(s, 0, spec)) / 100.0;
     return std::make_unique<SupermarketWorkload>(n, lambda);
@@ -221,14 +233,18 @@ std::unique_ptr<Workload> make_workload(const std::string& spec, std::uint32_t n
     return std::make_unique<ChainWorkload>(
         n, static_cast<double>(arg_at(s, 0, spec)) / 100.0,
         static_cast<double>(arg_at(s, 1, spec)) / 100.0,
-        core::spec_arg_u32(s, 2, spec, kKind));
+        core::spec_arg_u32(s, 2, spec, kKind), prefix.weighted);
   }
   throw std::invalid_argument("unknown workload '" + s.name + "'");
 }
 
 std::vector<std::string> workload_specs() {
-  return {"supermarket[lambda*100]", "churn[population]", "churn-oldest[population]",
-          "bursty[on*100,off*100,switch*100]", "chains[lambda*100,s*100,max_len]"};
+  return {"supermarket[lambda*100]",
+          "churn[population]",
+          "churn-oldest[population]",
+          "bursty[on*100,off*100,switch*100]",
+          "chains[lambda*100,s*100,max_len]",
+          "weighted:chains[lambda*100,s*100,max_len]"};
 }
 
 }  // namespace bbb::dyn

@@ -25,6 +25,13 @@
 ///    chains-into-bins), per-ball departures; chain rate is normalized by
 ///    the mean length so the offered per-ball load is still lambda*n.
 ///
+/// A `weighted:` prefix on chains turns on *atomic* chain placement — the
+/// whole chain lands in one bin as a single weighted decision (the actual
+/// chains-into-bins process) instead of being exploded into independent
+/// unit placements. The engine routes ev.weight through
+/// `PlacementRule::place_one(state, weight, gen)` for rules that
+/// `supports_weights()` and falls back to the unit explode otherwise.
+///
 /// Scaled-by-100 integer spec arguments follow the registry convention of
 /// skewed-adaptive[s*100].
 
@@ -74,6 +81,10 @@ class Workload {
 
   /// Victim-selection rule for every departure this workload emits.
   [[nodiscard]] virtual DepartSelect depart_select() const noexcept = 0;
+
+  /// True when a weight-w arrival is one atomic decision (the whole chain
+  /// into one bin) rather than w independent unit placements.
+  [[nodiscard]] virtual bool atomic_arrivals() const noexcept { return false; }
 
   /// Produce the next event. Generators never emit a departure when
   /// ctx.balls == 0 (the corresponding clock has rate zero).
@@ -146,16 +157,19 @@ class BurstyWorkload final : public Workload {
 
 /// Chain arrivals with Zipf(s) lengths on {1..max_len}; per-ball
 /// departures at unit rate. Chain rate lambda*n / E[len] keeps the offered
-/// per-ball load at lambda*n.
+/// per-ball load at lambda*n. With `atomic` (the `weighted:` spec prefix)
+/// each chain is one whole-chain-into-one-bin decision.
 class ChainWorkload final : public Workload {
  public:
   /// \throws std::invalid_argument unless 0 < lambda < 1, s >= 0,
   /// max_len >= 1.
-  ChainWorkload(std::uint32_t n, double lambda, double s, std::uint32_t max_len);
+  ChainWorkload(std::uint32_t n, double lambda, double s, std::uint32_t max_len,
+                bool atomic = false);
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] DepartSelect depart_select() const noexcept override {
     return DepartSelect::kUniformBall;
   }
+  [[nodiscard]] bool atomic_arrivals() const noexcept override { return atomic_; }
   [[nodiscard]] DynEvent next(rng::Engine& gen, const WorkloadContext& ctx) override;
   [[nodiscard]] double mean_length() const noexcept { return mean_length_; }
 
@@ -164,6 +178,7 @@ class ChainWorkload final : public Workload {
   double lambda_;
   double s_;
   std::uint32_t max_len_;
+  bool atomic_;
   rng::ZipfDist lengths_;
   double mean_length_;
   double chain_rate_;
@@ -176,7 +191,9 @@ class ChainWorkload final : public Workload {
 ///   churn-oldest[population]       FIFO victim
 ///   bursty[on*100,off*100,switch*100]
 ///   chains[lambda*100,s*100,max_len]
-/// \throws std::invalid_argument for unknown names or malformed args.
+///   weighted:chains[lambda*100,s*100,max_len]   atomic whole-chain arrivals
+/// \throws std::invalid_argument for unknown names or malformed args
+///         (including `weighted:` on a workload other than chains).
 [[nodiscard]] std::unique_ptr<Workload> make_workload(const std::string& spec,
                                                       std::uint32_t n);
 

@@ -1,6 +1,7 @@
 #include "bbb/sim/sweep.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace bbb::sim {
@@ -13,7 +14,18 @@ std::vector<std::uint64_t> geometric_range(std::uint64_t lo, std::uint64_t hi,
   std::vector<std::uint64_t> out;
   double v = static_cast<double>(lo);
   while (v < static_cast<double>(hi)) {
-    const auto iv = static_cast<std::uint64_t>(std::llround(v));
+    // Round to nearest, then clamp into [.., hi]: above ~2^53 the double
+    // grid is coarser than the integers, so the rounded value can exceed
+    // hi (and a double >= 2^63 is outside llround's domain entirely) —
+    // emitting it unclamped would make the range non-monotonic at the top.
+    const double rounded = std::round(v);
+    std::uint64_t iv;
+    if (rounded >=
+        static_cast<double>(std::numeric_limits<std::uint64_t>::max())) {
+      iv = hi;
+    } else {
+      iv = std::min(static_cast<std::uint64_t>(rounded), hi);
+    }
     if (out.empty() || iv != out.back()) out.push_back(iv);
     v *= factor;
   }

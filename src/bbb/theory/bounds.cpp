@@ -34,6 +34,28 @@ double one_choice_max_load(std::uint64_t m, std::uint64_t n) {
   return avg + std::sqrt(2.0 * avg * std::log(nd));
 }
 
+double weighted_one_choice_max_norm_load(std::uint64_t m,
+                                         std::span<const std::uint32_t> capacities) {
+  if (capacities.size() < 2) {
+    throw std::invalid_argument(
+        "weighted_one_choice_max_norm_load: n >= 2 required");
+  }
+  std::uint64_t total = 0;
+  std::uint32_t c_min = capacities[0];
+  for (const std::uint32_t c : capacities) {
+    if (c == 0) {
+      throw std::invalid_argument(
+          "weighted_one_choice_max_norm_load: zero capacity");
+    }
+    total += c;
+    if (c < c_min) c_min = c;
+  }
+  const auto nd = static_cast<double>(capacities.size());
+  const double norm_avg = static_cast<double>(m) / static_cast<double>(total);
+  return norm_avg +
+         std::sqrt(2.0 * norm_avg * std::log(nd) / static_cast<double>(c_min));
+}
+
 double greedy_d_max_load(std::uint64_t m, std::uint64_t n, std::uint32_t d) {
   if (d < 2) throw std::invalid_argument("greedy_d_max_load: d >= 2 required");
   if (n < 3) throw std::invalid_argument("greedy_d_max_load: n >= 3 required");

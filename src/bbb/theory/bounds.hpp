@@ -5,6 +5,7 @@
 /// values; tests check the measured side tracks the predicted *shape*.
 
 #include <cstdint>
+#include <span>
 
 namespace bbb::theory {
 
@@ -21,6 +22,19 @@ namespace bbb::theory {
 /// log n / log log n (Raab & Steger leading term); for m >> n log n,
 /// m/n + sqrt(2 (m/n) ln n).
 [[nodiscard]] double one_choice_max_load(std::uint64_t m, std::uint64_t n);
+
+/// Weighted one-choice baseline on heterogeneous capacities: probing
+/// proportionally to c_i (C = sum c_i), bin i receives Binomial(m, c_i/C)
+/// balls, so its normalized load l_i/c_i concentrates at m/C with standard
+/// deviation ~ sqrt(m/(C c_i)). The expected maximum normalized load in
+/// the heavily loaded regime is therefore approximately
+///   m/C + sqrt(2 (m/C) ln n / c_min),
+/// the smallest-capacity class dominating the fluctuation term — the
+/// number capacity-aware multi-choice rules are measured against.
+/// \throws std::invalid_argument if capacities has fewer than 2 entries or
+///         contains a zero.
+[[nodiscard]] double weighted_one_choice_max_norm_load(
+    std::uint64_t m, std::span<const std::uint32_t> capacities);
 
 /// greedy[d] heavy-load max load (Berenbrink et al. 2006):
 /// m/n + ln ln n / ln d. Requires d >= 2.

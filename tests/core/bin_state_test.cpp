@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -147,6 +148,233 @@ TEST(BinState, SampleNonemptyRequiresABall) {
   EXPECT_THROW((void)state.sample_nonempty(gen), std::logic_error);
   state.add_ball(2);
   for (int i = 0; i < 20; ++i) EXPECT_EQ(state.sample_nonempty(gen), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted balls
+// ---------------------------------------------------------------------------
+
+TEST(BinStateWeighted, WeightedAddEqualsRepeatedUnitAdds) {
+  BinState atomic(5), unit(5);
+  atomic.add_ball(2, 7);
+  for (int i = 0; i < 7; ++i) unit.add_ball(2);
+  EXPECT_EQ(atomic.loads(), unit.loads());
+  EXPECT_EQ(atomic.balls(), unit.balls());
+  EXPECT_EQ(atomic.max_load(), unit.max_load());
+  EXPECT_EQ(atomic.min_load(), unit.min_load());
+  EXPECT_DOUBLE_EQ(atomic.psi(), unit.psi());
+  EXPECT_NEAR(atomic.log_phi(), unit.log_phi(), 1e-12);
+  atomic.remove_ball(2, 3);
+  for (int i = 0; i < 3; ++i) unit.remove_ball(2);
+  EXPECT_EQ(atomic.loads(), unit.loads());
+  EXPECT_DOUBLE_EQ(atomic.psi(), unit.psi());
+}
+
+TEST(BinStateWeighted, RejectsZeroAndOverflowingWeights) {
+  BinState state(2);
+  EXPECT_THROW(state.add_ball(0, 0), std::invalid_argument);
+  EXPECT_THROW(state.remove_ball(0, 0), std::invalid_argument);
+  state.add_ball(0, 3);
+  EXPECT_THROW(state.remove_ball(0, 4), std::invalid_argument);  // > load
+  // 1000 + (2^32 - 500) wraps 32 bits: rejected before any mutation.
+  state.add_ball(1, 1000);
+  EXPECT_THROW(state.add_ball(1, std::numeric_limits<std::uint32_t>::max() - 500),
+               std::invalid_argument);
+  // The failed calls left nothing behind.
+  EXPECT_EQ(state.load(0), 3u);
+  EXPECT_EQ(state.load(1), 1000u);
+  EXPECT_EQ(state.balls(), 1003u);
+}
+
+TEST(BinStateWeighted, MetricsStayExactUnderRandomWeightedChurn) {
+  const std::uint32_t n = 24;
+  BinState state(n);
+  rng::Engine gen(2024);
+  std::vector<std::uint32_t> mirror(n, 0);
+  std::uint64_t balls = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const bool add = balls == 0 || rng::bernoulli(gen, 0.55);
+    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    if (add) {
+      const auto w = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 9));
+      state.add_ball(bin, w);
+      mirror[bin] += w;
+      balls += w;
+    } else if (mirror[bin] > 0) {
+      const auto w =
+          static_cast<std::uint32_t>(1 + rng::uniform_below(gen, mirror[bin]));
+      state.remove_ball(bin, w);
+      mirror[bin] -= w;
+      balls -= w;
+    }
+    ASSERT_EQ(state.balls(), balls);
+    ASSERT_EQ(state.loads(), mirror);
+    if (step % 97 == 0) expect_metrics_match(state);
+  }
+  expect_metrics_match(state);
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous capacities
+// ---------------------------------------------------------------------------
+
+void expect_norm_metrics_match(const BinState& state, double tol = 1e-9) {
+  std::vector<std::uint32_t> caps(state.capacities());
+  if (caps.empty()) caps.assign(state.n(), 1);
+  const NormalizedLoadMetrics batch =
+      compute_normalized_metrics(state.loads(), caps, state.balls());
+  EXPECT_DOUBLE_EQ(state.max_norm_load(), batch.max_norm);
+  EXPECT_DOUBLE_EQ(state.min_norm_load(), batch.min_norm);
+  EXPECT_NEAR(state.norm_gap(), batch.gap_norm, tol);
+  EXPECT_NEAR(state.weighted_psi(), batch.weighted_psi,
+              tol * (1.0 + std::abs(batch.weighted_psi)));
+  EXPECT_DOUBLE_EQ(state.norm_average(), batch.norm_average);
+}
+
+TEST(BinStateCapacity, RejectsBadCapacities) {
+  EXPECT_THROW(BinState(std::vector<std::uint32_t>{}), std::invalid_argument);
+  EXPECT_THROW(BinState(std::vector<std::uint32_t>{1, 0, 2}), std::invalid_argument);
+}
+
+TEST(BinStateCapacity, UniformStateReportsUnitCapacities) {
+  BinState state(4);
+  EXPECT_TRUE(state.uniform_capacity());
+  EXPECT_EQ(state.total_capacity(), 4u);
+  EXPECT_EQ(state.capacity(3), 1u);
+  EXPECT_TRUE(state.capacities().empty());
+  state.add_ball(0, 5);
+  EXPECT_DOUBLE_EQ(state.max_norm_load(), 5.0);
+  EXPECT_DOUBLE_EQ(state.weighted_psi(), state.psi());
+  expect_norm_metrics_match(state);
+}
+
+TEST(BinStateCapacity, AllEqualCapacitiesStayUniform) {
+  BinState state(std::vector<std::uint32_t>{4, 4, 4});
+  EXPECT_TRUE(state.uniform_capacity());
+  EXPECT_EQ(state.total_capacity(), 12u);
+  state.add_ball(1, 6);
+  EXPECT_DOUBLE_EQ(state.max_norm_load(), 1.5);
+  expect_norm_metrics_match(state);
+}
+
+TEST(BinStateCapacity, HeterogeneousNormalizedMetrics) {
+  BinState state(std::vector<std::uint32_t>{1, 2, 4, 8});
+  EXPECT_FALSE(state.uniform_capacity());
+  EXPECT_EQ(state.total_capacity(), 15u);
+  state.add_ball(3, 8);  // l/c = 1 in the biggest bin
+  state.add_ball(0, 2);  // l/c = 2 in the smallest
+  EXPECT_DOUBLE_EQ(state.max_norm_load(), 2.0);
+  EXPECT_DOUBLE_EQ(state.min_norm_load(), 0.0);
+  EXPECT_DOUBLE_EQ(state.norm_gap(), 2.0);
+  expect_norm_metrics_match(state);
+}
+
+TEST(BinStateCapacity, NormalizedMetricsStayExactUnderWeightedChurn) {
+  rng::Engine gen(77);
+  std::vector<std::uint32_t> caps(20);
+  for (auto& c : caps) c = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 9));
+  BinState state(caps);
+  std::vector<std::uint32_t> mirror(caps.size(), 0);
+  std::uint64_t balls = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const bool add = balls == 0 || rng::bernoulli(gen, 0.6);
+    const auto bin =
+        static_cast<std::uint32_t>(rng::uniform_below(gen, caps.size()));
+    if (add) {
+      const auto w = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 5));
+      state.add_ball(bin, w);
+      mirror[bin] += w;
+      balls += w;
+    } else if (mirror[bin] > 0) {
+      state.remove_ball(bin);
+      --mirror[bin];
+      --balls;
+    }
+    ASSERT_EQ(state.loads(), mirror);
+    if (step % 83 == 0) {
+      expect_metrics_match(state);
+      expect_norm_metrics_match(state);
+    }
+  }
+  expect_norm_metrics_match(state);
+}
+
+TEST(BinStateCapacity, SamplesProportionallyToCapacity) {
+  BinState state(std::vector<std::uint32_t>{1, 3});
+  rng::Engine gen(5);
+  std::uint64_t hits1 = 0;
+  const int draws = 40'000;
+  for (int i = 0; i < draws; ++i) {
+    hits1 += state.sample_capacity_proportional(gen) == 1 ? 1 : 0;
+  }
+  // P(bin 1) = 3/4; a 40k-draw binomial stays within ~1.5% w.h.p.
+  EXPECT_NEAR(static_cast<double>(hits1) / draws, 0.75, 0.015);
+}
+
+// ---------------------------------------------------------------------------
+// clear() == fresh construction
+// ---------------------------------------------------------------------------
+
+// Drive two states — one cleared after a messy history, one freshly built —
+// through the same operation sequence and demand bit-identical behavior,
+// including the nonempty-index departures that read nonempty_pos_.
+void expect_clear_equals_fresh(BinState& used, BinState fresh) {
+  used.clear();
+  rng::Engine gen_a(99), gen_b(99);
+  for (int step = 0; step < 800; ++step) {
+    const bool add_draw = rng::bernoulli(gen_a, 0.5);
+    (void)rng::bernoulli(gen_b, 0.5);  // keep the engines in lockstep
+    const bool add = fresh.balls() == 0 || add_draw;
+    if (add) {
+      const auto bin =
+          static_cast<std::uint32_t>(rng::uniform_below(gen_a, fresh.n()));
+      const auto bin_b =
+          static_cast<std::uint32_t>(rng::uniform_below(gen_b, fresh.n()));
+      ASSERT_EQ(bin, bin_b);
+      const auto w = static_cast<std::uint32_t>(1 + rng::uniform_below(gen_a, 4));
+      (void)rng::uniform_below(gen_b, 4);
+      used.add_ball(bin, w);
+      fresh.add_ball(bin, w);
+    } else {
+      const std::uint32_t victim_a = used.sample_nonempty(gen_a);
+      const std::uint32_t victim_b = fresh.sample_nonempty(gen_b);
+      ASSERT_EQ(victim_a, victim_b);
+      used.remove_ball(victim_a);
+      fresh.remove_ball(victim_b);
+    }
+    ASSERT_EQ(used.loads(), fresh.loads());
+    ASSERT_EQ(used.balls(), fresh.balls());
+    ASSERT_EQ(used.max_load(), fresh.max_load());
+    ASSERT_EQ(used.min_load(), fresh.min_load());
+    ASSERT_EQ(used.nonempty_bins(), fresh.nonempty_bins());
+    ASSERT_DOUBLE_EQ(used.psi(), fresh.psi());
+  }
+  EXPECT_DOUBLE_EQ(used.weighted_psi(), fresh.weighted_psi());
+  EXPECT_DOUBLE_EQ(used.max_norm_load(), fresh.max_norm_load());
+}
+
+TEST(BinState, ClearedStateIndistinguishableFromFresh) {
+  const std::uint32_t n = 16;
+  BinState used(n);
+  rng::Engine gen(31);
+  for (int i = 0; i < 500; ++i) {
+    used.add_ball(static_cast<std::uint32_t>(rng::uniform_below(gen, n)),
+                  static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 3)));
+  }
+  while (used.balls() > 40) used.remove_ball(used.sample_nonempty(gen));
+  expect_clear_equals_fresh(used, BinState(n));
+}
+
+TEST(BinStateCapacity, ClearKeepsCapacitiesAndResetsLoads) {
+  const std::vector<std::uint32_t> caps{1, 2, 4, 8, 1, 2, 4, 8};
+  BinState used(caps);
+  rng::Engine gen(41);
+  for (int i = 0; i < 300; ++i) {
+    used.add_ball(static_cast<std::uint32_t>(rng::uniform_below(gen, caps.size())));
+  }
+  expect_clear_equals_fresh(used, BinState(caps));
+  EXPECT_EQ(used.capacities(), caps);
+  EXPECT_EQ(used.total_capacity(), 30u);
 }
 
 }  // namespace

@@ -122,5 +122,41 @@ TEST(Metrics, PsiBoundedByPhiForBoundedAboveLoads) {
   }
 }
 
+TEST(NormalizedMetrics, KnownValues) {
+  const std::vector<std::uint32_t> loads{2, 2, 8};
+  const std::vector<std::uint32_t> caps{1, 2, 4};
+  const NormalizedLoadMetrics m = compute_normalized_metrics(loads, caps, 12);
+  EXPECT_DOUBLE_EQ(m.max_norm, 2.0);
+  EXPECT_DOUBLE_EQ(m.min_norm, 1.0);
+  EXPECT_DOUBLE_EQ(m.gap_norm, 1.0);
+  EXPECT_DOUBLE_EQ(m.norm_average, 12.0 / 7.0);
+  // sum c (l/c - t/C)^2 = 1*(2-12/7)^2 + 2*(1-12/7)^2 + 4*(2-12/7)^2.
+  const double a = 2.0 - 12.0 / 7.0;
+  const double b = 1.0 - 12.0 / 7.0;
+  EXPECT_NEAR(m.weighted_psi, a * a + 2.0 * b * b + 4.0 * a * a, 1e-12);
+}
+
+TEST(NormalizedMetrics, UnitCapacitiesReduceToUnweighted) {
+  const std::vector<std::uint32_t> loads{0, 3, 1, 2};
+  const std::vector<std::uint32_t> caps(4, 1);
+  const NormalizedLoadMetrics m = compute_normalized_metrics(loads, caps, 6);
+  EXPECT_DOUBLE_EQ(m.max_norm, static_cast<double>(max_load(loads)));
+  EXPECT_DOUBLE_EQ(m.min_norm, static_cast<double>(min_load(loads)));
+  EXPECT_NEAR(m.weighted_psi, quadratic_potential(loads, 6), 1e-12);
+}
+
+TEST(NormalizedMetrics, Validation) {
+  const std::vector<std::uint32_t> loads{1, 2};
+  const std::vector<std::uint32_t> empty;
+  const std::vector<std::uint32_t> short_caps{1};
+  const std::vector<std::uint32_t> zero_caps{1, 0};
+  EXPECT_THROW((void)compute_normalized_metrics(empty, empty, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)compute_normalized_metrics(loads, short_caps, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)compute_normalized_metrics(loads, zero_caps, 3),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bbb::core

@@ -78,6 +78,69 @@ TEST(SpecArgU32, RejectsValuesAboveUint32Range) {
                std::invalid_argument);
 }
 
+TEST(SpecPrefix, NoPrefixPassesThrough) {
+  const SpecPrefix p = split_spec_prefix("greedy[2]", "protocol");
+  EXPECT_TRUE(p.capacities.empty());
+  EXPECT_FALSE(p.weighted);
+  EXPECT_EQ(p.rest, "greedy[2]");
+}
+
+TEST(SpecPrefix, CapacitiesParsedAndStripped) {
+  const SpecPrefix p = split_spec_prefix("capacities=1,2,4,8:greedy[2]", "protocol");
+  EXPECT_EQ(p.capacities, (std::vector<std::uint32_t>{1, 2, 4, 8}));
+  EXPECT_FALSE(p.weighted);
+  EXPECT_EQ(p.rest, "greedy[2]");
+}
+
+TEST(SpecPrefix, WeightedParsedAndComposable) {
+  const SpecPrefix w = split_spec_prefix("weighted:chains[90,110,8]", "workload");
+  EXPECT_TRUE(w.weighted);
+  EXPECT_EQ(w.rest, "chains[90,110,8]");
+  // Both prefixes stack (registries decide which they accept).
+  const SpecPrefix both =
+      split_spec_prefix("weighted:capacities=2,3:one-choice", "protocol");
+  EXPECT_TRUE(both.weighted);
+  EXPECT_EQ(both.capacities, (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(both.rest, "one-choice");
+}
+
+TEST(SpecPrefix, MalformedPrefixesRejected) {
+  EXPECT_THROW((void)split_spec_prefix("capacities=:one-choice", "protocol"),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_spec_prefix("capacities=1,:one-choice", "protocol"),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_spec_prefix("capacities=1,x:one-choice", "protocol"),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_spec_prefix("capacities=0,2:one-choice", "protocol"),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_spec_prefix("capacities=1,2", "protocol"),
+               std::invalid_argument);  // missing ':'
+  EXPECT_THROW((void)split_spec_prefix("weighted:", "workload"),
+               std::invalid_argument);  // nothing after prefix
+  EXPECT_THROW((void)split_spec_prefix("weighted:weighted:chains[90,110,8]",
+                                       "workload"),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW(
+      (void)split_spec_prefix("capacities=4294967296:one-choice", "protocol"),
+      std::invalid_argument);  // out of u32 range
+}
+
+TEST(SpecPrefix, ExpandCapacitiesCyclesProfile) {
+  EXPECT_EQ(expand_capacities({1, 2, 4}, 7),
+            (std::vector<std::uint32_t>{1, 2, 4, 1, 2, 4, 1}));
+  EXPECT_EQ(expand_capacities({5}, 3), (std::vector<std::uint32_t>{5, 5, 5}));
+  EXPECT_THROW((void)expand_capacities({}, 4), std::invalid_argument);
+  EXPECT_THROW((void)expand_capacities({1}, 0), std::invalid_argument);
+}
+
+TEST(SpecPrefix, CapacitiesPrefixRoundTrips) {
+  const std::vector<std::uint32_t> profile{1, 2, 4, 8};
+  const std::string prefix = capacities_prefix(profile);
+  EXPECT_EQ(prefix, "capacities=1,2,4,8:");
+  const SpecPrefix p = split_spec_prefix(prefix + "one-choice", "protocol");
+  EXPECT_EQ(p.capacities, profile);
+}
+
 TEST(SpecOptionalArg, FallbackSingleAndTooMany) {
   EXPECT_EQ(spec_optional_arg(parse_spec("adaptive", "protocol"), 1, "adaptive",
                               "protocol"),

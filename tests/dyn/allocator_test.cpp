@@ -34,6 +34,15 @@ void expect_metrics_match(const BinState& state, double tol = 1e-9) {
   std::uint32_t nonempty = 0;
   for (const auto l : loads) nonempty += l > 0 ? 1 : 0;
   EXPECT_EQ(state.nonempty_bins(), nonempty);
+  // Capacitated states additionally keep the normalized metrics exact.
+  if (!state.capacities().empty()) {
+    const core::NormalizedLoadMetrics norm = core::compute_normalized_metrics(
+        loads, state.capacities(), state.balls());
+    EXPECT_DOUBLE_EQ(state.max_norm_load(), norm.max_norm);
+    EXPECT_DOUBLE_EQ(state.min_norm_load(), norm.min_norm);
+    EXPECT_NEAR(state.weighted_psi(), norm.weighted_psi,
+                tol * (1.0 + std::abs(norm.weighted_psi)));
+  }
 }
 
 // ---------------------------------------------------------------- property
@@ -50,6 +59,13 @@ const char* const kAllSpecs[] = {
     "adaptive-total",    "stale-adaptive[1]",   "stale-adaptive[16]",
     "skewed-adaptive[50]",                      "batched[4]",
     "self-balancing",    "cuckoo[2,4]",
+    // Heterogeneous-capacity variants: capacity-probing rules and a
+    // uniform-probing rule over the same capacitated state.
+    "capacities=1,2,4,8:one-choice",
+    "capacities=1,2,4,8:greedy[2]",
+    "capacities=1,2,4,8:left[2]",
+    "capacities=1,3:adaptive-net",
+    "capacities=2,5:memory[1,1]",
 };
 
 class RegistryChurnTest : public ::testing::TestWithParam<const char*> {};
@@ -87,6 +103,48 @@ TEST_P(RegistryChurnTest, MetricsStayExactUnderRandomInterleavings) {
 
 INSTANTIATE_TEST_SUITE_P(AllRegistryRules, RegistryChurnTest,
                          ::testing::ValuesIn(kAllSpecs));
+
+// The same property under *weighted* placements: rules with atomic weight
+// support take whole chains (random weights 1..6), everything else in the
+// registry would go through the explode fallback (covered above); unit
+// departures interleave throughout.
+const char* const kWeightedSpecs[] = {
+    "one-choice",
+    "greedy[2]",
+    "left[4]",
+    "capacities=1,2,4,8:one-choice",
+    "capacities=1,2,4,8:greedy[2]",
+    "capacities=1,2,4,8:left[2]",
+};
+
+class WeightedChurnTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WeightedChurnTest, MetricsStayExactUnderWeightedInterleavings) {
+  const std::uint32_t n = 32;
+  const auto alloc = make_streaming_allocator(GetParam(), n);
+  EXPECT_TRUE(alloc->rule().supports_weights());
+  rng::Engine gen(777);
+  const std::uint64_t cap = 8ULL * n;
+  for (int step = 0; step < 2500; ++step) {
+    const bool add = alloc->state().balls() == 0 ||
+                     (alloc->state().balls() < cap && rng::bernoulli(gen, 0.55));
+    if (add) {
+      const auto w = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 6));
+      const std::uint32_t bin = alloc->place_weighted(w, gen);
+      ASSERT_LT(bin, n);
+    } else {
+      alloc->remove(alloc->state().sample_nonempty(gen));
+    }
+    if (step % 83 == 0) expect_metrics_match(alloc->state());
+  }
+  expect_metrics_match(alloc->state());
+  std::uint64_t total = 0;
+  for (const auto l : alloc->state().loads()) total += l;
+  EXPECT_EQ(total, alloc->state().balls());
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightCapableRules, WeightedChurnTest,
+                         ::testing::ValuesIn(kWeightedSpecs));
 
 // ------------------------------------------------------ adaptive mechanics
 

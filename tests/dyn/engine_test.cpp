@@ -153,6 +153,88 @@ TEST(Engine, DescribeMentionsBothSpecs) {
   EXPECT_NE(desc.find("supermarket[80]"), std::string::npos);
 }
 
+TEST(Engine, NoDroppedDeparturesAcrossAllGeneratorAllocatorCombos) {
+  // The shipped generators promise never to emit a departure when the
+  // system is empty; the engine now counts violations instead of silently
+  // swallowing them. Sweep every workload family against allocators
+  // covering each departure path (ball registry, FIFO, nonempty-bin,
+  // unstable-identity override) and demand a zero count.
+  const char* const workloads[] = {
+      "supermarket[85]",        "churn[256]",        "churn-oldest[256]",
+      "bursty[95,10,25]",       "chains[80,110,6]",  "weighted:chains[80,110,6]",
+  };
+  const char* const allocators[] = {"one-choice", "greedy[2]", "adaptive-net",
+                                    "cuckoo[2,8]"};
+  for (const char* workload : workloads) {
+    for (const char* allocator : allocators) {
+      DynConfig cfg;
+      cfg.allocator_spec = allocator;
+      cfg.workload_spec = workload;
+      cfg.n = 32;
+      cfg.warmup = 500;
+      cfg.events = 2'000;
+      cfg.stride = 0;
+      cfg.replicates = 2;
+      const DynSummary s = run_dynamic(cfg);
+      EXPECT_EQ(s.dropped_departures, 0u) << allocator << " x " << workload;
+      for (const DynReplicate& rep : s.replicates) {
+        EXPECT_EQ(rep.dropped_departures, 0u) << allocator << " x " << workload;
+      }
+    }
+  }
+}
+
+TEST(Engine, WeightedChainsPlaceAtomicallyForWeightCapableRules) {
+  // weighted:chains + greedy[2]: one 2-probe decision per chain, so probes
+  // per *ball* drop below 2 exactly when chains land atomically; the
+  // unprefixed workload pays 2 probes per unit ball.
+  DynConfig cfg;
+  cfg.allocator_spec = "greedy[2]";
+  cfg.workload_spec = "weighted:chains[80,0,8]";  // uniform lengths 1..8
+  cfg.n = 64;
+  cfg.warmup = 2'000;
+  cfg.events = 8'000;
+  cfg.replicates = 2;
+  const DynSummary atomic = run_dynamic(cfg);
+  cfg.workload_spec = "chains[80,0,8]";
+  const DynSummary exploded = run_dynamic(cfg);
+  EXPECT_NEAR(exploded.probes_per_ball.mean(), 2.0, 1e-9);
+  // Mean chain length 4.5 -> ~2/4.5 ~ 0.44 probes per ball.
+  EXPECT_LT(atomic.probes_per_ball.mean(), 1.0);
+  // Atomic chains pile whole bursts into single bins: the load vector is
+  // strictly rougher than the per-ball spread.
+  EXPECT_GT(atomic.psi.mean(), exploded.psi.mean());
+}
+
+TEST(Engine, WeightedChainsFallBackToExplodeForUnitRules) {
+  // adaptive has no atomic weighted form; the engine must route the chain
+  // through the unit-explode fallback and still run green.
+  DynConfig cfg;
+  cfg.allocator_spec = "adaptive-net";
+  cfg.workload_spec = "weighted:chains[80,110,6]";
+  cfg.n = 32;
+  cfg.warmup = 1'000;
+  cfg.events = 4'000;
+  cfg.replicates = 2;
+  const DynSummary s = run_dynamic(cfg);
+  EXPECT_EQ(s.workload_name, "weighted:chains[80,110,6]");
+  EXPECT_GE(s.probes_per_ball.mean(), 1.0);  // every unit ball probes
+  EXPECT_EQ(s.dropped_departures, 0u);
+}
+
+TEST(Engine, HeterogeneousAllocatorRunsUnderChurn) {
+  DynConfig cfg;
+  cfg.allocator_spec = "capacities=1,2,4,8:greedy[2]";
+  cfg.workload_spec = "churn[512]";
+  cfg.n = 64;
+  cfg.warmup = 1'024;
+  cfg.events = 4'096;
+  cfg.replicates = 2;
+  const DynSummary s = run_dynamic(cfg);
+  EXPECT_EQ(s.allocator_name, "capacities=1,2,4,8:greedy[2]");
+  EXPECT_NEAR(s.balls.mean(), 511.5, 1.0);
+}
+
 TEST(Engine, InvalidConfigsThrow) {
   DynConfig cfg = small_config();
   cfg.replicates = 0;

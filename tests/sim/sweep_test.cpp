@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace bbb::sim {
 namespace {
 
@@ -17,6 +19,33 @@ TEST(Ranges, GeometricValidation) {
   EXPECT_THROW(geometric_range(0, 10, 2.0), std::invalid_argument);
   EXPECT_THROW(geometric_range(1, 10, 1.0), std::invalid_argument);
   EXPECT_THROW(geometric_range(10, 1, 2.0), std::invalid_argument);
+}
+
+TEST(Ranges, GeometricMonotoneAndBoundedAtExtremes) {
+  // Above 2^53 the double grid is coarser than the integers, so the
+  // rounded value could overshoot hi without the clamp; the emitted range
+  // must stay strictly increasing, inside [lo, hi], and end exactly at hi.
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max();
+  for (const double factor : {1.01, 1.5, 3.0, 1e6}) {
+    for (const std::uint64_t hi :
+         {huge, huge - 1, (std::uint64_t{1} << 53) + 1, std::uint64_t{1} << 62}) {
+      const auto range = geometric_range(1, hi, factor);
+      ASSERT_FALSE(range.empty());
+      EXPECT_EQ(range.front(), 1u);
+      EXPECT_EQ(range.back(), hi);
+      for (std::size_t i = 1; i < range.size(); ++i) {
+        ASSERT_LT(range[i - 1], range[i])
+            << "factor=" << factor << " hi=" << hi << " i=" << i;
+        ASSERT_LE(range[i], hi);
+      }
+    }
+  }
+  // A huge lo near the top of the domain must not overshoot either (the
+  // lo -> double conversion itself rounds up past hi here).
+  const auto top = geometric_range(huge - 2, huge, 2.0);
+  EXPECT_EQ(top.back(), huge);
+  for (std::size_t i = 1; i < top.size(); ++i) ASSERT_LT(top[i - 1], top[i]);
+  for (const std::uint64_t v : top) ASSERT_LE(v, huge);
 }
 
 TEST(Ranges, LinearKnownValues) {

@@ -88,6 +88,11 @@ int main(int argc, char** argv) {
     add("probes/ball", s.probes_per_ball, 4);
     std::fputs(table.render(format).c_str(), stdout);
     std::printf("steady-state psi/n = %.3f\n\n", s.psi_per_bin());
+    if (s.dropped_departures > 0) {
+      std::printf("WARNING: %llu departure events arrived with an empty system "
+                  "(broken generator?)\n\n",
+                  static_cast<unsigned long long>(s.dropped_departures));
+    }
 
     bbb::io::Table tail({"k", "frac(load >= k)", "ci95"});
     tail.set_title("occupancy tail (averaged over the measured window)");

@@ -46,13 +46,14 @@ int main(int argc, char** argv) {
     if (points == 0) throw std::invalid_argument("--points must be positive");
 
     bbb::rng::Engine gen(args.get_u64("seed"));
-    // The m hint binds fixed-bound rules (threshold) to this run's total.
-    bbb::core::StreamingAllocator alloc(
-        n, bbb::core::make_rule(args.get_string("protocol"), n, m));
-    const auto trace = bbb::sim::trace_allocation(alloc, gen, m, m / points);
+    // The m hint binds fixed-bound rules (threshold) to this run's total;
+    // the factory also honors capacities= prefixes (heterogeneous bins).
+    const auto alloc =
+        bbb::core::make_streaming_allocator(args.get_string("protocol"), n, m);
+    const auto trace = bbb::sim::trace_allocation(*alloc, gen, m, m / points);
 
     auto table = bbb::sim::trace_table(trace);
-    table.set_title(alloc.name() + " trajectory, m = " + std::to_string(m) +
+    table.set_title(alloc->name() + " trajectory, m = " + std::to_string(m) +
                     ", n = " + std::to_string(n));
     std::fputs(table.render(format).c_str(), stdout);
 
