@@ -1,9 +1,18 @@
 /// bench_micro_protocols — google-benchmark timings for the protocol hot
 /// loops: nanoseconds per placed ball at a fixed instance shape. This turns
 /// the paper's probe counts into wall-clock throughput numbers.
+///
+/// Two regimes: the classic cache-resident n = 2^16 cases, and the
+/// giant-scale n = 2^24 cases where the load array lives in DRAM and
+/// throughput is decided by how many of the d random reads per ball are in
+/// flight at once — the regime the probe lookahead (core/probe.hpp) and
+/// the compact BinState layout target. The *Giant benches enable engine
+/// exclusivity, so the lookahead is on (placements are bit-identical
+/// either way; only speed changes).
 
 #include <benchmark/benchmark.h>
 
+#include "bbb/core/bin_state.hpp"
 #include "bbb/core/concurrent_adaptive.hpp"
 #include "bbb/core/protocols/adaptive.hpp"
 #include "bbb/core/protocols/registry.hpp"
@@ -28,6 +37,29 @@ void run_streaming_bench(benchmark::State& state, const char* spec) {
     }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBins);
+}
+
+// Giant-n streaming: one long-lived allocator (a fresh 2^24-bin state per
+// iteration would spend the iteration in memset), each iteration streams a
+// 2^20-ball chunk; the load array (64 MiB wide, 16 MiB compact) stays far
+// beyond cache throughout.
+constexpr std::uint32_t kGiantBins = 1 << 24;
+constexpr std::uint32_t kGiantChunk = 1 << 20;
+
+void run_giant_bench(benchmark::State& state, const char* spec,
+                     bbb::core::StateLayout layout) {
+  bbb::rng::Engine gen(7);
+  bbb::core::StreamingAllocator alloc(
+      bbb::core::BinState(kGiantBins, layout),
+      bbb::core::make_rule(spec, kGiantBins, kGiantBins));
+  alloc.set_engine_exclusive(true);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kGiantChunk; ++i) {
+      benchmark::DoNotOptimize(alloc.place(gen));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kGiantChunk);
 }
 
 void BM_PlaceOneChoice(benchmark::State& state) {
@@ -59,6 +91,30 @@ void BM_PlaceThreshold(benchmark::State& state) {
   run_streaming_bench(state, "threshold");
 }
 BENCHMARK(BM_PlaceThreshold);
+
+// The acceptance numbers of the giant-scale tier: greedy[2] at n = 2^24
+// with the probe lookahead on, in both layouts, plus the one-choice and
+// left[2] companions. Compare BM_GiantGreedy2* against a pre-lookahead
+// build to see the speedup (BENCH_*.json records it per PR).
+void BM_GiantOneChoice(benchmark::State& state) {
+  run_giant_bench(state, "one-choice", bbb::core::StateLayout::kWide);
+}
+BENCHMARK(BM_GiantOneChoice);
+
+void BM_GiantGreedy2(benchmark::State& state) {
+  run_giant_bench(state, "greedy[2]", bbb::core::StateLayout::kWide);
+}
+BENCHMARK(BM_GiantGreedy2);
+
+void BM_GiantGreedy2Compact(benchmark::State& state) {
+  run_giant_bench(state, "greedy[2]", bbb::core::StateLayout::kCompact);
+}
+BENCHMARK(BM_GiantGreedy2Compact);
+
+void BM_GiantLeft2(benchmark::State& state) {
+  run_giant_bench(state, "left[2]", bbb::core::StateLayout::kWide);
+}
+BENCHMARK(BM_GiantLeft2);
 
 // Full batch runs at m = 8n: end-to-end protocol cost including result
 // materialization, reported as balls/second.

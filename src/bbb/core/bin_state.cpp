@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <map>
 #include <stdexcept>
-#include <string>
 #include <utility>
 
 #include "bbb/core/metrics.hpp"
@@ -21,20 +19,37 @@ constexpr std::uint32_t kPowCacheMax = 1u << 20;
 
 }  // namespace
 
-BinState::BinState(std::uint32_t n)
-    : phi_weight_(static_cast<double>(n)),
+std::string_view to_string(StateLayout layout) noexcept {
+  return layout == StateLayout::kWide ? "wide" : "compact";
+}
+
+StateLayout parse_state_layout(std::string_view text) {
+  if (text == "wide") return StateLayout::kWide;
+  if (text == "compact") return StateLayout::kCompact;
+  throw std::invalid_argument("unknown state layout '" + std::string(text) +
+                              "' (expected wide|compact)");
+}
+
+BinState::BinState(std::uint32_t n, StateLayout layout)
+    : n_(n),
+      layout_(layout),
+      phi_weight_(static_cast<double>(n)),
       pow_neg_(1, 1.0),
-      nonempty_pos_(n, 0),
       total_capacity_(n) {
   if (n == 0) throw std::invalid_argument("BinState: n must be positive");
-  loads_.assign(n, 0);
+  if (layout_ == StateLayout::kWide) {
+    loads_.assign(n, 0);
+    nonempty_pos_.assign(n, 0);
+  } else {
+    lanes_.assign(n, 0);
+  }
   levels_.reset(n);
 }
 
-BinState::BinState(std::vector<std::uint32_t> capacities)
-    : BinState(capacities.empty()
-                   ? 0
-                   : static_cast<std::uint32_t>(capacities.size())) {
+BinState::BinState(std::vector<std::uint32_t> capacities, StateLayout layout)
+    : BinState(capacities.empty() ? 0
+                                  : static_cast<std::uint32_t>(capacities.size()),
+               layout) {
   capacities_ = std::move(capacities);
   init_capacity_classes();
 }
@@ -68,7 +83,7 @@ void BinState::init_capacity_classes() {
   }
 }
 
-double BinState::pow_neg(std::uint32_t l) const {
+double BinState::pow_neg_slow(std::uint32_t l) const {
   if (l >= kPowCacheMax) {
     return std::pow(1.0 + kPotentialEpsilon, -static_cast<double>(l));
   }
@@ -80,75 +95,53 @@ double BinState::pow_neg(std::uint32_t l) const {
   return pow_neg_[l];
 }
 
-void BinState::add_ball(std::uint32_t bin, std::uint32_t weight) {
-  if (weight == 0) {
-    throw std::invalid_argument("BinState::add_ball: weight must be positive");
-  }
-  const std::uint32_t l = loads_[bin];
-  if (l > std::numeric_limits<std::uint32_t>::max() - weight) {
-    throw std::invalid_argument("BinState::add_ball: bin " + std::to_string(bin) +
-                                " load would overflow 32 bits");
-  }
-  const std::uint32_t nl = l + weight;
-  loads_[bin] = nl;
-  balls_ += weight;
-
-  levels_.move_up(l, nl);
-  // (l+w)^2 - l^2 = (2l + w) w, exact in 64 bits while S2 itself fits.
-  const std::uint64_t sq_delta =
-      (2ULL * l + weight) * static_cast<std::uint64_t>(weight);
-  sum_sq_ += sq_delta;
-  phi_weight_ += pow_neg(nl) - pow_neg(l);
-  if (!classes_.empty()) {
-    CapacityClass& cls = classes_[class_of_[bin]];
-    cls.levels.move_up(l, nl);
-    cls.sum_sq += sq_delta;
-  }
-
-  if (l == 0) {
-    nonempty_pos_[bin] = static_cast<std::uint32_t>(nonempty_.size());
-    nonempty_.push_back(bin);
-  }
+std::uint32_t BinState::overflow_load(std::uint32_t bin) const noexcept {
+  const auto it = overflow_.find(bin);
+  return it != overflow_.end() ? it->second : kCompactLaneMax;
 }
 
-void BinState::remove_ball(std::uint32_t bin, std::uint32_t weight) {
-  if (weight == 0) {
-    throw std::invalid_argument("BinState::remove_ball: weight must be positive");
-  }
-  const std::uint32_t l = loads_[bin];
-  if (l < weight) {
-    throw std::invalid_argument("BinState::remove_ball: bin " + std::to_string(bin) +
-                                " holds " + std::to_string(l) + " < weight " +
-                                std::to_string(weight));
-  }
-  const std::uint32_t nl = l - weight;
-  loads_[bin] = nl;
-  balls_ -= weight;
+void BinState::overflow_store(std::uint32_t bin, std::uint32_t nl) {
+  overflow_[bin] = nl;
+}
 
-  levels_.move_down(l, nl);
-  // l^2 - (l-w)^2 = (2l - w) w.
-  const std::uint64_t sq_delta =
-      (2ULL * l - weight) * static_cast<std::uint64_t>(weight);
-  sum_sq_ -= sq_delta;
-  phi_weight_ += pow_neg(nl) - pow_neg(l);
-  if (!classes_.empty()) {
-    CapacityClass& cls = classes_[class_of_[bin]];
-    cls.levels.move_down(l, nl);
-    cls.sum_sq -= sq_delta;
-  }
+void BinState::overflow_erase(std::uint32_t bin) { overflow_.erase(bin); }
 
-  if (nl == 0) {
-    const std::uint32_t pos = nonempty_pos_[bin];
-    const std::uint32_t last = nonempty_.back();
-    nonempty_[pos] = last;
-    nonempty_pos_[last] = pos;
-    nonempty_.pop_back();
+void BinState::throw_zero_weight(const char* fn) {
+  throw std::invalid_argument("BinState::" + std::string(fn) +
+                              ": weight must be positive");
+}
+
+void BinState::throw_add_overflow(std::uint32_t bin) {
+  throw std::invalid_argument("BinState::add_ball: bin " + std::to_string(bin) +
+                              " load would overflow 32 bits");
+}
+
+void BinState::throw_remove_underflow(std::uint32_t bin, std::uint32_t l,
+                                      std::uint32_t weight) {
+  throw std::invalid_argument("BinState::remove_ball: bin " + std::to_string(bin) +
+                              " holds " + std::to_string(l) + " < weight " +
+                              std::to_string(weight));
+}
+
+const std::vector<std::uint32_t>& BinState::loads() const {
+  if (layout_ != StateLayout::kWide) {
+    throw std::logic_error(
+        "BinState::loads: the compact layout keeps no 32-bit load vector; "
+        "use copy_loads() or load(bin)");
   }
+  return loads_;
+}
+
+std::vector<std::uint32_t> BinState::copy_loads() const {
+  if (layout_ == StateLayout::kWide) return loads_;
+  std::vector<std::uint32_t> out(lanes_.begin(), lanes_.end());
+  for (const auto& [bin, l] : overflow_) out[bin] = l;
+  return out;
 }
 
 double BinState::psi() const noexcept {
   const auto t = static_cast<double>(balls_);
-  return static_cast<double>(sum_sq_) - t * t / static_cast<double>(loads_.size());
+  return static_cast<double>(sum_sq_) - t * t / static_cast<double>(n_);
 }
 
 double BinState::log_phi() const noexcept {
@@ -157,7 +150,7 @@ double BinState::log_phi() const noexcept {
 
 std::uint32_t BinState::sample_capacity_proportional(rng::Engine& gen) const {
   if (!cap_sampler_.has_value()) {
-    return static_cast<std::uint32_t>(rng::uniform_below(gen, loads_.size()));
+    return static_cast<std::uint32_t>(rng::uniform_below(gen, n_));
   }
   return (*cap_sampler_)(gen);
 }
@@ -203,6 +196,12 @@ std::uint32_t BinState::bins_with_load_at_least(std::uint32_t k) const noexcept 
 }
 
 std::uint32_t BinState::sample_nonempty(rng::Engine& gen) const {
+  if (layout_ != StateLayout::kWide) {
+    throw std::logic_error(
+        "BinState::sample_nonempty: the compact layout maintains no "
+        "nonempty-bin index; use the wide layout for workloads that serve "
+        "uniformly random busy bins");
+  }
   if (nonempty_.empty()) {
     throw std::logic_error("BinState::sample_nonempty: every bin is empty");
   }
@@ -210,7 +209,12 @@ std::uint32_t BinState::sample_nonempty(rng::Engine& gen) const {
 }
 
 void BinState::clear() noexcept {
-  std::fill(loads_.begin(), loads_.end(), 0u);
+  if (layout_ == StateLayout::kWide) {
+    std::fill(loads_.begin(), loads_.end(), 0u);
+  } else {
+    std::fill(lanes_.begin(), lanes_.end(), std::uint8_t{0});
+    overflow_.clear();
+  }
   balls_ = 0;
   levels_.reset(n());
   sum_sq_ = 0;

@@ -16,6 +16,26 @@
 /// Unit weights and uniform capacities — the paper's setting — are the
 /// defaults and cost nothing extra.
 ///
+/// Storage layouts (the giant-scale tier): the per-bin load array comes in
+/// two interchangeable representations selected at construction:
+///   * `StateLayout::kWide` (default) — one 32-bit word per bin plus the
+///     nonempty-bin index that O(1) "serve a random busy queue" departures
+///     need. Identical to the historical layout, bit for bit.
+///   * `StateLayout::kCompact` — one 8-bit lane per bin; the rare bin whose
+///     load reaches `kCompactLaneMax` (255) is *promoted* to a 32-bit
+///     overflow side-table and demoted again when its load drops back
+///     below. n = 2^30 bins fit in ~1 GiB instead of the wide layout's
+///     ~12 GiB (loads + nonempty index). Right-sized for the m = O(n)
+///     regimes giant runs live in; if *most* bins exceed load 254 (say
+///     m >= 200n) the side-table dominates and wide is the better pick.
+///     Two API features are unavailable:
+///     `loads()` (borrow the wide vector; use `copy_loads()` or `load()`)
+///     and `sample_nonempty` (no id index is maintained) throw
+///     std::logic_error. Every metric — max/min/gap/Ψ/lnΦ/level counts,
+///     weighted and capacitated forms — is maintained by the same
+///     incremental code and is bit-identical to the wide layout
+///     (property-tested in tests/core/bin_state_layout_test.cpp).
+///
 /// Notation: this is the paper's load vector l = (l_1, ..., l_n) after t
 /// units of weight have been placed; `balls()` is t, `average()` is t/n
 /// (the centering used by the potentials Ψ and Φ in metrics.hpp). With
@@ -30,22 +50,36 @@
 ///     potential Psi_w = sum l_i^2/c_i - t^2/C in exact integer parts;
 ///   - per-class level counts give max/min of l_i/c_i in O(#classes);
 ///   - W = sum (1+eps)^{-l_i} gives ln Phi = ln W + (t/n + 2) ln(1+eps);
-///   - the nonempty-bin index supports O(1) "serve a uniformly random
-///     busy queue" departures (the supermarket service event);
+///   - the nonempty-bin count is read off level 0 in O(1); the wide
+///     layout's nonempty-bin *index* additionally supports O(1) "serve a
+///     uniformly random busy queue" departures (the supermarket service
+///     event);
 ///   - a Walker alias table over the capacities gives O(1) probes
 ///     proportional to c_i (`sample_capacity_proportional`).
 ///
-/// Invariants (property-tested in tests/core/bin_state_test.cpp and,
+/// The mutators and `load()` are defined inline here — they are the
+/// innermost statements of every protocol's hot loop, and keeping them
+/// header-visible lets the probe loops compile into one placement kernel
+/// (bench_micro_protocols measures the difference at n = 10^7).
+///
+/// Invariants (property-tested in tests/core/bin_state_test.cpp, in
+/// tests/core/bin_state_layout_test.cpp for wide-vs-compact lockstep, and
 /// against the naive metrics.hpp recomputation under random weighted
-/// add/remove interleavings, in tests/dyn/allocator_test.cpp):
+/// add/remove interleavings in tests/dyn/allocator_test.cpp):
 ///   * balls() == sum of load(i) over all bins whenever control is
 ///     outside add_ball/remove_ball;
 ///   * every incremental metric equals the batch recomputation from
 ///     core/metrics.hpp after any interleaving of add/remove;
+///   * compact and wide layouts driven through the same event sequence
+///     agree on load(i) and every metric at every step;
 ///   * clear() is indistinguishable from fresh construction.
 
 #include <cstdint>
+#include <limits>
 #include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "bbb/rng/alias_table.hpp"
@@ -54,18 +88,38 @@
 
 namespace bbb::core {
 
+/// How BinState stores the per-bin load array. See the file comment.
+enum class StateLayout : std::uint8_t {
+  kWide,     ///< 32-bit loads + nonempty-bin index (historical default)
+  kCompact,  ///< 8-bit lanes + 32-bit overflow side-table; ~1 byte per bin
+};
+
+/// Canonical spelling ("wide" / "compact") for CLIs and JSON records.
+[[nodiscard]] std::string_view to_string(StateLayout layout) noexcept;
+
+/// Parse "wide" / "compact". \throws std::invalid_argument otherwise.
+[[nodiscard]] StateLayout parse_state_layout(std::string_view text);
+
 /// Bin loads plus incremental metrics. Mutators are O(1) amortized per
 /// unit of weight moved; metric reads are O(1) (normalized max/min/gap:
 /// O(#distinct capacities)).
 class BinState {
  public:
+  /// Loads below this stay in a compact layout's 8-bit lane; a bin whose
+  /// load reaches it is promoted to the 32-bit overflow side-table (and
+  /// demoted when it drops back below).
+  static constexpr std::uint32_t kCompactLaneMax = 255;
+
   /// Uniform-capacity state (the paper's setting: every c_i = 1).
   /// \param n number of bins. \throws std::invalid_argument if n == 0.
-  explicit BinState(std::uint32_t n);
+  explicit BinState(std::uint32_t n, StateLayout layout = StateLayout::kWide);
 
   /// Heterogeneous-capacity state: bin i has capacity capacities[i] >= 1.
   /// \throws std::invalid_argument if empty or any capacity is 0.
-  explicit BinState(std::vector<std::uint32_t> capacities);
+  explicit BinState(std::vector<std::uint32_t> capacities,
+                    StateLayout layout = StateLayout::kWide);
+
+  [[nodiscard]] StateLayout layout() const noexcept { return layout_; }
 
   /// Place one unit ball into `bin`, updating every derived metric.
   void add_ball(std::uint32_t bin) { add_ball(bin, 1); }
@@ -74,32 +128,108 @@ class BinState {
   /// atomic event (the whole chain lands together).
   /// \throws std::invalid_argument if weight == 0 or the bin load would
   ///         overflow 32 bits.
-  void add_ball(std::uint32_t bin, std::uint32_t weight);
+  void add_ball(std::uint32_t bin, std::uint32_t weight) {
+    if (weight == 0) throw_zero_weight("add_ball");
+    const std::uint32_t l = load(bin);
+    if (l > std::numeric_limits<std::uint32_t>::max() - weight) {
+      throw_add_overflow(bin);
+    }
+    const std::uint32_t nl = l + weight;
+    store_load(bin, nl);
+    balls_ += weight;
+
+    levels_.move_up(l, nl);
+    // (l+w)^2 - l^2 = (2l + w) w, exact in 64 bits while S2 itself fits.
+    const std::uint64_t sq_delta =
+        (2ULL * l + weight) * static_cast<std::uint64_t>(weight);
+    sum_sq_ += sq_delta;
+    phi_weight_ += pow_neg(nl) - pow_neg(l);
+    if (!classes_.empty()) {
+      CapacityClass& cls = classes_[class_of_[bin]];
+      cls.levels.move_up(l, nl);
+      cls.sum_sq += sq_delta;
+    }
+
+    if (l == 0 && layout_ == StateLayout::kWide) {
+      nonempty_pos_[bin] = static_cast<std::uint32_t>(nonempty_.size());
+      nonempty_.push_back(bin);
+    }
+  }
 
   /// Remove one unit ball from `bin`. \throws std::invalid_argument if empty.
   void remove_ball(std::uint32_t bin) { remove_ball(bin, 1); }
 
   /// Remove `weight` units from `bin` as one event.
   /// \throws std::invalid_argument if weight == 0 or weight > load(bin).
-  void remove_ball(std::uint32_t bin, std::uint32_t weight);
+  void remove_ball(std::uint32_t bin, std::uint32_t weight) {
+    if (weight == 0) throw_zero_weight("remove_ball");
+    const std::uint32_t l = load(bin);
+    if (l < weight) throw_remove_underflow(bin, l, weight);
+    const std::uint32_t nl = l - weight;
+    store_load(bin, nl);
+    balls_ -= weight;
+
+    levels_.move_down(l, nl);
+    // l^2 - (l-w)^2 = (2l - w) w.
+    const std::uint64_t sq_delta =
+        (2ULL * l - weight) * static_cast<std::uint64_t>(weight);
+    sum_sq_ -= sq_delta;
+    phi_weight_ += pow_neg(nl) - pow_neg(l);
+    if (!classes_.empty()) {
+      CapacityClass& cls = classes_[class_of_[bin]];
+      cls.levels.move_down(l, nl);
+      cls.sum_sq -= sq_delta;
+    }
+
+    if (nl == 0 && layout_ == StateLayout::kWide) {
+      const std::uint32_t pos = nonempty_pos_[bin];
+      const std::uint32_t last = nonempty_.back();
+      nonempty_[pos] = last;
+      nonempty_pos_[last] = pos;
+      nonempty_.pop_back();
+    }
+  }
 
   [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept {
-    return loads_[bin];
+    if (layout_ == StateLayout::kWide) return loads_[bin];
+    const std::uint8_t lane = lanes_[bin];
+    return lane < kCompactLaneMax ? lane : overflow_load(bin);
   }
-  [[nodiscard]] std::uint32_t n() const noexcept {
-    return static_cast<std::uint32_t>(loads_.size());
+
+  /// Hint the CPU to pull bin `bin`'s load slot (and, in the wide layout,
+  /// its nonempty-index slot) into cache. The probe lookahead in
+  /// core/probe.hpp issues this for upcoming candidates so the d random
+  /// reads per ball overlap instead of serializing on DRAM.
+  void prefetch(std::uint32_t bin) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (layout_ == StateLayout::kWide) {
+      __builtin_prefetch(loads_.data() + bin, 1, 3);
+      __builtin_prefetch(nonempty_pos_.data() + bin, 1, 3);
+    } else {
+      __builtin_prefetch(lanes_.data() + bin, 1, 3);
+    }
+#else
+    (void)bin;
+#endif
   }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
   /// Total weight in the system (== sum of loads; unit balls each count 1).
   [[nodiscard]] std::uint64_t balls() const noexcept { return balls_; }
 
   /// Average load balls/n.
   [[nodiscard]] double average() const noexcept {
-    return static_cast<double>(balls_) / static_cast<double>(loads_.size());
+    return static_cast<double>(balls_) / static_cast<double>(n_);
   }
 
-  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept {
-    return loads_;
-  }
+  /// Borrow the wide layout's load vector (zero-copy).
+  /// \throws std::logic_error in the compact layout — the 32-bit vector
+  ///         does not exist there; use copy_loads() or load() instead.
+  [[nodiscard]] const std::vector<std::uint32_t>& loads() const;
+
+  /// Materialize the loads as a fresh 32-bit vector; works in any layout.
+  /// O(n) — snapshot/test use, not hot paths.
+  [[nodiscard]] std::vector<std::uint32_t> copy_loads() const;
 
   [[nodiscard]] std::uint32_t max_load() const noexcept { return levels_.max; }
   [[nodiscard]] std::uint32_t min_load() const noexcept { return levels_.min; }
@@ -172,13 +302,15 @@ class BinState {
     return levels_.count;
   }
 
+  /// Bins with load > 0, read off level 0 in O(1) (any layout).
   [[nodiscard]] std::uint32_t nonempty_bins() const noexcept {
-    return static_cast<std::uint32_t>(nonempty_.size());
+    return n_ - levels_.count[0];
   }
 
   /// A uniformly random bin among those with load > 0 — the supermarket
   /// model's "one busy server completes a job" event.
-  /// \throws std::logic_error if every bin is empty.
+  /// \throws std::logic_error if every bin is empty, or in the compact
+  ///         layout (which maintains no nonempty-bin id index).
   [[nodiscard]] std::uint32_t sample_nonempty(rng::Engine& gen) const;
 
   /// Reset to the all-empty state (loads, ball count, and every metric);
@@ -233,16 +365,54 @@ class BinState {
   };
 
   void init_capacity_classes();
-  [[nodiscard]] double pow_neg(std::uint32_t l) const;
 
-  std::vector<std::uint32_t> loads_;
+  /// (1+eps)^{-l}: cached lookup inline, cache extension / std::pow spill
+  /// out of line (one cold call per previously unseen level).
+  [[nodiscard]] double pow_neg(std::uint32_t l) const {
+    if (l < pow_neg_.size()) [[likely]] return pow_neg_[l];
+    return pow_neg_slow(l);
+  }
+  [[nodiscard]] double pow_neg_slow(std::uint32_t l) const;
+
+  /// Write the new load of `bin`. Wide: one store. Compact: lane store,
+  /// promoting to / demoting from the overflow side-table at
+  /// kCompactLaneMax (the cold side-table touch is out of line).
+  void store_load(std::uint32_t bin, std::uint32_t nl) {
+    if (layout_ == StateLayout::kWide) {
+      loads_[bin] = nl;
+      return;
+    }
+    if (nl < kCompactLaneMax) [[likely]] {
+      if (lanes_[bin] == kCompactLaneMax) overflow_erase(bin);
+      lanes_[bin] = static_cast<std::uint8_t>(nl);
+    } else {
+      lanes_[bin] = static_cast<std::uint8_t>(kCompactLaneMax);
+      overflow_store(bin, nl);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t overflow_load(std::uint32_t bin) const noexcept;
+  void overflow_store(std::uint32_t bin, std::uint32_t nl);
+  void overflow_erase(std::uint32_t bin);
+
+  [[noreturn]] static void throw_zero_weight(const char* fn);
+  [[noreturn]] static void throw_add_overflow(std::uint32_t bin);
+  [[noreturn]] static void throw_remove_underflow(std::uint32_t bin, std::uint32_t l,
+                                                  std::uint32_t weight);
+
+  std::uint32_t n_ = 0;
+  StateLayout layout_ = StateLayout::kWide;
+  std::vector<std::uint32_t> loads_;  // wide layout only
+  std::vector<std::uint8_t> lanes_;   // compact layout only
+  /// Compact layout: loads of the (rare) bins promoted past the 8-bit lane.
+  std::unordered_map<std::uint32_t, std::uint32_t> overflow_;
   std::uint64_t balls_ = 0;
   LevelTracker levels_;  // all bins together: max/min/gap and tail counts
   std::uint64_t sum_sq_ = 0;  // S2 = sum l_i^2 (exact while it fits 64 bits)
   double phi_weight_;         // W = sum (1+eps)^{-l_i}
   mutable std::vector<double> pow_neg_;      // cache of (1+eps)^{-l}
-  std::vector<std::uint32_t> nonempty_;      // bin ids with load > 0
-  std::vector<std::uint32_t> nonempty_pos_;  // bin -> index in nonempty_
+  std::vector<std::uint32_t> nonempty_;      // wide: bin ids with load > 0
+  std::vector<std::uint32_t> nonempty_pos_;  // wide: bin -> index in nonempty_
 
   std::vector<std::uint32_t> capacities_;  // empty = uniform c_i = 1
   std::uint64_t total_capacity_;

@@ -1,22 +1,129 @@
 #pragma once
 /// \file probe.hpp
-/// The two probe loops every uniform-probing rule in the library shares.
+/// The two probe loops every uniform-probing rule in the library shares,
+/// plus the raw-word probe lookahead that makes them fast at giant n.
 /// Since the single-streaming-core refactor there is exactly one copy of
 /// each decision rule (core/protocols/), driven by both the batch adapter
 /// and the dyn engine; these helpers fix the randomness-consumption order
 /// that the bit-for-bit pins below depend on.
 ///
-/// Both helpers draw from the engine in a fixed order (one uniform_below
+/// All helpers draw from the engine in a fixed order (one uniform_below
 /// per probe, plus one per tie for the reservoir tie-break). Any change to
 /// that order breaks the adaptive/threshold load pins at the bottom of
 /// tests/rng/golden_test.cpp and the streaming-vs-batch pins in
 /// tests/dyn/batch_equivalence_test.cpp — loudly.
+///
+/// ## Probe lookahead (the giant-scale hot-path trick)
+///
+/// At n >= 10^7 the load array no longer fits in cache, so the d random
+/// reads per ball are DRAM misses; drawn and consumed one at a time they
+/// serialize, and the placement loop runs at memory *latency* instead of
+/// memory *bandwidth*. `ProbeLookahead` fixes that without changing a
+/// single consumed random word: it buffers the engine's raw 64-bit output
+/// stream a few dozen words ahead, and at refill time speculatively maps
+/// each buffered word to the bin it will address if consumed as a
+/// candidate probe (Lemire's multiply maps a word position-independently)
+/// and issues a software prefetch for that bin's load slot. Consumption
+/// stays strictly FIFO through `LookaheadSource`, so every uniform_below —
+/// candidate, tie-break, or rejection retry — sees exactly the word it
+/// would have seen drawing from the engine directly; tie-break words were
+/// merely prefetched as a bogus bin (harmless). Allocation results are
+/// bit-for-bit identical with the lookahead on or off.
+///
+/// The one observable difference: the engine is left *ahead* of where
+/// straight-line consumption would leave it (buffered residue is
+/// discarded). A driver must therefore only enable the lookahead while the
+/// rule is the engine's sole consumer — `PlacementRule::set_engine_exclusive`
+/// documents the contract; the batch adapter and tracer opt in, the dyn
+/// engine (which interleaves workload draws on the same engine) does not.
 
 #include <cstdint>
 
 #include "bbb/rng/engine.hpp"
 
 namespace bbb::core {
+
+/// FIFO read-ahead over an engine's raw 64-bit stream with speculative
+/// bin prefetching at refill. See the file comment for the contract.
+class ProbeLookahead {
+ public:
+  /// Words buffered per refill — the prefetch distance. 64 words cover
+  /// ~twenty greedy[2] balls, enough to hide DRAM latency behind the
+  /// per-ball bookkeeping without thrashing L1.
+  static constexpr std::uint32_t kCapacity = 64;
+
+  /// Engage (or disengage) the read-ahead. Disengaging discards any
+  /// undrained residue — those words were already drawn from the old
+  /// engine, and serving them to a *different* engine later would make
+  /// placements a function of the wrong seed. (Same observable effect as
+  /// the documented "engine ends ahead of straight-line consumption".)
+  void set_enabled(bool on) noexcept {
+    enabled_ = on;
+    if (!on) pos_ = fill_ = 0;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Next raw word: buffered residue first, then the live engine.
+  template <rng::Engine64 Engine>
+  [[nodiscard]] std::uint64_t next(Engine& gen) {
+    return pos_ != fill_ ? buf_[pos_++] : gen();
+  }
+
+  /// Ensure at least `need` words are buffered (no-op when disabled or
+  /// already full enough); newly drawn words are reported to
+  /// `prefetch(offset, word)` where `offset` counts from the front of the
+  /// queue — rules with positional word meaning (left[d]'s per-group
+  /// draws) recover the probe phase as offset % d.
+  template <rng::Engine64 Engine, typename PrefetchFn>
+  void top_up(Engine& gen, std::uint32_t need, PrefetchFn&& prefetch) {
+    if (need > kCapacity) need = kCapacity;  // d > 32: best effort, still FIFO
+    if (!enabled_ || fill_ - pos_ >= need) return;
+    const std::uint32_t residue = fill_ - pos_;
+    for (std::uint32_t k = 0; k < residue; ++k) buf_[k] = buf_[pos_ + k];
+    pos_ = 0;
+    fill_ = residue;
+    while (fill_ < kCapacity) {
+      const std::uint64_t word = gen();
+      prefetch(fill_, word);
+      buf_[fill_++] = word;
+    }
+  }
+
+ private:
+  std::uint64_t buf_[kCapacity];
+  std::uint32_t pos_ = 0;
+  std::uint32_t fill_ = 0;
+  bool enabled_ = false;
+};
+
+/// Engine64 adapter that drains a ProbeLookahead in FIFO order, falling
+/// through to the underlying engine when the buffer is dry — the word
+/// sequence is exactly the engine's, so passing this to uniform_below /
+/// least_loaded_of reproduces direct-draw results bit for bit.
+template <rng::Engine64 Engine>
+class LookaheadSource {
+ public:
+  LookaheadSource(ProbeLookahead& lookahead, Engine& gen) noexcept
+      : lookahead_(lookahead), gen_(gen) {}
+
+  [[nodiscard]] std::uint64_t operator()() { return lookahead_.next(gen_); }
+
+  static constexpr std::uint64_t min() noexcept { return Engine::min(); }
+  static constexpr std::uint64_t max() noexcept { return Engine::max(); }
+
+ private:
+  ProbeLookahead& lookahead_;
+  Engine& gen_;
+};
+
+/// The bin a raw 64-bit word maps to under Lemire's multiply-shift for
+/// bound `n` — rng::lemire_map (the same mapping uniform_below consumes,
+/// one shared definition so prefetch targets cannot drift from consumed
+/// values), narrowed to a bin index.
+[[nodiscard]] inline std::uint32_t lemire_map(std::uint64_t word,
+                                              std::uint32_t n) noexcept {
+  return static_cast<std::uint32_t>(rng::lemire_map(word, n));
+}
 
 /// Sample uniform bins until `accept(bin)` holds; returns the accepted bin
 /// and adds one to `probes` per sample. The caller guarantees some bin is
@@ -82,6 +189,20 @@ std::uint32_t least_norm_loaded_of(Engine& gen, std::uint32_t d, std::uint64_t& 
 template <rng::Engine64 Engine, typename LoadFn>
 std::uint32_t least_loaded_of(Engine& gen, std::uint32_t n, std::uint32_t d,
                               std::uint64_t& probes, LoadFn&& load) {
+  if (d == 2) {
+    // The two-choice fast path: both candidates drawn before either load
+    // is read (the loads then miss DRAM in parallel), and the min-select
+    // reduced to one equality branch. Word-for-word the same randomness
+    // as the generic loop below: c0, c1, then one tie-break draw iff the
+    // loads are equal.
+    const auto c0 = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    const auto c1 = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    const std::uint32_t l0 = load(c0);
+    const std::uint32_t l1 = load(c1);
+    probes += 2;
+    if (l0 != l1) return l1 < l0 ? c1 : c0;
+    return rng::uniform_below(gen, 2) == 0 ? c1 : c0;
+  }
   auto best = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
   std::uint32_t best_load = load(best);
   std::uint32_t ties = 1;  // candidates seen with the current best load

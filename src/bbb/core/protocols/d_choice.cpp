@@ -16,7 +16,16 @@ std::uint32_t DChoiceRule::do_place(BinState& state, std::uint32_t weight,
                                     rng::Engine& gen) {
   std::uint32_t best;
   if (state.uniform_capacity()) {
-    best = least_loaded_of(gen, state.n(), d_, probes_,
+    // Keep >= 2d words buffered so a ball's candidates plus its worst-case
+    // d-1 tie-break draws never hit a mid-ball refill; every buffered word
+    // is speculatively prefetched as the candidate bin it maps to (words
+    // consumed as tie-breaks prefetched a harmless bogus bin).
+    const std::uint32_t n = state.n();
+    lookahead_.top_up(gen, 2 * d_, [&state, n](std::uint32_t, std::uint64_t word) {
+      state.prefetch(lemire_map(word, n));
+    });
+    LookaheadSource src(lookahead_, gen);
+    best = least_loaded_of(src, n, d_, probes_,
                            [&state](std::uint32_t b) { return state.load(b); });
   } else {
     // Heterogeneous capacities: probe proportionally to c_i and join the

@@ -6,12 +6,15 @@
 /// Max load: m/n + ln ln n / ln d + O(1) (Berenbrink et al. 2006).
 /// Allocation time: exactly d probes per ball.
 
+#include "bbb/core/probe.hpp"
 #include "bbb/core/protocol.hpp"
 #include "bbb/core/rule.hpp"
 
 namespace bbb::core {
 
-/// Streaming greedy[d] rule.
+/// Streaming greedy[d] rule. Under an exclusive engine the uniform-probe
+/// path reads the raw word stream ahead and prefetches upcoming candidate
+/// bins (bit-identical placements, see core/probe.hpp).
 class DChoiceRule final : public PlacementRule {
  public:
   /// \throws std::invalid_argument if d == 0.
@@ -20,6 +23,9 @@ class DChoiceRule final : public PlacementRule {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
   [[nodiscard]] bool supports_weights() const noexcept override { return true; }
+  void set_engine_exclusive(bool exclusive) noexcept override {
+    lookahead_.set_enabled(exclusive);
+  }
 
  protected:
   std::uint32_t do_place(BinState& state, std::uint32_t weight,
@@ -27,6 +33,7 @@ class DChoiceRule final : public PlacementRule {
 
  private:
   std::uint32_t d_;
+  ProbeLookahead lookahead_;
 };
 
 /// Batch protocol wrapper: greedy[d].

@@ -43,6 +43,19 @@ std::uint32_t LeftDRule::do_place(BinState& state, std::uint32_t weight,
     }
     sampled_state_ = &state;
   }
+  if (uniform) {
+    // left[d] consumes exactly d words per ball (Vöcking's tie-break is
+    // deterministic — no tie draws), so a buffered word's group is its
+    // queue offset mod d; prefetch maps each word within that group's
+    // range. Lemire rejections (astronomically rare) shift the phase and
+    // merely mis-prefetch until the next refill.
+    lookahead_.top_up(gen, d_, [this, &state](std::uint32_t offset,
+                                              std::uint64_t word) {
+      const auto [first, last] = group_range(offset % d_);
+      state.prefetch(first + lemire_map(word, last - first));
+    });
+  }
+  LookaheadSource src(lookahead_, gen);
   // Sample one bin per group, left to right. The strict `<` comparison
   // implements Vöcking's always-go-left tie-breaking: an equal (normalized)
   // load in a later (righter) group never displaces the current best.
@@ -52,7 +65,7 @@ std::uint32_t LeftDRule::do_place(BinState& state, std::uint32_t weight,
   for (std::uint32_t g = 0; g < d_; ++g) {
     const auto [first, last] = group_range(g);
     const auto c = static_cast<std::uint32_t>(
-        uniform ? first + rng::uniform_below(gen, last - first)
+        uniform ? first + rng::uniform_below(src, last - first)
                 : first + group_samplers_[g](gen));
     const std::uint32_t l = state.load(c);
     const std::uint32_t cc = state.capacity(c);

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "bbb/core/probe.hpp"
 #include "bbb/core/protocol.hpp"
 #include "bbb/core/rule.hpp"
 #include "bbb/rng/alias_table.hpp"
@@ -35,6 +36,10 @@ class LeftDRule final : public PlacementRule {
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> group_range(
       std::uint32_t g) const;
 
+  void set_engine_exclusive(bool exclusive) noexcept override {
+    lookahead_.set_enabled(exclusive);
+  }
+
  protected:
   std::uint32_t do_place(BinState& state, std::uint32_t weight,
                          rng::Engine& gen) override;
@@ -42,6 +47,7 @@ class LeftDRule final : public PlacementRule {
  private:
   std::uint32_t n_;
   std::uint32_t d_;
+  ProbeLookahead lookahead_;
   std::vector<rng::AliasTable> group_samplers_;  // lazily built, heterogeneous only
   const BinState* sampled_state_ = nullptr;      // the state the tables were built for
 };

@@ -8,10 +8,17 @@ std::uint32_t OneChoiceRule::do_place(BinState& state, std::uint32_t weight,
   // Uniform capacities keep the classic single uniform draw (bit-for-bit
   // the historical randomness stream); heterogeneous capacities probe
   // proportionally to c_i through the state's alias table.
-  const std::uint32_t bin =
-      state.uniform_capacity()
-          ? static_cast<std::uint32_t>(rng::uniform_below(gen, state.n()))
-          : state.sample_capacity_proportional(gen);
+  std::uint32_t bin;
+  if (state.uniform_capacity()) {
+    const std::uint32_t n = state.n();
+    lookahead_.top_up(gen, 1, [&state, n](std::uint32_t, std::uint64_t word) {
+      state.prefetch(lemire_map(word, n));
+    });
+    LookaheadSource src(lookahead_, gen);
+    bin = static_cast<std::uint32_t>(rng::uniform_below(src, n));
+  } else {
+    bin = state.sample_capacity_proportional(gen);
+  }
   state.add_ball(bin, weight);
   return bin;
 }

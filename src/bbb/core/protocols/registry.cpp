@@ -247,15 +247,16 @@ std::unique_ptr<PlacementRule> make_rule(const std::string& spec, std::uint32_t 
 
 std::unique_ptr<StreamingAllocator> make_streaming_allocator(const std::string& spec,
                                                              std::uint32_t n,
-                                                             std::uint64_t m_hint) {
+                                                             std::uint64_t m_hint,
+                                                             StateLayout layout) {
   const SpecPrefix prefix = split_spec_prefix(spec, kKind);
   reject_weighted_prefix(prefix, spec);
   auto rule = make_rule(prefix.rest, n, m_hint);
   if (prefix.capacities.empty()) {
-    return std::make_unique<StreamingAllocator>(n, std::move(rule));
+    return std::make_unique<StreamingAllocator>(BinState(n, layout), std::move(rule));
   }
   return std::make_unique<StreamingAllocator>(
-      BinState(expand_capacities(prefix.capacities, n)), std::move(rule),
+      BinState(expand_capacities(prefix.capacities, n), layout), std::move(rule),
       capacities_prefix(prefix.capacities));
 }
 

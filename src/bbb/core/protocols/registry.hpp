@@ -75,9 +75,13 @@ namespace bbb::core {
 /// Build a rule *and* its matching BinState from a spec that may carry a
 /// `capacities=` prefix; the profile is cycled over the n bins. The
 /// allocator's name() round-trips the full spec (prefix included).
+/// `layout` selects the BinState storage (StateLayout::kCompact for the
+/// giant-scale tier; metrics and placements are bit-identical either way,
+/// but compact states reject sample_nonempty — see bin_state.hpp).
 /// \throws std::invalid_argument as make_rule, or for a malformed prefix.
 [[nodiscard]] std::unique_ptr<StreamingAllocator> make_streaming_allocator(
-    const std::string& spec, std::uint32_t n, std::uint64_t m_hint = 0);
+    const std::string& spec, std::uint32_t n, std::uint64_t m_hint = 0,
+    StateLayout layout = StateLayout::kWide);
 
 /// All recognized spec shapes, for --help / --list output.
 [[nodiscard]] std::vector<std::string> protocol_specs();

@@ -11,19 +11,15 @@ void PlacementRule::on_remove(BinState& /*state*/, std::uint32_t /*bin*/) {}
 
 void PlacementRule::finalize(BinState& /*state*/, rng::Engine& /*gen*/) {}
 
-std::uint32_t PlacementRule::place_one(BinState& state, std::uint32_t weight,
-                                       rng::Engine& gen) {
+void PlacementRule::set_engine_exclusive(bool /*exclusive*/) noexcept {}
+
+void PlacementRule::throw_bad_weight(std::uint32_t weight) const {
   if (weight == 0) {
     throw std::invalid_argument("place_one: weight must be positive");
   }
-  if (weight > 1 && !supports_weights()) {
-    throw std::logic_error("rule '" + name() +
-                           "' cannot place weighted balls atomically; the "
-                           "driver must explode the chain into unit placements");
-  }
-  const std::uint32_t bin = do_place(state, weight, gen);
-  total_placed_ += weight;
-  return bin;
+  throw std::logic_error("rule '" + name() +
+                         "' cannot place weighted balls atomically; the "
+                         "driver must explode the chain into unit placements");
 }
 
 namespace {
@@ -50,10 +46,25 @@ AllocationResult run_rule(PlacementRule& rule, std::uint64_t m, BinState& state,
                           rng::Engine& gen) {
   validate_run_args(m, state.n());
   validate_rule_n(rule, state.n());
+  // The batch loop is the engine's only consumer, so probing rules may
+  // read the raw word stream ahead and prefetch candidate bins; consumed
+  // words — and every allocation — are unchanged (see core/probe.hpp).
+  // Revoked on every exit (including a throwing place_one): a caller who
+  // reuses the rule with a different engine must not consume this
+  // engine's buffered residue.
+  struct ExclusiveGuard {
+    PlacementRule& rule;
+    ~ExclusiveGuard() { rule.set_engine_exclusive(false); }
+  } guard{rule};
+  rule.set_engine_exclusive(true);
   for (std::uint64_t i = 0; i < m; ++i) (void)rule.place_one(state, gen);
   rule.finalize(state, gen);
   AllocationResult res;
-  res.loads = state.loads();
+  // copy_loads works in either layout (same one copy the by-value member
+  // always cost), so a compact-state batch run materializes its result
+  // instead of throwing after all the placement work. The memory-lean
+  // giant-scale path is the streaming one (sim/runner.cpp), not this.
+  res.loads = state.copy_loads();
   res.balls = state.balls();
   res.probes = rule.probes();
   res.reallocations = rule.reallocations();

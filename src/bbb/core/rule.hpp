@@ -66,11 +66,32 @@ class PlacementRule {
   }
 
   /// Place one ball of integer weight `weight` as a single atomic decision
-  /// (the whole chain lands in the returned bin).
+  /// (the whole chain lands in the returned bin). Inline: this is the hot
+  /// loop's entry point, and the wrapper must not cost a cross-TU call.
   /// \throws std::invalid_argument if weight == 0, std::logic_error if
   ///         weight > 1 and the rule does not `supports_weights()` — the
   ///         caller must explode the chain into unit placements instead.
-  std::uint32_t place_one(BinState& state, std::uint32_t weight, rng::Engine& gen);
+  std::uint32_t place_one(BinState& state, std::uint32_t weight, rng::Engine& gen) {
+    if (weight == 0 || (weight > 1 && !supports_weights())) {
+      throw_bad_weight(weight);
+    }
+    const std::uint32_t bin = do_place(state, weight, gen);
+    total_placed_ += weight;
+    return bin;
+  }
+
+  /// Driver promise that this rule is the engine's *only* consumer until
+  /// further notice (a batch place_one loop, the tracer, a benchmark — but
+  /// NOT the dyn engine, which draws workload events and victim picks from
+  /// the same engine between placements). Rules with a probe lookahead
+  /// (one-choice, greedy[d], left[d]) then read the raw word stream ahead
+  /// and prefetch upcoming candidate bins; consumed words and therefore
+  /// all allocation results stay bit-for-bit identical — only the engine's
+  /// final position moves (see core/probe.hpp). Revoking the promise
+  /// (`false`) discards any undrained read-ahead, so a driver that hands
+  /// the rule a *different* engine afterwards never sees the old engine's
+  /// buffered words. Default: ignored.
+  virtual void set_engine_exclusive(bool exclusive) noexcept;
 
   /// Called by the drivers *after* `state.remove_ball(bin)` so rules with
   /// per-ball bookkeeping (cuckoo residents, recorded choice pairs) can
@@ -121,6 +142,9 @@ class PlacementRule {
   virtual std::uint32_t do_place(BinState& state, std::uint32_t weight,
                                  rng::Engine& gen) = 0;
 
+  /// Cold throw path shared by the inline place_one wrapper.
+  [[noreturn]] void throw_bad_weight(std::uint32_t weight) const;
+
   std::uint64_t probes_ = 0;
   std::uint64_t total_placed_ = 0;
   std::uint64_t reallocations_ = 0;
@@ -159,6 +183,18 @@ class StreamingAllocator {
 
   /// Allocate one unit ball; returns the chosen bin.
   std::uint32_t place(rng::Engine& gen) { return rule_->place_one(state_, gen); }
+
+  /// Forward the engine-exclusivity promise to the rule (see
+  /// PlacementRule::set_engine_exclusive). Call only when nothing else
+  /// draws from the engine between place() calls.
+  void set_engine_exclusive(bool exclusive) noexcept {
+    rule_->set_engine_exclusive(exclusive);
+  }
+
+  /// Run the rule's batch-only post-placement pass (self-balancing
+  /// sweeps) — how a streaming driver reproduces `Protocol::run` exactly
+  /// for rules whose batch form is the place loop plus finalize.
+  void finalize(rng::Engine& gen) { rule_->finalize(state_, gen); }
 
   /// Allocate one weight-w ball. Atomic (whole chain into the returned
   /// bin) when the rule supports weights; otherwise the centralized

@@ -6,8 +6,9 @@ namespace bbb::dyn {
 
 std::unique_ptr<StreamingAllocator> make_streaming_allocator(const std::string& spec,
                                                              std::uint32_t n,
-                                                             std::uint64_t m_hint) {
-  return core::make_streaming_allocator(spec, n, m_hint);
+                                                             std::uint64_t m_hint,
+                                                             StateLayout layout) {
+  return core::make_streaming_allocator(spec, n, m_hint, layout);
 }
 
 std::vector<std::string> streaming_allocator_specs() {

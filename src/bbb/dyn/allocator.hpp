@@ -37,15 +37,19 @@
 namespace bbb::dyn {
 
 using core::BinState;
+using core::StateLayout;
 using core::StreamingAllocator;
 
 /// Build a streaming allocator from a registry spec (see
 /// core/protocols/registry.hpp for the grammar). `m_hint` provisions
 /// rules that need a total ball count up-front (threshold's fixed bound);
-/// 0 = unknown, which the registry resolves to n.
+/// 0 = unknown, which the registry resolves to n. `layout` selects the
+/// BinState storage (compact = the giant-scale 8-bit-lane tier; rejects
+/// workloads that serve uniformly random busy bins, see engine.hpp).
 /// \throws std::invalid_argument for unknown names or malformed args.
 [[nodiscard]] std::unique_ptr<StreamingAllocator> make_streaming_allocator(
-    const std::string& spec, std::uint32_t n, std::uint64_t m_hint = 0);
+    const std::string& spec, std::uint32_t n, std::uint64_t m_hint = 0,
+    StateLayout layout = StateLayout::kWide);
 
 /// All recognized spec shapes (== core::protocol_specs()), for --help /
 /// --list output.

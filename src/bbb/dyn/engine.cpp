@@ -42,9 +42,14 @@ class BallRegistry {
 }  // namespace
 
 std::string DynConfig::describe() const {
-  return allocator_spec + " x " + workload_spec + " n=" + std::to_string(n) +
-         " warmup=" + std::to_string(warmup) + " events=" + std::to_string(events) +
-         " reps=" + std::to_string(replicates) + " seed=" + std::to_string(seed);
+  std::string desc =
+      allocator_spec + " x " + workload_spec + " n=" + std::to_string(n) +
+      " warmup=" + std::to_string(warmup) + " events=" + std::to_string(events) +
+      " reps=" + std::to_string(replicates) + " seed=" + std::to_string(seed);
+  if (layout != core::StateLayout::kWide) {
+    desc += " layout=" + std::string(core::to_string(layout));
+  }
+  return desc;
 }
 
 double DynSummary::psi_per_bin() const {
@@ -56,8 +61,8 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
   if (config.events == 0) {
     throw std::invalid_argument("run_dynamic: events must be positive");
   }
-  const auto alloc =
-      make_streaming_allocator(config.allocator_spec, config.n, config.m_hint);
+  const auto alloc = make_streaming_allocator(config.allocator_spec, config.n,
+                                              config.m_hint, config.layout);
   const auto workload = make_workload(config.workload_spec, config.n);
   rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
 
@@ -67,6 +72,23 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
   const DepartSelect select = alloc->rule().stable_ball_identity()
                                   ? workload->depart_select()
                                   : DepartSelect::kUniformNonemptyBin;
+  if (select == DepartSelect::kUniformNonemptyBin &&
+      config.layout != core::StateLayout::kWide) {
+    // Fail at config time, not mid-replicate: serving a uniformly random
+    // busy bin needs the nonempty index only the wide layout maintains.
+    // Name the actual culprit — a bin-serving workload, or a rule whose
+    // unstable ball identity forces the bin-victim fallback.
+    const std::string why =
+        workload->depart_select() == DepartSelect::kUniformNonemptyBin
+            ? "workload '" + config.workload_spec +
+                  "' serves uniformly random busy bins"
+            : "allocator '" + config.allocator_spec +
+                  "' relocates balls after placement, forcing bin-occupancy "
+                  "departure victims";
+    throw std::invalid_argument(
+        "run_dynamic: " + why +
+        ", which the compact layout does not index; use layout=wide");
+  }
   const bool track_balls = select != DepartSelect::kUniformNonemptyBin;
   // Atomic weighted arrivals (weighted:chains): the whole chain lands in
   // one bin via place_one(state, w, gen) when the rule can commit it
@@ -207,7 +229,9 @@ DynSummary run_dynamic(const DynConfig& config, par::ThreadPool& pool) {
   }
   // Validate both specs (and capture canonical names) before spawning work.
   const std::string alloc_name =
-      make_streaming_allocator(config.allocator_spec, config.n, config.m_hint)->name();
+      make_streaming_allocator(config.allocator_spec, config.n, config.m_hint,
+                               config.layout)
+          ->name();
   const std::string workload_name = make_workload(config.workload_spec, config.n)->name();
 
   DynSummary summary;

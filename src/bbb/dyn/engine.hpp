@@ -44,6 +44,13 @@ struct DynConfig {
   std::uint32_t n = 1024;         ///< bins
   std::uint64_t m_hint = 0;       ///< total-count hint for fixed-bound rules
                                   ///< (threshold); 0 = unknown (registry uses n)
+  /// BinState storage layout. kCompact (the giant-scale 8-bit-lane tier)
+  /// supports every workload whose departures pick *balls* (churn, bursty,
+  /// chains); workloads that serve a uniformly random busy *bin*
+  /// (supermarket) need the wide layout's nonempty index, as do rules
+  /// without stable ball identity (cuckoo) — those configs are rejected
+  /// up-front with std::invalid_argument.
+  core::StateLayout layout = core::StateLayout::kWide;
   std::uint64_t warmup = 32'768;  ///< burn-in events before measurement
   std::uint64_t events = 65'536;  ///< measured events
   std::uint64_t stride = 1'024;   ///< measured events between snapshots

@@ -17,6 +17,18 @@ concept Engine64 = requires(G g) {
   { G::max() } -> std::convertible_to<std::uint64_t>;
 };
 
+/// The bound-mapping of Lemire's method: the value a raw 64-bit word
+/// produces for `bound` when it is not rejected — the high 64 bits of
+/// word * bound. Exposed (rather than folded into uniform_below) because
+/// the probe lookahead in core/probe.hpp prefetches the bin a buffered
+/// word *will* map to; keeping one copy here guarantees the prefetch
+/// target and the consumed value can never drift apart.
+[[nodiscard]] constexpr std::uint64_t lemire_map(std::uint64_t word,
+                                                 std::uint64_t bound) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(word) * static_cast<__uint128_t>(bound)) >> 64);
+}
+
 /// Unbiased uniform integer in [0, bound) via Lemire's multiply-shift
 /// rejection method — one multiply in the common case, no division unless a
 /// rare rejection occurs. Precondition: bound >= 1.
@@ -33,7 +45,7 @@ template <Engine64 G>
       lo = static_cast<std::uint64_t>(m);
     }
   }
-  return static_cast<std::uint64_t>(m >> 64);
+  return lemire_map(x, bound);
 }
 
 /// Uniform integer in the closed range [lo, hi]. Precondition: lo <= hi.

@@ -8,6 +8,9 @@ std::string ExperimentConfig::describe() const {
   std::ostringstream os;
   os << protocol_spec << " m=" << m << " n=" << n << " reps=" << replicates
      << " seed=" << seed;
+  if (layout != core::StateLayout::kWide) {
+    os << " layout=" << to_string(layout);
+  }
   return os.str();
 }
 

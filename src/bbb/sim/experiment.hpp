@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "bbb/core/bin_state.hpp"
+
 namespace bbb::sim {
 
 /// One experiment: a protocol at a fixed (m, n), repeated `replicates`
@@ -16,6 +18,14 @@ struct ExperimentConfig {
   std::uint32_t n = 1;                     ///< bins
   std::uint32_t replicates = 20;           ///< independent runs
   std::uint64_t seed = 42;                 ///< master seed
+  /// BinState storage layout. kWide is the historical batch path
+  /// (Protocol::run, bit-for-bit the classic results). kCompact is the
+  /// giant-scale tier: replicates stream place_one over an 8-bit-lane
+  /// state and read the incremental metrics — same allocations for every
+  /// rule whose batch form is the place loop (the one exception, batched[
+  /// capacity], runs its streaming capacity-bounded form), at ~1 byte per
+  /// bin so n = 2^30 fits in ~1 GiB.
+  core::StateLayout layout = core::StateLayout::kWide;
   /// Keep the raw per-replicate rows in RunSummary::records. Summary
   /// statistics are always folded; switch this off in large sweeps so a
   /// grid of thousands of configs does not retain every raw row in memory.

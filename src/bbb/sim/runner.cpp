@@ -13,8 +13,46 @@ double RunSummary::probes_per_ball() const {
   return config.m > 0 ? probes.mean() / static_cast<double>(config.m) : 0.0;
 }
 
+namespace {
+
+/// The giant-scale replicate path: stream place_one over a compact-layout
+/// BinState and read the incremental metrics — no 32-bit load vector, no
+/// O(n) metric rescan, so n = 2^30 fits in ~1 GiB. Allocations are
+/// bit-for-bit the wide batch result for every rule whose Protocol::run
+/// is the place loop (all of them except batched[capacity], which runs
+/// its streaming capacity-bounded form here); finalize() reproduces the
+/// batch-only post-passes (self-balancing sweeps).
+ReplicateRecord run_streaming_replicate(const ExperimentConfig& config,
+                                        std::uint32_t replicate_index) {
+  const auto alloc = core::make_streaming_allocator(config.protocol_spec, config.n,
+                                                    config.m, config.layout);
+  rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
+  alloc->set_engine_exclusive(true);
+  for (std::uint64_t i = 0; i < config.m; ++i) (void)alloc->place(gen);
+  alloc->finalize(gen);
+
+  const core::BinState& state = alloc->state();
+  const core::PlacementRule& rule = alloc->rule();
+  ReplicateRecord rec;
+  rec.probes = static_cast<double>(rule.probes());
+  rec.reallocations = static_cast<double>(rule.reallocations());
+  rec.rounds = static_cast<double>(rule.rounds());
+  rec.completed = rule.completed();
+  rec.max_load = state.max_load();
+  rec.min_load = state.min_load();
+  rec.gap = state.gap();
+  rec.psi = state.psi();
+  rec.log_phi = state.log_phi();
+  return rec;
+}
+
+}  // namespace
+
 ReplicateRecord run_replicate(const ExperimentConfig& config,
                               std::uint32_t replicate_index) {
+  if (config.layout != core::StateLayout::kWide) {
+    return run_streaming_replicate(config, replicate_index);
+  }
   const auto protocol = core::make_protocol(config.protocol_spec);
   rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
   const core::AllocationResult result = protocol->run(config.m, config.n, gen);

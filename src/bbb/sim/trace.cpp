@@ -8,6 +8,16 @@ std::vector<TracePoint> trace_allocation(core::StreamingAllocator& alloc,
   std::vector<TracePoint> points;
   if (stride == 0) stride = 1;
   points.reserve(static_cast<std::size_t>(m / stride) + 2);
+  // The trace loop is the engine's only consumer: let probing rules read
+  // the raw word stream ahead and prefetch candidates (placements and
+  // every snapshot metric are bit-identical; see core/probe.hpp). Revoked
+  // on every exit — normal or throwing — so the caller-owned allocator
+  // never serves this engine's buffered residue to a different engine.
+  struct ExclusiveGuard {
+    core::StreamingAllocator& alloc;
+    ~ExclusiveGuard() { alloc.set_engine_exclusive(false); }
+  } guard{alloc};
+  alloc.set_engine_exclusive(true);
   const core::BinState& state = alloc.state();
   for (std::uint64_t i = 1; i <= m; ++i) {
     (void)alloc.place(gen);

@@ -49,15 +49,20 @@ void expect_bitwise_equal(const std::string& spec, Shape shape, std::uint64_t se
   const core::AllocationResult batch = protocol->run(shape.m, shape.n, batch_gen);
 
   // The m hint binds fixed-bound rules (threshold) to the same total the
-  // batch run received.
+  // batch run received. Engine exclusivity matches the batch adapter
+  // (run_rule promises it too), so rules with a probe lookahead read
+  // ahead identically on both sides — this sweep is also the end-to-end
+  // proof that the lookahead's FIFO buffering changes no consumed word.
   const auto alloc = make_streaming_allocator(spec, shape.n, shape.m);
+  alloc->set_engine_exclusive(true);
   for (std::uint64_t i = 0; i < shape.m; ++i) alloc->place(dyn_gen);
 
   EXPECT_EQ(alloc->state().loads(), batch.loads)
       << spec << " m=" << shape.m << " n=" << shape.n << " seed=" << seed;
   EXPECT_EQ(alloc->probes(), batch.probes) << spec;
   EXPECT_EQ(alloc->state().balls(), batch.balls) << spec;
-  // Same draws in the same order: the engines end in the same state.
+  // Same draws in the same order (including any lookahead read-ahead):
+  // the engines end in the same state.
   EXPECT_TRUE(dyn_gen == batch_gen) << spec;
 }
 

@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
   args.add_flag("reps", std::uint64_t{8}, "replicates");
   args.add_flag("seed", std::uint64_t{42}, "master seed");
   args.add_flag("threads", std::uint64_t{0}, "worker threads (0 = hardware)");
+  args.add_flag("layout", std::string("wide"),
+                "BinState storage: wide|compact (compact rejects workloads "
+                "that serve uniformly random busy bins)");
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
   args.add_flag("list", std::uint64_t{0},
                 "1 = print allocator and workload spec strings and exit");
@@ -63,6 +66,7 @@ int main(int argc, char** argv) {
     cfg.tail_max = static_cast<std::uint32_t>(args.get_u64("tail"));
     cfg.replicates = static_cast<std::uint32_t>(args.get_u64("reps"));
     cfg.seed = args.get_u64("seed");
+    cfg.layout = bbb::core::parse_state_layout(args.get_string("layout"));
     const auto format = bbb::io::parse_format(args.get_string("format"));
 
     bbb::par::ThreadPool pool(static_cast<std::size_t>(args.get_u64("threads")));

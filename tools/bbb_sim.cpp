@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   args.add_flag("reps", std::uint64_t{10}, "replicates");
   args.add_flag("seed", std::uint64_t{42}, "master seed");
   args.add_flag("threads", std::uint64_t{0}, "worker threads (0 = hardware)");
+  args.add_flag("layout", std::string("wide"),
+                "BinState storage: wide|compact (compact streams place_one "
+                "over 8-bit lanes, ~1 byte/bin — the n=2^30 tier)");
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
   args.add_flag("histogram", std::uint64_t{0}, "1 = print a load histogram");
   args.add_flag("csv", std::string(""), "dump per-replicate rows to this file");
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
     cfg.n = static_cast<std::uint32_t>(args.get_u64("n"));
     cfg.replicates = static_cast<std::uint32_t>(args.get_u64("reps"));
     cfg.seed = args.get_u64("seed");
+    cfg.layout = bbb::core::parse_state_layout(args.get_string("layout"));
     const auto format = bbb::io::parse_format(args.get_string("format"));
 
     bbb::par::ThreadPool pool(static_cast<std::size_t>(args.get_u64("threads")));
@@ -87,11 +91,33 @@ int main(int argc, char** argv) {
 
     if (args.get_u64("histogram") != 0) {
       // One representative run for the histogram (replicate 0's seed).
-      const auto protocol = bbb::core::make_protocol(cfg.protocol_spec);
       bbb::rng::Engine gen = bbb::rng::SeedSequence(cfg.seed).engine(0);
-      const auto res = protocol->run(cfg.m, cfg.n, gen);
-      std::puts("\nload histogram (replicate 0):");
-      std::fputs(bbb::core::load_histogram(res.loads).render_ascii(48).c_str(), stdout);
+      if (cfg.layout == bbb::core::StateLayout::kWide) {
+        const auto protocol = bbb::core::make_protocol(cfg.protocol_spec);
+        const auto res = protocol->run(cfg.m, cfg.n, gen);
+        std::puts("\nload histogram (replicate 0):");
+        std::fputs(bbb::core::load_histogram(res.loads).render_ascii(48).c_str(),
+                   stdout);
+      } else {
+        // Compact layout: stream the replicate and build the histogram
+        // straight off the state's incremental level counts — O(max load),
+        // no 32-bit load vector is ever materialized (at n = 2^30 that
+        // vector alone would be 4 GiB).
+        const auto alloc = bbb::core::make_streaming_allocator(cfg.protocol_spec,
+                                                               cfg.n, cfg.m,
+                                                               cfg.layout);
+        alloc->set_engine_exclusive(true);
+        for (std::uint64_t i = 0; i < cfg.m; ++i) (void)alloc->place(gen);
+        alloc->finalize(gen);
+        const bbb::core::BinState& state = alloc->state();
+        bbb::stats::IntHistogram hist;
+        const auto& levels = state.level_counts();
+        for (std::uint32_t l = 0; l <= state.max_load(); ++l) {
+          if (levels[l] > 0) hist.add(l, levels[l]);
+        }
+        std::puts("\nload histogram (replicate 0):");
+        std::fputs(hist.render_ascii(48).c_str(), stdout);
+      }
     }
 
     const std::string csv_path = args.get_string("csv");

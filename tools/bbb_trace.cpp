@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   args.add_flag("n", std::uint64_t{10'000}, "bins");
   args.add_flag("points", std::uint64_t{10}, "snapshots to record");
   args.add_flag("seed", std::uint64_t{42}, "seed");
+  args.add_flag("layout", std::string("wide"),
+                "BinState storage: wide|compact (~1 byte/bin giant-scale tier)");
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
   args.add_flag("csv", std::string(""), "also dump points to this CSV file");
   args.add_flag("list", std::uint64_t{0}, "1 = print protocol spec strings and exit");
@@ -48,8 +50,9 @@ int main(int argc, char** argv) {
     bbb::rng::Engine gen(args.get_u64("seed"));
     // The m hint binds fixed-bound rules (threshold) to this run's total;
     // the factory also honors capacities= prefixes (heterogeneous bins).
-    const auto alloc =
-        bbb::core::make_streaming_allocator(args.get_string("protocol"), n, m);
+    const auto alloc = bbb::core::make_streaming_allocator(
+        args.get_string("protocol"), n, m,
+        bbb::core::parse_state_layout(args.get_string("layout")));
     const auto trace = bbb::sim::trace_allocation(*alloc, gen, m, m / points);
 
     auto table = bbb::sim::trace_table(trace);

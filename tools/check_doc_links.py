@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repository's markdown docs.
+
+Scans README.md, docs/**.md, and every other tracked *.md (module
+READMEs, examples) for markdown links `[text](target)` whose target is a
+relative path, and checks the file or directory exists relative to the
+linking file. External links (http/https/mailto) and pure anchors (#...)
+are ignored; a `path#anchor` target is checked for the path part only.
+
+Usage: python3 tools/check_doc_links.py [repo_root]
+Exit 0 = all links resolve; 1 = broken links (each printed); 2 = usage.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "build", "build-debug", "build-asan", "_deps"}
+# Retrieval artifacts quoting other repositories' markdown verbatim —
+# their relative links point into trees that are not checked out here.
+SKIP_FILES = {"SNIPPETS.md", "PAPERS.md", "PAPER.md"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = os.path.abspath(argv[1] if len(argv) == 2 else ".")
+    broken = []
+    checked = 0
+    for md in md_files(root):
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(md, root), target))
+    for md, target in broken:
+        print(f"BROKEN {md}: ({target})")
+    print(f"checked {checked} intra-repo links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

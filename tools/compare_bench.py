@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare two bbb_bench records case by case.
+
+Usage: python3 tools/compare_bench.py OLD.json NEW.json
+
+Prints per-case throughput ratios (new/old; > 1 is faster) for every case
+id present in both records, and flags cases that appear in only one — the
+perf-trajectory diff between two PRs' BENCH_*.json artifacts. Records made
+with different `config` blocks (smoke vs full) or on different machines
+are labelled as such, since their ratios compare apples to oranges.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        old = json.load(f)
+    with open(argv[2]) as f:
+        new = json.load(f)
+    for rec, path in ((old, argv[1]), (new, argv[2])):
+        if rec.get("schema") != "bbb-bench-v1":
+            print(f"compare_bench: {path} is not a bbb-bench-v1 record",
+                  file=sys.stderr)
+            return 2
+    if old.get("config") != new.get("config"):
+        print("WARNING: configs differ (smoke vs full?) — ratios are not "
+              "comparable")
+    if old.get("machine") != new.get("machine"):
+        print("WARNING: machines differ — ratios include hardware change")
+    print(f"old: {old.get('label') or '?'} @ {(old.get('commit') or '?')[:12]}")
+    print(f"new: {new.get('label') or '?'} @ {(new.get('commit') or '?')[:12]}")
+    print(f"{'case':40s} {'old/s':>14s} {'new/s':>14s} {'ratio':>8s}")
+    old_cases = {c["id"]: c for c in old["cases"]}
+    new_cases = {c["id"]: c for c in new["cases"]}
+    for cid, nc in new_cases.items():
+        oc = old_cases.get(cid)
+        if oc is None:
+            print(f"{cid:40s} {'—':>14s} {nc['per_second']:14.0f} {'new':>8s}")
+            continue
+        ratio = nc["per_second"] / oc["per_second"] if oc["per_second"] else 0.0
+        print(f"{cid:40s} {oc['per_second']:14.0f} {nc['per_second']:14.0f} "
+              f"{ratio:7.2f}x")
+    for cid in old_cases:
+        if cid not in new_cases:
+            print(f"{cid:40s} dropped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

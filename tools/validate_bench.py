@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a bbb_bench JSON record against tools/bench_schema.json.
+
+Stdlib only (CI runners have no jsonschema package): this implements the
+subset of JSON Schema the schema file actually uses — required keys, type
+checks, const/enum, numeric minimums, minItems/minLength/minProperties —
+and fails loudly on anything else it finds in the schema, so the two files
+cannot drift apart silently.
+
+Usage: python3 tools/validate_bench.py RECORD.json [SCHEMA.json]
+Exit 0 = valid; 1 = invalid (every violation printed); 2 = usage/IO error.
+"""
+
+import json
+import os
+import sys
+
+TYPE_MAP = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+HANDLED = {
+    "$schema", "$id", "title", "description", "type", "required",
+    "properties", "items", "const", "enum", "minimum", "minItems",
+    "minLength", "minProperties",
+}
+
+
+def check(value, schema, path, errors):
+    unknown = set(schema) - HANDLED
+    if unknown:
+        errors.append(f"{path}: validator does not implement schema keywords "
+                      f"{sorted(unknown)} — extend tools/validate_bench.py")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        py = TYPE_MAP[expected]
+        ok = isinstance(value, py) and not (expected in ("integer", "number")
+                                            and isinstance(value, bool))
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got "
+                          f"{type(value).__name__} ({value!r})")
+            return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str) \
+            and len(value) < schema["minLength"]:
+        errors.append(f"{path}: length {len(value)} < {schema['minLength']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        if "minProperties" in schema and len(value) < schema["minProperties"]:
+            errors.append(f"{path}: needs >= {schema['minProperties']} properties")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < {schema['minItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    record_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "bench_schema.json")
+    try:
+        with open(record_path) as f:
+            record = json.load(f)
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_bench: {e}", file=sys.stderr)
+        return 2
+    errors = []
+    check(record, schema, "$", errors)
+    if errors:
+        for e in errors:
+            print(f"INVALID {e}")
+        return 1
+    ids = [c["id"] for c in record["cases"]]
+    print(f"OK {record_path}: schema {record['schema']}, "
+          f"{len(ids)} cases ({', '.join(ids[:4])}, ...)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
