@@ -1,0 +1,72 @@
+#include "bbb/law/block.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "bbb/rng/distributions.hpp"
+
+namespace bbb::law {
+
+namespace {
+
+/// Distribute `m` balls over `bins` bins by recursive halving, appending
+/// the loads to `out`. Depth is log2(bins); each split is one exact
+/// Binomial(m, left/bins) draw.
+void split(std::uint64_t m, std::uint64_t bins, rng::Engine& gen,
+           std::vector<std::uint64_t>& out) {
+  if (bins == 1) {
+    out.push_back(m);
+    return;
+  }
+  const std::uint64_t left = bins / 2;
+  std::uint64_t m_left = 0;
+  if (m > 0) {
+    const double p = static_cast<double>(left) / static_cast<double>(bins);
+    m_left = rng::BinomialDist(m, p)(gen);
+  }
+  split(m_left, left, gen, out);
+  split(m - m_left, bins - left, gen, out);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> sample_block_loads(std::uint64_t m, std::uint64_t n,
+                                              std::uint64_t block, rng::Engine& gen) {
+  if (n == 0) throw std::invalid_argument("sample_block_loads: n must be > 0");
+  if (block == 0 || block > n) {
+    throw std::invalid_argument("sample_block_loads: need 0 < block <= n");
+  }
+  std::vector<std::uint64_t> loads;
+  loads.reserve(block);
+  std::uint64_t m_block = m;
+  if (block < n && m > 0) {
+    const double p = static_cast<double>(block) / static_cast<double>(n);
+    m_block = rng::BinomialDist(m, p)(gen);
+  }
+  split(m_block, block, gen, loads);
+  return loads;
+}
+
+OccupancyProfile profile_from_loads(const std::vector<std::uint64_t>& loads) {
+  if (loads.empty()) {
+    throw std::invalid_argument("profile_from_loads: empty load vector");
+  }
+  std::uint64_t max = 0;
+  std::uint64_t min = loads[0];
+  std::uint64_t balls = 0;
+  for (const std::uint64_t l : loads) {
+    if (l > max) max = l;
+    if (l < min) min = l;
+    balls += l;
+  }
+  if (max > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "profile_from_loads: loads above 2^32 exceed the profile level range");
+  }
+  std::vector<std::uint64_t> counts(max - min + 1, 0);
+  for (const std::uint64_t l : loads) ++counts[l - min];
+  return OccupancyProfile(loads.size(), balls, static_cast<std::uint32_t>(min),
+                          std::move(counts));
+}
+
+}  // namespace bbb::law

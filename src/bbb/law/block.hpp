@@ -1,0 +1,40 @@
+#pragma once
+/// \file block.hpp
+/// Multinomial block-sampling: exact per-bin loads for a *block* of bins
+/// out of astronomically many, by conditioned binomial recursion.
+///
+/// The one-choice occupancy vector is Multinomial(m; 1/n, ..., 1/n), and
+/// the multinomial splits: any group of b bins receives M ~ Binomial(m,
+/// b/n) balls, and given M the group is itself Multinomial(M; uniform over
+/// b) independent of the rest. Recursively halving the group therefore
+/// yields the exact joint loads of b chosen bins in O(b) binomial draws —
+/// no matter how large n is. This is the "zoom lens" companion to the
+/// whole-system profile sampler in one_choice.hpp: profiles answer
+/// distributional questions (max load, tails); blocks answer joint
+/// per-bin questions (what do 1000 adjacent servers look like at
+/// n = 2^45?) and feed the marginal goodness-of-fit tests in tests/law/.
+
+#include <cstdint>
+#include <vector>
+
+#include "bbb/law/profile.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::law {
+
+/// Exact joint loads of `block` fixed bins out of n after m uniform throws.
+/// Marginally each entry is Binomial(m, 1/n); jointly the vector is the
+/// first `block` coordinates of the multinomial occupancy vector.
+/// \throws std::invalid_argument if n == 0, block == 0, or block > n.
+[[nodiscard]] std::vector<std::uint64_t> sample_block_loads(std::uint64_t m,
+                                                            std::uint64_t n,
+                                                            std::uint64_t block,
+                                                            rng::Engine& gen);
+
+/// Fold a block's per-bin loads into an OccupancyProfile over those bins
+/// (block == n gives a third exact whole-system profile sampler, used by
+/// the cross-validation tests to triangulate the other two).
+[[nodiscard]] OccupancyProfile profile_from_loads(
+    const std::vector<std::uint64_t>& loads);
+
+}  // namespace bbb::law

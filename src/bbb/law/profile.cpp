@@ -1,0 +1,76 @@
+#include "bbb/law/profile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bbb/core/metrics.hpp"
+
+namespace bbb::law {
+
+OccupancyProfile::OccupancyProfile(std::uint64_t n, std::uint64_t balls,
+                                   std::uint32_t base,
+                                   std::vector<std::uint64_t> counts)
+    : n_(n), balls_(balls), base_(base), counts_(std::move(counts)) {
+  if (n == 0) throw std::invalid_argument("OccupancyProfile: n must be positive");
+  if (counts_.empty()) {
+    throw std::invalid_argument("OccupancyProfile: counts must be nonempty");
+  }
+  if (counts_.front() == 0 || counts_.back() == 0) {
+    throw std::invalid_argument(
+        "OccupancyProfile: counts must be trimmed (nonzero first/last entry)");
+  }
+  std::uint64_t bins = 0;
+  __uint128_t weight = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    bins += counts_[i];
+    weight += static_cast<__uint128_t>(counts_[i]) * (base_ + i);
+  }
+  if (bins != n_) {
+    throw std::invalid_argument("OccupancyProfile: level counts must sum to n");
+  }
+  if (weight != static_cast<__uint128_t>(balls_)) {
+    throw std::invalid_argument(
+        "OccupancyProfile: sum of level * count must equal balls");
+  }
+}
+
+std::uint64_t OccupancyProfile::count_at(std::uint32_t level) const noexcept {
+  if (level < base_) return 0;
+  const std::size_t i = level - base_;
+  return i < counts_.size() ? counts_[i] : 0;
+}
+
+std::uint64_t OccupancyProfile::bins_with_load_at_least(
+    std::uint32_t k) const noexcept {
+  std::uint64_t bins = 0;
+  const std::size_t start = k > base_ ? k - base_ : 0;
+  for (std::size_t i = start; i < counts_.size(); ++i) bins += counts_[i];
+  return bins;
+}
+
+double OccupancyProfile::fraction_at_least(std::uint32_t k) const noexcept {
+  return static_cast<double>(bins_with_load_at_least(k)) / static_cast<double>(n_);
+}
+
+double OccupancyProfile::psi() const noexcept {
+  const double mean = average();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double dev = static_cast<double>(base_ + i) - mean;
+    sum += static_cast<double>(counts_[i]) * dev * dev;
+  }
+  return sum;
+}
+
+double OccupancyProfile::log_phi() const noexcept {
+  // ln sum_j K_j (1+eps)^{-(base+i)} shifted by the dominant (lowest) level.
+  const double c = std::log1p(core::kPotentialEpsilon);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    sum += static_cast<double>(counts_[i]) * std::exp(-c * static_cast<double>(i));
+  }
+  const double log_weight = std::log(sum) - c * static_cast<double>(base_);
+  return log_weight + (average() + 2.0) * c;
+}
+
+}  // namespace bbb::law

@@ -1,0 +1,84 @@
+#pragma once
+/// \file profile.hpp
+/// The law tier's state object: an *occupancy profile* — level counts
+/// K_j = number of bins with load exactly j — instead of per-bin loads.
+///
+/// Per-ball simulation keeps l_1..l_n (PR 5's compact BinState: 1 byte per
+/// bin, n = 2^30 tops out a workstation). The law tier never materializes
+/// bins at all: every distributional quantity the paper's claims are about
+/// (max load, gap, tail fractions, the quadratic potential Ψ) is a
+/// function of the level counts alone, and those fit in O(max load)
+/// words at *any* n — n = 2^50 costs the same few kilobytes as n = 2^16.
+///
+/// Invariants (checked at construction, property-tested in tests/law/):
+///   * counts is trimmed: first and last entries are nonzero;
+///   * sum of counts == n (every bin sits at exactly one level);
+///   * sum of level * count == balls (total weight conservation).
+
+#include <cstdint>
+#include <vector>
+
+namespace bbb::law {
+
+/// Level counts of one occupancy configuration of n bins holding m balls.
+/// Immutable once built; samplers construct it, analyses read it.
+class OccupancyProfile {
+ public:
+  /// \param n      number of bins (any 64-bit value, not just BinState's 32).
+  /// \param balls  total number of balls m.
+  /// \param base   level of counts[0] (the minimum load).
+  /// \param counts counts[i] = number of bins with load base + i.
+  /// \throws std::invalid_argument if the invariants above fail.
+  OccupancyProfile(std::uint64_t n, std::uint64_t balls, std::uint32_t base,
+                   std::vector<std::uint64_t> counts);
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t balls() const noexcept { return balls_; }
+  [[nodiscard]] double average() const noexcept {
+    return static_cast<double>(balls_) / static_cast<double>(n_);
+  }
+
+  /// Lowest occupied level (== the paper's min load).
+  [[nodiscard]] std::uint32_t min_load() const noexcept { return base_; }
+  /// Highest occupied level.
+  [[nodiscard]] std::uint32_t max_load() const noexcept {
+    return base_ + static_cast<std::uint32_t>(counts_.size()) - 1;
+  }
+  [[nodiscard]] std::uint32_t gap() const noexcept { return max_load() - min_load(); }
+
+  /// Number of bins with load exactly `level` (0 outside the stored range).
+  [[nodiscard]] std::uint64_t count_at(std::uint32_t level) const noexcept;
+
+  /// Number of bins with load >= k.
+  [[nodiscard]] std::uint64_t bins_with_load_at_least(std::uint32_t k) const noexcept;
+
+  /// Fraction of bins with load >= k — the tail curve s_k the fluid limit
+  /// predicts (theory::fluid_tail_curve).
+  [[nodiscard]] double fraction_at_least(std::uint32_t k) const noexcept;
+
+  /// Quadratic potential Psi = sum_i (l_i - m/n)^2, evaluated from the
+  /// level counts as sum_j K_j (j - m/n)^2 (no cancellation: each term is
+  /// nonnegative, unlike the S2 - t^2/n form at large average load).
+  [[nodiscard]] double psi() const noexcept;
+
+  /// ln Phi with the paper's eps = 1/200 (metrics.hpp convention:
+  /// ln sum_i (1+eps)^{-l_i} + (m/n + 2) ln(1+eps)), evaluated by
+  /// log-sum-exp over levels so it stays finite at average loads where the
+  /// per-bin weights (1+eps)^{-l_i} would underflow.
+  [[nodiscard]] double log_phi() const noexcept;
+
+  /// Level of counts()[0].
+  [[nodiscard]] std::uint32_t base() const noexcept { return base_; }
+  /// Trimmed level counts, counts()[i] = bins at load base() + i.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::uint64_t balls_ = 0;
+  std::uint32_t base_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace bbb::law

@@ -1,6 +1,7 @@
 #include "bbb/model/poissonized.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "bbb/rng/distributions.hpp"
 #include "bbb/rng/engine.hpp"
@@ -30,6 +31,14 @@ std::vector<std::uint32_t> truncate_loads(const std::vector<std::uint32_t>& acce
   std::transform(access.begin(), access.end(), out.begin(),
                  [cap](std::uint32_t x) { return std::min(x, cap); });
   return out;
+}
+
+std::vector<std::uint64_t> level_counts_of(const std::vector<std::uint32_t>& loads) {
+  if (loads.empty()) throw std::invalid_argument("level_counts_of: empty loads");
+  const std::uint32_t max = *std::max_element(loads.begin(), loads.end());
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(max) + 1, 0);
+  for (const std::uint32_t l : loads) ++counts[l];
+  return counts;
 }
 
 double estimate_exact_probability(

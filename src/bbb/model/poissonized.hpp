@@ -34,6 +34,14 @@ namespace bbb::model {
 [[nodiscard]] std::vector<std::uint32_t> truncate_loads(
     const std::vector<std::uint32_t>& access, std::uint32_t cap);
 
+/// Level counts K_j = #{i : loads[i] == j} for j = 0..max load — the
+/// sufficient statistic both the exact and Poisson models share with the
+/// law tier (law::OccupancyProfile), letting the cross-validation tests
+/// compare a per-bin simulation against a level-count sampler cell by cell.
+/// \throws std::invalid_argument if `loads` is empty.
+[[nodiscard]] std::vector<std::uint64_t> level_counts_of(
+    const std::vector<std::uint32_t>& loads);
+
 /// Monte-Carlo probability of `event` under the exact model.
 [[nodiscard]] double estimate_exact_probability(
     std::uint64_t m, std::uint32_t n, std::uint32_t trials, rng::Engine& gen,

@@ -102,6 +102,43 @@ double PoissonDist::cdf(std::uint64_t k) const {
   return acc < 1.0 ? acc : 1.0;
 }
 
+double PoissonDist::sf(std::uint64_t k) const {
+  if (k == 0) return 1.0;
+  if (lambda_ == 0.0) return 0.0;
+  // Sum whichever side of the mean is the small one; both series have
+  // positive terms with ratios < 1 (slowest near the mean, where they need
+  // O(sqrt(lambda)) terms), so there is no cancellation at any depth.
+  constexpr std::uint64_t kMaxTerms = 100'000'000;
+  if (static_cast<double>(k) <= lambda_) {
+    // Head P(X <= k-1) = pmf(k-1) * (1 + (k-1)/lambda + (k-1)(k-2)/lambda^2
+    // + ...); sf = 1 - head loses only absolute precision, which is fine
+    // left of the mean where sf is order 1.
+    const double p = pmf(k - 1);
+    if (p == 0.0) return 1.0;
+    double term = 1.0;
+    double series = 1.0;
+    for (std::uint64_t j = k - 1; j > 0 && k - 1 - j < kMaxTerms; --j) {
+      term *= static_cast<double>(j) / lambda_;
+      series += term;
+      if (term < series * 1e-17) break;
+    }
+    const double head = p * series;
+    return head < 1.0 ? 1.0 - head : 0.0;
+  }
+  // Tail P(X >= k) = pmf(k) * (1 + lambda/(k+1) + lambda^2/((k+1)(k+2)) + ...).
+  const double p_k = pmf(k);
+  if (p_k == 0.0) return 0.0;
+  double term = 1.0;
+  double series = 1.0;
+  for (std::uint64_t i = k + 1; i - k < kMaxTerms; ++i) {
+    term *= lambda_ / static_cast<double>(i);
+    series += term;
+    if (term < series * 1e-17) break;
+  }
+  const double tail = p_k * series;
+  return tail < 1.0 ? tail : 1.0;
+}
+
 // ------------------------------------------------------------------- Binomial
 
 BinomialDist::BinomialDist(std::uint64_t n, double p) : n_(n), p_(p) {

@@ -67,6 +67,13 @@ class PoissonDist {
   [[nodiscard]] double pmf(std::uint64_t k) const;
   /// P(X <= k).
   [[nodiscard]] double cdf(std::uint64_t k) const;
+  /// Survival function P(X >= k), accurate to full relative precision even
+  /// deep in the tail where 1 - cdf(k-1) would cancel to zero: the head is
+  /// summed directly, the tail by the convergent series
+  /// pmf(k) * (1 + lambda/(k+1) + lambda^2/((k+1)(k+2)) + ...). The law
+  /// tier's level-by-level cardinality sampler conditions on exactly these
+  /// tail probabilities (law/one_choice.hpp).
+  [[nodiscard]] double sf(std::uint64_t k) const;
 
  private:
   std::uint64_t sample_inversion(Engine& gen) const;

@@ -1,8 +1,26 @@
 #include "bbb/sim/experiment.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace bbb::sim {
+
+std::string to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kExact:
+      return "exact";
+    case Tier::kLaw:
+      return "law";
+  }
+  throw std::invalid_argument("to_string: unknown Tier");
+}
+
+Tier parse_tier(const std::string& text) {
+  if (text == "exact") return Tier::kExact;
+  if (text == "law") return Tier::kLaw;
+  throw std::invalid_argument("parse_tier: expected 'exact' or 'law', got '" + text +
+                              "'");
+}
 
 std::string ExperimentConfig::describe() const {
   std::ostringstream os;
@@ -10,6 +28,9 @@ std::string ExperimentConfig::describe() const {
      << " seed=" << seed;
   if (layout != core::StateLayout::kWide) {
     os << " layout=" << to_string(layout);
+  }
+  if (tier != Tier::kExact) {
+    os << " tier=" << to_string(tier);
   }
   return os.str();
 }

@@ -10,6 +10,23 @@
 
 namespace bbb::sim {
 
+/// Which execution tier evaluates a replicate.
+enum class Tier : std::uint8_t {
+  /// Simulate every ball through the streaming core (wide or compact
+  /// layout per ExperimentConfig::layout) — the exact tiers of PRs 1-5.
+  kExact,
+  /// Sample the occupancy law directly (law::sample_one_choice_profile):
+  /// exact in distribution, O(levels + sqrt(m)) per replicate. Only the
+  /// one-choice spec has a sampled law; other specs throw.
+  kLaw,
+};
+
+/// Round-trips with parse_tier; "exact" / "law".
+[[nodiscard]] std::string to_string(Tier tier);
+
+/// \throws std::invalid_argument for anything but "exact" / "law".
+[[nodiscard]] Tier parse_tier(const std::string& text);
+
 /// One experiment: a protocol at a fixed (m, n), repeated `replicates`
 /// times with independent derived seeds.
 struct ExperimentConfig {
@@ -26,6 +43,13 @@ struct ExperimentConfig {
   /// capacity], runs its streaming capacity-bounded form), at ~1 byte per
   /// bin so n = 2^30 fits in ~1 GiB.
   core::StateLayout layout = core::StateLayout::kWide;
+  /// Execution tier. Tier::kLaw replaces the per-ball simulation with the
+  /// law tier's exact profile sampler (same SeedSequence-derived engines,
+  /// different consumption — records pin to their own golden values).
+  /// Probe/reallocation/round counters are not defined by a sampled
+  /// profile; the law tier reports probes = m (one probe per ball, the
+  /// one-choice cost identity) and zeros elsewhere.
+  Tier tier = Tier::kExact;
   /// Keep the raw per-replicate rows in RunSummary::records. Summary
   /// statistics are always folded; switch this off in large sweeps so a
   /// grid of thousands of configs does not retain every raw row in memory.

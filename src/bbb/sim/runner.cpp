@@ -4,6 +4,8 @@
 
 #include "bbb/core/metrics.hpp"
 #include "bbb/core/protocols/registry.hpp"
+#include "bbb/law/one_choice.hpp"
+#include "bbb/law/profile.hpp"
 #include "bbb/par/parallel_for.hpp"
 #include "bbb/rng/streams.hpp"
 
@@ -46,10 +48,42 @@ ReplicateRecord run_streaming_replicate(const ExperimentConfig& config,
   return rec;
 }
 
+/// The law-tier replicate path: draw the occupancy profile's law directly
+/// instead of simulating m placements. Only one-choice has a sampled law;
+/// the record it fills is distribution-equal (NOT bit-equal) to the exact
+/// tiers at the same seed — the cross-validation suite in tests/law/ is
+/// what certifies the agreement. Probes are reported as m (one-choice
+/// probes once per ball); reallocations and rounds are identically zero.
+ReplicateRecord run_law_replicate(const ExperimentConfig& config,
+                                  std::uint32_t replicate_index) {
+  const std::string canonical = core::make_protocol(config.protocol_spec)->name();
+  if (canonical != "one-choice") {
+    throw std::invalid_argument(
+        "run_replicate: tier=law supports only the one-choice spec, got '" +
+        canonical + "' (use greedy/mixed through law::run_law_experiment's "
+        "fluid curves instead)");
+  }
+  rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
+  const law::OccupancyProfile profile =
+      law::sample_one_choice_profile(config.m, config.n, gen);
+
+  ReplicateRecord rec;
+  rec.probes = static_cast<double>(config.m);
+  rec.max_load = profile.max_load();
+  rec.min_load = profile.min_load();
+  rec.gap = profile.gap();
+  rec.psi = profile.psi();
+  rec.log_phi = profile.log_phi();
+  return rec;
+}
+
 }  // namespace
 
 ReplicateRecord run_replicate(const ExperimentConfig& config,
                               std::uint32_t replicate_index) {
+  if (config.tier == Tier::kLaw) {
+    return run_law_replicate(config, replicate_index);
+  }
   if (config.layout != core::StateLayout::kWide) {
     return run_streaming_replicate(config, replicate_index);
   }
@@ -78,6 +112,10 @@ RunSummary run_experiment(const ExperimentConfig& config, par::ThreadPool& pool)
   }
   // Validate the spec (and capture the canonical name) before spawning work.
   const std::string canonical = core::make_protocol(config.protocol_spec)->name();
+  if (config.tier == Tier::kLaw && canonical != "one-choice") {
+    throw std::invalid_argument(
+        "run_experiment: tier=law supports only the one-choice spec");
+  }
 
   RunSummary summary;
   summary.config = config;

@@ -1,0 +1,144 @@
+#include "bbb/stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "bbb/stats/special_functions.hpp"
+
+namespace bbb::stats {
+
+namespace {
+
+void reject_nan(const std::vector<double>& v, const char* who) {
+  for (const double x : v) {
+    if (std::isnan(x)) {
+      throw std::invalid_argument(std::string(who) + ": NaN in sample");
+    }
+  }
+}
+
+std::uint64_t total_of(const std::vector<std::uint64_t>& v, const char* who) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : v) total += c;
+  if (total == 0) {
+    throw std::invalid_argument(std::string(who) + ": zero total count");
+  }
+  return total;
+}
+
+}  // namespace
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("ks_statistic: empty sample");
+  reject_nan(a, "ks_statistic");
+  reject_nan(b, "ks_statistic");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  double d = 0.0;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const double xa = a[ia], xb = b[ib];
+    if (xa <= xb) {
+      while (ia < a.size() && a[ia] == xa) ++ia;
+    }
+    if (xb <= xa) {
+      while (ib < b.size() && b[ib] == xb) ++ib;
+    }
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+KsResult ks_counts(const std::vector<std::uint64_t>& a,
+                   const std::vector<std::uint64_t>& b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("ks_counts: empty input");
+  if (a.size() != b.size()) throw std::invalid_argument("ks_counts: size mismatch");
+  const double na = static_cast<double>(total_of(a, "ks_counts"));
+  const double nb = static_cast<double>(total_of(b, "ks_counts"));
+
+  double d = 0.0;
+  double cum_a = 0.0, cum_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cum_a += static_cast<double>(a[i]);
+    cum_b += static_cast<double>(b[i]);
+    d = std::max(d, std::abs(cum_a / na - cum_b / nb));
+  }
+
+  KsResult res;
+  res.statistic = d;
+  const double ne = std::sqrt(na * nb / (na + nb));
+  res.p_value = kolmogorov_sf((ne + 0.12 + 0.11 / ne) * d);
+  return res;
+}
+
+ChiSquareResult chi_square_homogeneity(const std::vector<std::uint64_t>& a,
+                                       const std::vector<std::uint64_t>& b,
+                                       double min_expected) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("chi_square_homogeneity: empty input");
+  }
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("chi_square_homogeneity: size mismatch");
+  }
+  const double na = static_cast<double>(total_of(a, "chi_square_homogeneity"));
+  const double nb = static_cast<double>(total_of(b, "chi_square_homogeneity"));
+  const double n = na + nb;
+
+  // Expected cell counts are (row total) * (column total) / n; pooling a
+  // column pools both rows at once, and the smaller row is the binding
+  // constraint on min_expected.
+  const double row_min = std::min(na, nb);
+  std::vector<double> pa, pb, pc;  // pooled row a, row b, column totals
+  double carry_a = 0.0, carry_b = 0.0;
+  std::size_t pooled = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    carry_a += static_cast<double>(a[i]);
+    carry_b += static_cast<double>(b[i]);
+    const double col = carry_a + carry_b;
+    if (row_min * col / n >= min_expected) {
+      pa.push_back(carry_a);
+      pb.push_back(carry_b);
+      pc.push_back(col);
+      carry_a = carry_b = 0.0;
+    } else {
+      ++pooled;
+    }
+  }
+  if (carry_a > 0.0 || carry_b > 0.0) {
+    if (!pa.empty()) {
+      pa.back() += carry_a;
+      pb.back() += carry_b;
+      pc.back() += carry_a + carry_b;
+    } else {
+      pa.push_back(carry_a);
+      pb.push_back(carry_b);
+      pc.push_back(carry_a + carry_b);
+    }
+  }
+  if (pa.size() < 2) {
+    throw std::invalid_argument(
+        "chi_square_homogeneity: fewer than 2 cells after pooling; "
+        "increase samples");
+  }
+
+  ChiSquareResult res;
+  res.pooled_cells = pooled;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double ea = na * pc[i] / n;
+    const double eb = nb * pc[i] / n;
+    const double da = pa[i] - ea;
+    const double db = pb[i] - eb;
+    res.statistic += da * da / ea + db * db / eb;
+  }
+  res.df = static_cast<double>(pa.size() - 1);
+  res.p_value = chi_square_sf(res.statistic, res.df);
+  return res;
+}
+
+}  // namespace bbb::stats

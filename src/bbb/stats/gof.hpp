@@ -1,0 +1,49 @@
+#pragma once
+/// \file gof.hpp
+/// Goodness-of-fit helpers for *cross-validating samplers against each
+/// other*: the law tier (law/) and the exact streaming core both produce
+/// discrete distributions — per-seed max loads, per-level bin counts — and
+/// tests/law/ plus the bbb_law CLI summary both consume these to turn "we
+/// sampled the law" into a tested agreement claim. hypothesis.hpp owns the
+/// one-sample tests against a known pmf; this file owns the two-sample
+/// (homogeneity) side, where *neither* distribution is known in closed
+/// form and the question is whether two generators disagree.
+
+#include <cstdint>
+#include <vector>
+
+#include "bbb/stats/hypothesis.hpp"
+
+namespace bbb::stats {
+
+/// Exact two-sample Kolmogorov-Smirnov statistic D = sup |F_a - F_b| (the
+/// distance alone, no p-value — for reporting and for tolerance-style
+/// assertions). Ties handled exactly as in ks_two_sample.
+/// \throws std::invalid_argument if either sample is empty or contains NaN.
+[[nodiscard]] double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Two-sample KS test over *aligned discrete count vectors*: a[i] and b[i]
+/// are the number of observations of outcome i (e.g. bins at level i,
+/// seeds with max load i). D is the exact sup-distance between the two
+/// empirical CDFs; the p-value uses the standard two-sample asymptotic
+/// with effective size na*nb/(na+nb). Conservative for heavily tied
+/// discrete data — a pass is meaningful, a borderline failure should be
+/// retried with chi_square_homogeneity.
+/// \throws std::invalid_argument on size mismatch, empty input, or a
+///         sample with zero total count.
+[[nodiscard]] KsResult ks_counts(const std::vector<std::uint64_t>& a,
+                                 const std::vector<std::uint64_t>& b);
+
+/// Chi-square two-sample homogeneity test on aligned count vectors: were
+/// `a` and `b` drawn from the same discrete distribution? Expected counts
+/// come from the pooled column totals; cells are pooled left-to-right
+/// until every expected count (in both rows) reaches `min_expected`, the
+/// same rule as chi_square_gof. df = (#cells after pooling - 1).
+/// Symmetric in (a, b).
+/// \throws std::invalid_argument on size mismatch, empty input, fewer than
+///         2 cells after pooling, or a sample with zero total count.
+[[nodiscard]] ChiSquareResult chi_square_homogeneity(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b,
+    double min_expected = 5.0);
+
+}  // namespace bbb::stats

@@ -104,24 +104,6 @@ ChiSquareResult chi_square_fit_discrete(const std::function<std::uint64_t()>& sa
   return chi_square_gof(observed, expected);
 }
 
-namespace {
-
-// Kolmogorov survival function Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} e^{-2 k^2 lambda^2}.
-double kolmogorov_sf(double lambda) {
-  if (lambda < 1e-6) return 1.0;
-  double sum = 0.0;
-  double sign = 1.0;
-  for (int k = 1; k <= 100; ++k) {
-    const double term = std::exp(-2.0 * k * k * lambda * lambda);
-    sum += sign * term;
-    if (term < 1e-12) break;
-    sign = -sign;
-  }
-  return std::clamp(2.0 * sum, 0.0, 1.0);
-}
-
-}  // namespace
-
 KsResult ks_two_sample(std::vector<double> a, std::vector<double> b) {
   if (a.empty() || b.empty()) {
     throw std::invalid_argument("ks_two_sample: empty sample");

@@ -1,5 +1,6 @@
 #include "bbb/stats/special_functions.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -71,6 +72,19 @@ double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
 
 double log_factorial(std::uint64_t k) {
   return std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double kolmogorov_sf(double lambda) {
+  if (lambda < 1e-6) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
 }
 
 }  // namespace bbb::stats

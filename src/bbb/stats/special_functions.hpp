@@ -30,4 +30,9 @@ namespace bbb::stats {
 /// ln(k!) via lgamma.
 [[nodiscard]] double log_factorial(std::uint64_t k);
 
+/// Kolmogorov survival function Q(lambda) = 2 sum_{k>=1} (-1)^{k-1}
+/// exp(-2 k^2 lambda^2) — the asymptotic null distribution of the scaled
+/// KS statistic. Shared by the one- and two-sample KS tests.
+[[nodiscard]] double kolmogorov_sf(double lambda);
+
 }  // namespace bbb::stats

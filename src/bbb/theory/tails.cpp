@@ -43,4 +43,74 @@ double binomial_upper_tail_bound(std::uint64_t n, double p, double eps) {
   return std::exp(-std::min(eps, eps * eps) * np / 3.0);
 }
 
+namespace {
+
+/// ds_k/dt for the truncated (1+beta)/d-choice system; s[k] holds s_k with
+/// s[0] == 1 pinned (its derivative is forced to 0).
+void fluid_derivative(const std::vector<double>& s, std::uint32_t d, double beta,
+                      std::vector<double>& ds) {
+  ds[0] = 0.0;
+  for (std::size_t k = 1; k < s.size(); ++k) {
+    const double one = s[k - 1] - s[k];
+    double multi = one;
+    if (d > 1) {
+      multi = std::pow(s[k - 1], static_cast<double>(d)) -
+              std::pow(s[k], static_cast<double>(d));
+    }
+    ds[k] = (1.0 - beta) * one + beta * multi;
+  }
+}
+
+}  // namespace
+
+std::vector<double> fluid_tail_curve(double t, std::uint32_t d, double beta,
+                                     std::uint32_t k_max, std::uint32_t steps) {
+  if (!(t >= 0.0)) throw std::invalid_argument("fluid_tail_curve: t >= 0");
+  if (d == 0) throw std::invalid_argument("fluid_tail_curve: d >= 1");
+  if (!(beta >= 0.0 && beta <= 1.0)) {
+    throw std::invalid_argument("fluid_tail_curve: beta in [0, 1]");
+  }
+  if (k_max == 0) throw std::invalid_argument("fluid_tail_curve: k_max >= 1");
+  if (steps == 0) {
+    const double suggested = 512.0 * std::ceil(t);
+    steps = suggested > 4096.0 ? static_cast<std::uint32_t>(suggested) : 4096;
+  }
+
+  std::vector<double> s(static_cast<std::size_t>(k_max) + 1, 0.0);
+  s[0] = 1.0;
+  if (t == 0.0) return {s.begin() + 1, s.end()};
+
+  const double h = t / static_cast<double>(steps);
+  std::vector<double> k1(s.size()), k2(s.size()), k3(s.size()), k4(s.size()),
+      tmp(s.size());
+  for (std::uint32_t step = 0; step < steps; ++step) {
+    fluid_derivative(s, d, beta, k1);
+    for (std::size_t i = 0; i < s.size(); ++i) tmp[i] = s[i] + 0.5 * h * k1[i];
+    fluid_derivative(tmp, d, beta, k2);
+    for (std::size_t i = 0; i < s.size(); ++i) tmp[i] = s[i] + 0.5 * h * k2[i];
+    fluid_derivative(tmp, d, beta, k3);
+    for (std::size_t i = 0; i < s.size(); ++i) tmp[i] = s[i] + h * k3[i];
+    fluid_derivative(tmp, d, beta, k4);
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      s[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+      // The exact solution lives in [0, s_{i-1}]; clip the integrator's
+      // O(h^4) excursions so deep-tail values stay probabilities.
+      s[i] = std::clamp(s[i], 0.0, s[i - 1]);
+    }
+  }
+  return {s.begin() + 1, s.end()};
+}
+
+std::uint32_t fluid_max_load_estimate(std::span<const double> tails,
+                                      std::uint64_t n) {
+  if (tails.empty()) throw std::invalid_argument("fluid_max_load_estimate: empty");
+  if (n == 0) throw std::invalid_argument("fluid_max_load_estimate: n >= 1");
+  for (std::size_t k = 0; k < tails.size(); ++k) {
+    if (static_cast<double>(n) * tails[k] < 0.5) {
+      return static_cast<std::uint32_t>(k);  // tails[k] is s_{k+1}: max load k
+    }
+  }
+  return static_cast<std::uint32_t>(tails.size()) + 1;
+}
+
 }  // namespace bbb::theory

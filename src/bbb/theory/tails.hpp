@@ -6,6 +6,8 @@
 /// paper's proofs consume them.
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 namespace bbb::theory {
 
@@ -31,5 +33,37 @@ namespace bbb::theory {
 /// Pr[X >= (1+eps) np] <= exp(-min(eps, eps^2) np / 3).
 /// \throws std::invalid_argument if eps <= 0 or p outside (0, 1].
 [[nodiscard]] double binomial_upper_tail_bound(std::uint64_t n, double p, double eps);
+
+// -- fluid-limit (n -> infinity) tail curves ---------------------------------
+//
+// The law tier's d-choice side: the Wormald/Mitzenmacher mean-field ODE for
+// the (1+beta)/d-choice process. Let s_k(t) be the fraction of bins with
+// load >= k after t*n balls. A ball lands in a bin of load exactly k-1 with
+// probability (1-beta)(s_{k-1} - s_k) + beta(s_{k-1}^d - s_k^d) — uniform
+// probe with probability 1-beta, least-loaded-of-d with probability beta —
+// so in the n -> infinity limit
+//     ds_k/dt = (1-beta)(s_{k-1} - s_k) + beta(s_{k-1}^d - s_k^d),  s_0 = 1.
+// beta = 1 is pure greedy[d]; beta = 0 (or d = 1) is one-choice, where the
+// solution is the Poisson tail s_k(t) = P(Poi(t) >= k) — the analytic pin
+// tests/theory/tails_test.cpp checks the integrator against. Deviations at
+// finite n are O(sqrt(s_k/n)) per level (law of large numbers), which the
+// cross-validation suite in tests/law/ budgets for explicitly.
+
+/// s_1..s_k_max at time t, integrated with classic RK4 on the truncated
+/// system (s_0 pinned to 1; truncation at k_max is exact for the levels
+/// returned since ds_k/dt never reads s_{k+1}). Index [k-1] holds s_k.
+/// \param steps RK4 steps; 0 picks max(4096, 512 * ceil(t)).
+/// \throws std::invalid_argument if t < 0, d == 0, beta outside [0, 1], or
+///         k_max == 0.
+[[nodiscard]] std::vector<double> fluid_tail_curve(double t, std::uint32_t d,
+                                                   double beta, std::uint32_t k_max,
+                                                   std::uint32_t steps = 0);
+
+/// Fluid max-load estimate at n bins: the smallest k whose expected number
+/// of bins n * s_k drops below 1/2 (k_max + 1 if the curve never does —
+/// raise k_max). `tails` is fluid_tail_curve output (tails[k-1] = s_k).
+/// \throws std::invalid_argument if tails is empty or n == 0.
+[[nodiscard]] std::uint32_t fluid_max_load_estimate(std::span<const double> tails,
+                                                    std::uint64_t n);
 
 }  // namespace bbb::theory

@@ -164,6 +164,37 @@ TEST(BinStateLayout, RandomWeightedInterleavingLockstep) {
   expect_lockstep(wide, compact);
 }
 
+// The export property, checked at *every* step: copy_loads() off the
+// compact state equals loads() off the wide twin throughout a random
+// weighted interleaving whose loads hover around the 8-bit lane limit, so
+// the walk crosses the 255 -> 256 promotion boundary (and the demotion
+// way back) many times. This is the contract the law tier's consumers of
+// exported load vectors rely on: the compact export is the ground truth
+// vector, not an approximation of it.
+TEST(BinStateLayout, CopyLoadsTracksWideLoadsAcrossPromotions) {
+  constexpr std::uint32_t kBins = 11;
+  BinState wide(kBins, StateLayout::kWide);
+  BinState compact(kBins, StateLayout::kCompact);
+  rng::Engine gen(4242);
+  int crossings = 0;
+  for (std::uint32_t step = 0; step < 6000; ++step) {
+    const auto bin = static_cast<std::uint32_t>(rng::uniform_below(gen, kBins));
+    const std::uint32_t before = wide.load(bin);
+    if (before > 0 && rng::uniform_below(gen, 5) < 2) {
+      const auto r = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, before));
+      wide.remove_ball(bin, r);
+      compact.remove_ball(bin, r);
+    } else {
+      const auto w = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 128));
+      wide.add_ball(bin, w);
+      compact.add_ball(bin, w);
+    }
+    if ((before <= 255) != (wide.load(bin) <= 255)) ++crossings;
+    ASSERT_EQ(compact.copy_loads(), wide.loads()) << "step " << step;
+  }
+  EXPECT_GT(crossings, 20) << "walk never exercised the promotion boundary";
+}
+
 // Same property on a heterogeneous-capacity state: the per-class trackers
 // and capacity-normalized metrics run the identical shared code path.
 TEST(BinStateLayout, CapacitatedInterleavingLockstep) {

@@ -1,0 +1,100 @@
+#include "bbb/law/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "bbb/rng/distributions.hpp"
+#include "bbb/rng/streams.hpp"
+#include "bbb/stats/hypothesis.hpp"
+
+namespace bbb::law {
+namespace {
+
+rng::Engine engine_for(std::uint64_t seed) {
+  return rng::SeedSequence(seed).engine(0);
+}
+
+TEST(BlockSampler, Validation) {
+  rng::Engine gen = engine_for(1);
+  EXPECT_THROW(sample_block_loads(10, 0, 1, gen), std::invalid_argument);
+  EXPECT_THROW(sample_block_loads(10, 8, 0, gen), std::invalid_argument);
+  EXPECT_THROW(sample_block_loads(10, 8, 9, gen), std::invalid_argument);
+}
+
+TEST(BlockSampler, FullBlockConservesBalls) {
+  // block == n: the recursion must hand out every ball exactly once.
+  rng::Engine gen = engine_for(2);
+  for (const std::uint64_t n : {1ULL, 2ULL, 3ULL, 7ULL, 64ULL, 1000ULL}) {
+    const auto loads = sample_block_loads(12345, n, n, gen);
+    EXPECT_EQ(loads.size(), n);
+    EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}),
+              12345u);
+  }
+}
+
+TEST(BlockSampler, MarginalIsBinomial) {
+  // Each bin of the block is marginally Binomial(m, 1/n). Fix one bin and
+  // chi-square its samples against the exact pmf.
+  rng::Engine gen = engine_for(3);
+  const std::uint64_t m = 256, n = 64;
+  const rng::BinomialDist reference(m, 1.0 / static_cast<double>(n));
+  const auto res = stats::chi_square_fit_discrete(
+      [&gen] { return sample_block_loads(256, 64, 4, gen)[2]; },
+      [&reference](std::uint64_t k) { return reference.pmf(k); }, 20'000, 12);
+  EXPECT_GT(res.p_value, 1e-4) << "chi2 = " << res.statistic;
+}
+
+TEST(BlockSampler, AstronomicalNRuns) {
+  // A block of 1000 bins out of n = 2^50 — the "zoom lens" use case. The
+  // block sees a Binomial(m, 1000/2^50) total: almost always all zeros at
+  // m = 2^30, never negative, instant to draw.
+  rng::Engine gen = engine_for(4);
+  const auto loads = sample_block_loads(1ULL << 30, 1ULL << 50, 1000, gen);
+  EXPECT_EQ(loads.size(), 1000u);
+  const std::uint64_t total =
+      std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+  EXPECT_LE(total, 1ULL << 30);
+}
+
+// Golden pins (regression values captured at PR 6, seeds 0/42 per the
+// tests/rng convention).
+TEST(BlockGoldenPins, Seed0And42) {
+  rng::Engine g0 = engine_for(0);
+  const std::vector<std::uint64_t> expected0{1, 1, 0, 0, 1, 0, 2, 0};
+  EXPECT_EQ(sample_block_loads(1ULL << 40, 1ULL << 40, 8, g0), expected0);
+
+  rng::Engine g42 = engine_for(42);
+  const std::vector<std::uint64_t> expected42{1, 1, 1, 0, 3, 1, 0, 2};
+  EXPECT_EQ(sample_block_loads(1ULL << 40, 1ULL << 40, 8, g42), expected42);
+}
+
+TEST(ProfileFromLoads, FoldsAndValidates) {
+  const auto p = profile_from_loads({3, 1, 1, 4, 1});
+  EXPECT_EQ(p.n(), 5u);
+  EXPECT_EQ(p.balls(), 10u);
+  EXPECT_EQ(p.base(), 1u);
+  EXPECT_EQ(p.max_load(), 4u);
+  EXPECT_EQ(p.count_at(1), 3u);
+  EXPECT_EQ(p.count_at(2), 0u);
+  EXPECT_EQ(p.count_at(3), 1u);
+  EXPECT_EQ(p.count_at(4), 1u);
+  EXPECT_THROW(profile_from_loads({}), std::invalid_argument);
+  // Levels beyond the profile's 32-bit range are rejected, not truncated.
+  EXPECT_THROW(profile_from_loads({1ULL << 33}), std::invalid_argument);
+}
+
+TEST(ProfileFromLoads, GoldenPinFullSystem) {
+  // block == n gives a third whole-system sampler; pin one draw of it.
+  rng::Engine gen = engine_for(0);
+  const auto p = profile_from_loads(sample_block_loads(10000, 64, 64, gen));
+  EXPECT_EQ(p.base(), 120u);
+  EXPECT_EQ(p.max_load(), 184u);
+  EXPECT_NEAR(p.psi(), 12134.0, 1e-9);
+  EXPECT_NEAR(p.log_phi(), 4.171232156, 1e-8);
+}
+
+}  // namespace
+}  // namespace bbb::law

@@ -1,0 +1,239 @@
+/// The law tier's certificate of correctness: statistical cross-validation
+/// of the Poissonize-and-correct profile sampler against the exact
+/// streaming core, plus the fluid d-choice curves against exact greedy[2]
+/// runs.
+///
+/// Pre-registered design (fixed before looking at any outcome; the seeds
+/// below are frozen, so each assertion is deterministic — it either passes
+/// forever or flags a real regression):
+///
+///   * Grid: m = n, n in {2^16, 2^20, 2^24}, 32 independent seeds per
+///     side per scale. The default (tier-1) run keeps the n = 2^16 cell
+///     so the suite stays in the seconds range; BBB_STAT_FULL=1 in the
+///     environment (the `stat`-labeled Release CI job: ctest -L stat)
+///     runs all three scales.
+///   * Law side: master seed 101. Exact side: master seed 202. Replicate
+///     r uses SeedSequence(master).engine(r) — the repo-wide contract.
+///   * Tests, each at significance alpha = 1e-4:
+///       1. chi-square homogeneity on level counts aggregated over seeds
+///          (law row vs exact row);
+///       2. two-sample KS on the same aggregated counts;
+///       3. two-sample KS on the 32 per-seed max loads;
+///       4. z-test at 5 sigma on the per-seed psi means.
+///     With <= 4 tests x 3 scales the family-wise false-alarm budget at
+///     fresh seeds would be ~1e-3; at the frozen seeds it is 0 or 1.
+///   * Fluid check: exact greedy[2] level counts aggregated over 16 seeds
+///     vs theory::fluid_tail_curve, per level k with s_k >= 1e-5, inside
+///     6 sigma sampling bands plus an O(1/n) mean-field drift allowance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bbb/core/protocols/registry.hpp"
+#include "bbb/law/one_choice.hpp"
+#include "bbb/law/profile.hpp"
+#include "bbb/rng/distributions.hpp"
+#include "bbb/rng/streams.hpp"
+#include "bbb/stats/gof.hpp"
+#include "bbb/stats/hypothesis.hpp"
+#include "bbb/stats/running_stats.hpp"
+#include "bbb/theory/tails.hpp"
+
+namespace bbb::law {
+namespace {
+
+constexpr double kAlpha = 1e-4;           // pre-registered significance
+constexpr std::uint64_t kLawSeed = 101;   // pre-registered master seeds
+constexpr std::uint64_t kExactSeed = 202;
+constexpr std::uint32_t kReplicates = 32;
+
+bool full_grid() {
+  const char* flag = std::getenv("BBB_STAT_FULL");
+  return flag != nullptr && std::string(flag) != "0";
+}
+
+std::vector<std::uint64_t> scales() {
+  if (full_grid()) return {1ULL << 16, 1ULL << 20, 1ULL << 24};
+  return {1ULL << 16};
+}
+
+/// One exact-core replicate: stream m one-choice (or greedy[2]) placements
+/// over a compact BinState and return the level counts 0..max_load.
+std::vector<std::uint64_t> exact_replicate_levels(const std::string& spec,
+                                                  std::uint64_t m, std::uint32_t n,
+                                                  std::uint64_t seed,
+                                                  std::uint32_t rep) {
+  const auto alloc =
+      core::make_streaming_allocator(spec, n, m, core::StateLayout::kCompact);
+  rng::Engine gen = rng::SeedSequence(seed).engine(rep);
+  alloc->set_engine_exclusive(true);
+  for (std::uint64_t i = 0; i < m; ++i) (void)alloc->place(gen);
+  alloc->finalize(gen);
+  const core::BinState& state = alloc->state();
+  std::vector<std::uint64_t> out(state.max_load() + 1, 0);
+  for (std::uint32_t l = 0; l <= state.max_load(); ++l) {
+    out[l] = state.level_counts()[l];
+  }
+  return out;
+}
+
+void fold_levels(std::vector<std::uint64_t>& into,
+                 const std::vector<std::uint64_t>& levels) {
+  if (into.size() < levels.size()) into.resize(levels.size(), 0);
+  for (std::size_t j = 0; j < levels.size(); ++j) into[j] += levels[j];
+}
+
+struct Side {
+  std::vector<std::uint64_t> levels;  // aggregated over replicates
+  std::vector<double> max_loads;      // one per replicate
+  stats::RunningStats psi;
+};
+
+Side law_side(std::uint64_t n) {
+  Side side;
+  for (std::uint32_t r = 0; r < kReplicates; ++r) {
+    rng::Engine gen = rng::SeedSequence(kLawSeed).engine(r);
+    const OccupancyProfile p = sample_one_choice_profile(n, n, gen);
+    std::vector<std::uint64_t> levels(p.base() + p.counts().size(), 0);
+    for (std::size_t i = 0; i < p.counts().size(); ++i) {
+      levels[p.base() + i] = p.counts()[i];
+    }
+    fold_levels(side.levels, levels);
+    side.max_loads.push_back(p.max_load());
+    side.psi.add(p.psi());
+  }
+  return side;
+}
+
+Side exact_side(std::uint64_t n) {
+  Side side;
+  for (std::uint32_t r = 0; r < kReplicates; ++r) {
+    const auto levels = exact_replicate_levels(
+        "one-choice", n, static_cast<std::uint32_t>(n), kExactSeed, r);
+    fold_levels(side.levels, levels);
+    side.max_loads.push_back(static_cast<double>(levels.size()) - 1.0);
+    // psi from level counts: sum_j K_j (j - 1)^2 at m = n (average load 1).
+    double psi = 0.0;
+    for (std::size_t j = 0; j < levels.size(); ++j) {
+      const double dev = static_cast<double>(j) - 1.0;
+      psi += static_cast<double>(levels[j]) * dev * dev;
+    }
+    side.psi.add(psi);
+  }
+  return side;
+}
+
+TEST(CrossValidation, LawMatchesExactCore) {
+  for (const std::uint64_t n : scales()) {
+    SCOPED_TRACE("n = " + std::to_string(n));
+    Side law = law_side(n);
+    Side exact = exact_side(n);
+
+    const std::size_t top = std::max(law.levels.size(), exact.levels.size());
+    law.levels.resize(top, 0);
+    exact.levels.resize(top, 0);
+
+    // (1) chi-square homogeneity on aggregated level counts.
+    const auto chi2 = stats::chi_square_homogeneity(law.levels, exact.levels);
+    EXPECT_GT(chi2.p_value, kAlpha)
+        << "chi2 = " << chi2.statistic << " df = " << chi2.df;
+
+    // (2) KS on the same counts (conservative under ties; a failure here
+    // with a chi-square pass would indicate a CDF-shape disagreement).
+    const auto ks_lvl = stats::ks_counts(law.levels, exact.levels);
+    EXPECT_GT(ks_lvl.p_value, kAlpha) << "D = " << ks_lvl.statistic;
+
+    // (3) KS on per-seed max loads.
+    const auto ks_max = stats::ks_two_sample(law.max_loads, exact.max_loads);
+    EXPECT_GT(ks_max.p_value, kAlpha) << "D = " << ks_max.statistic;
+    // The distance itself is also bounded (gof.ks_statistic agrees with
+    // ks_two_sample's D by construction — asserted here so the two
+    // entry points cannot drift apart).
+    EXPECT_DOUBLE_EQ(stats::ks_statistic(law.max_loads, exact.max_loads),
+                     ks_max.statistic);
+
+    // (4) psi means within 5 combined standard errors.
+    const double se = std::sqrt(law.psi.stderr_mean() * law.psi.stderr_mean() +
+                                exact.psi.stderr_mean() * exact.psi.stderr_mean());
+    EXPECT_NEAR(law.psi.mean(), exact.psi.mean(), 5.0 * se + 1e-9)
+        << "law " << law.psi.mean() << " exact " << exact.psi.mean();
+  }
+}
+
+// The d-choice side of the tentpole: exact greedy[2] tail fractions vs the
+// fluid ODE, inside 6-sigma sampling bands plus an O(1/n) drift allowance
+// (the mean-field limit has finite-n bias of that order).
+TEST(CrossValidation, FluidCurveMatchesExactGreedyTwo) {
+  const std::uint64_t n = full_grid() ? (1ULL << 20) : (1ULL << 16);
+  const std::uint32_t reps = 16;
+  std::vector<std::uint64_t> levels;
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    fold_levels(levels, exact_replicate_levels(
+                            "greedy[2]", n, static_cast<std::uint32_t>(n),
+                            kExactSeed, r));
+  }
+  const std::vector<double> fluid = theory::fluid_tail_curve(1.0, 2, 1.0, 16);
+
+  const double total = static_cast<double>(n) * reps;
+  std::uint64_t at_least = 0;
+  std::vector<double> empirical(levels.size() + 1, 0.0);  // s_k, k = level
+  for (std::size_t k = levels.size(); k-- > 0;) {
+    at_least += levels[k];
+    empirical[k] = static_cast<double>(at_least) / total;
+  }
+
+  int checked = 0;
+  for (std::size_t k = 1; k < fluid.size() && k < empirical.size(); ++k) {
+    const double s = fluid[k - 1];
+    if (s < 1e-5) break;
+    const double band =
+        6.0 * std::sqrt(s / total) + 200.0 / static_cast<double>(n);
+    EXPECT_NEAR(empirical[k], s, band) << "level " << k;
+    ++checked;
+  }
+  EXPECT_GE(checked, 3) << "fluid curve decayed before any level was checked";
+}
+
+// And the analytic anchor: at d = 1 the fluid curve is the Poisson tail,
+// so the law sampler, the fluid ODE, and rng::PoissonDist::sf must all
+// tell one story. Aggregated sampled fractions vs sf(k), same banding.
+TEST(CrossValidation, OneChoiceTailMatchesPoissonSf) {
+  const std::uint64_t n = 1ULL << 16;
+  const std::uint32_t reps = kReplicates;
+  std::vector<std::uint64_t> levels;
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    rng::Engine gen = rng::SeedSequence(kLawSeed).engine(r);
+    const OccupancyProfile p = sample_one_choice_profile(n, n, gen);
+    std::vector<std::uint64_t> lv(p.base() + p.counts().size(), 0);
+    for (std::size_t i = 0; i < p.counts().size(); ++i) {
+      lv[p.base() + i] = p.counts()[i];
+    }
+    fold_levels(levels, lv);
+  }
+  const rng::PoissonDist poisson(1.0);
+  const double total = static_cast<double>(n) * reps;
+  std::uint64_t at_least = 0;
+  std::vector<double> empirical(levels.size() + 1, 0.0);
+  for (std::size_t k = levels.size(); k-- > 0;) {
+    at_least += levels[k];
+    empirical[k] = static_cast<double>(at_least) / total;
+  }
+  for (std::uint32_t k = 1; k < empirical.size(); ++k) {
+    const double s = poisson.sf(k);
+    if (s < 1e-5) break;
+    // Multinomial vs Poisson differ at O(1/n) per level on top of the
+    // sampling noise.
+    const double band =
+        6.0 * std::sqrt(s / total) + 200.0 / static_cast<double>(n);
+    EXPECT_NEAR(empirical[k], s, band) << "level " << k;
+  }
+}
+
+}  // namespace
+}  // namespace bbb::law

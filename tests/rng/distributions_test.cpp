@@ -194,6 +194,66 @@ TEST(Geometric, MeanIsInverseP) {
   EXPECT_NEAR(s.mean(), 4.0, 0.05);
 }
 
+// ------------------------------------------------------- Poisson survival sf
+
+TEST(PoissonSf, MatchesCdfComplementAtModerateLambda) {
+  for (const double lambda : {0.5, 1.0, 4.0, 20.0}) {
+    const PoissonDist dist(lambda);
+    for (std::uint64_t k = 1; k <= 40; ++k) {
+      EXPECT_NEAR(dist.sf(k), 1.0 - dist.cdf(k - 1), 1e-12)
+          << "lambda " << lambda << " k " << k;
+    }
+  }
+}
+
+TEST(PoissonSf, EdgeCases) {
+  EXPECT_DOUBLE_EQ(PoissonDist(3.0).sf(0), 1.0);  // P(X >= 0) is certain
+  EXPECT_DOUBLE_EQ(PoissonDist(0.0).sf(0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonDist(0.0).sf(1), 0.0);  // lambda 0 never moves
+  EXPECT_DOUBLE_EQ(PoissonDist(0.0).sf(100), 0.0);
+}
+
+TEST(PoissonSf, MonotoneNonIncreasingInK) {
+  const PoissonDist dist(7.5);
+  double prev = 1.0;
+  for (std::uint64_t k = 0; k <= 60; ++k) {
+    const double s = dist.sf(k);
+    EXPECT_LE(s, prev + 1e-15) << "k " << k;
+    EXPECT_GE(s, 0.0);
+    prev = s;
+  }
+}
+
+// Deep in the right tail 1 - cdf cancels to garbage; sf must instead agree
+// with the positive-term identity sf(k) = pmf(k) (1 + lambda/(k+1) + ...),
+// which is bracketed by pmf(k) and pmf(k) / (1 - lambda/(k+1)).
+TEST(PoissonSf, DeepTailKeepsRelativePrecision) {
+  const PoissonDist dist(1.0);
+  for (const std::uint64_t k : {50ull, 100ull, 140ull}) {
+    const double s = dist.sf(k);
+    const double p = dist.pmf(k);
+    EXPECT_GT(s, 0.0) << "k " << k;
+    EXPECT_GE(s, p);
+    EXPECT_LE(s, p / (1.0 - 1.0 / static_cast<double>(k + 1)) * (1.0 + 1e-12));
+  }
+}
+
+// The law tier's regime: lambda in the millions. The median sits within
+// O(1) of lambda (sf(lambda) ~ 1/2) and the tails keep full precision
+// without the O(lambda) term-by-term cdf walk ever running.
+TEST(PoissonSf, HugeLambdaIsFastAndCalibrated) {
+  const double lambda = 1048576.0;  // 2^20
+  const PoissonDist dist(lambda);
+  EXPECT_NEAR(dist.sf(1 << 20), 0.5, 0.01);
+  // Six sigma out: compare against the normal tail by order of magnitude.
+  const std::uint64_t k6 = (1 << 20) + 6 * 1024;
+  const double s6 = dist.sf(k6);
+  EXPECT_GT(s6, 1e-12);
+  EXPECT_LT(s6, 1e-8);  // Phi(-6) ~ 1e-9
+  // And the identity sf + cdf = 1 holds through the bulk.
+  EXPECT_NEAR(dist.sf(k6) + dist.cdf(k6 - 1), 1.0, 1e-9);
+}
+
 TEST(Geometric, ChiSquareFitsPmf) {
   Engine gen(110);
   GeometricDist dist(0.4);

@@ -1,0 +1,147 @@
+#include "bbb/stats/gof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "bbb/rng/distributions.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+
+namespace bbb::stats {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// -------------------------------------------------------------- ks_statistic
+
+TEST(KsStatistic, ExactSmallCases) {
+  // Disjoint supports: the CDFs separate completely, D = 1.
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0}, {5.0, 6.0}), 1.0);
+  // Identical samples: D = 0.
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
+  // a = {1, 3}, b = {2, 4}: after x = 1, F_a = 1/2, F_b = 0 -> D = 1/2 (the
+  // gap never widens: the CDFs alternate steps of 1/2).
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 3.0}, {2.0, 4.0}), 0.5);
+  // Unequal sizes: a = {1}, b = {1, 2}. After x = 1: F_a = 1, F_b = 1/2.
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0}, {1.0, 2.0}), 0.5);
+}
+
+TEST(KsStatistic, Symmetry) {
+  const std::vector<double> a{0.3, 1.7, 2.2, 5.0, 5.0};
+  const std::vector<double> b{0.1, 1.9, 3.3};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), ks_statistic(b, a));
+}
+
+TEST(KsStatistic, RejectsEmptyAndNaN) {
+  EXPECT_THROW(ks_statistic({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ks_statistic({1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(ks_statistic({1.0, kNaN}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ks_statistic({1.0}, {kNaN}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ ks_counts
+
+TEST(KsCounts, ExactSmallCases) {
+  // Identical rows: D = 0, p = 1.
+  const auto same = ks_counts({10, 20, 30}, {10, 20, 30});
+  EXPECT_DOUBLE_EQ(same.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(same.p_value, 1.0);
+  // a all in cell 0, b all in cell 1: CDFs are (1, 1) vs (0, 1) -> D = 1.
+  const auto far = ks_counts({50, 0}, {0, 50});
+  EXPECT_DOUBLE_EQ(far.statistic, 1.0);
+  EXPECT_LT(far.p_value, 1e-6);
+  // a = {30, 10}, b = {20, 20}: CDFs (0.75, 1) vs (0.5, 1) -> D = 0.25.
+  EXPECT_DOUBLE_EQ(ks_counts({30, 10}, {20, 20}).statistic, 0.25);
+}
+
+TEST(KsCounts, SymmetryAndScaleInvariance) {
+  const std::vector<std::uint64_t> a{5, 30, 40, 20, 5};
+  const std::vector<std::uint64_t> b{8, 25, 45, 18, 4};
+  EXPECT_DOUBLE_EQ(ks_counts(a, b).statistic, ks_counts(b, a).statistic);
+  // Doubling one row's counts leaves its empirical CDF (hence D) unchanged.
+  std::vector<std::uint64_t> a2;
+  for (const auto c : a) a2.push_back(2 * c);
+  EXPECT_DOUBLE_EQ(ks_counts(a2, b).statistic, ks_counts(a, b).statistic);
+}
+
+TEST(KsCounts, RejectsBadInput) {
+  EXPECT_THROW(ks_counts({}, {}), std::invalid_argument);
+  EXPECT_THROW(ks_counts({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(ks_counts({0, 0}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(ks_counts({1, 2}, {0, 0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------ chi_square_homogeneity
+
+TEST(ChiSquareHomogeneity, ExactSmallCaseByHand) {
+  // a = {10, 10}, b = {5, 15}: totals 20/20, columns 15/25. Expected
+  // counts are 7.5/12.5 in both rows, so
+  //   chi2 = 2 * (2.5^2/7.5) + 2 * (2.5^2/12.5) = 5/3 + 1 = 8/3,  df = 1.
+  const auto res = chi_square_homogeneity({10, 10}, {5, 15}, 1.0);
+  EXPECT_NEAR(res.statistic, 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(res.df, 1.0);
+  EXPECT_EQ(res.pooled_cells, 0u);
+  EXPECT_GT(res.p_value, 0.05);  // chi2(1) >= 2.667 has p ~ 0.102
+  EXPECT_LT(res.p_value, 0.2);
+}
+
+TEST(ChiSquareHomogeneity, IdenticalRowsScoreZero) {
+  const auto res = chi_square_homogeneity({40, 30, 30}, {40, 30, 30});
+  EXPECT_DOUBLE_EQ(res.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(res.p_value, 1.0);
+}
+
+TEST(ChiSquareHomogeneity, Symmetry) {
+  const std::vector<std::uint64_t> a{12, 40, 33, 15};
+  const std::vector<std::uint64_t> b{20, 35, 30, 15};
+  const auto ab = chi_square_homogeneity(a, b);
+  const auto ba = chi_square_homogeneity(b, a);
+  EXPECT_NEAR(ab.statistic, ba.statistic, 1e-12);
+  EXPECT_DOUBLE_EQ(ab.df, ba.df);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+}
+
+TEST(ChiSquareHomogeneity, PoolsSparseCells) {
+  // Tail cells with tiny expected counts must merge; df drops accordingly.
+  const auto res = chi_square_homogeneity({100, 50, 1, 0, 1}, {95, 55, 0, 1, 1});
+  EXPECT_GT(res.pooled_cells, 0u);
+  EXPECT_LT(res.df, 4.0);
+  EXPECT_GT(res.p_value, 0.01);
+}
+
+TEST(ChiSquareHomogeneity, RejectsBadInput) {
+  EXPECT_THROW(chi_square_homogeneity({}, {}), std::invalid_argument);
+  EXPECT_THROW(chi_square_homogeneity({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(chi_square_homogeneity({0, 0}, {1, 2}), std::invalid_argument);
+  // One giant cell: nothing to compare after pooling.
+  EXPECT_THROW(chi_square_homogeneity({100}, {100}), std::invalid_argument);
+}
+
+// Same-distribution calibration: two independent binomial-count rows should
+// (almost always) pass at the 1e-3 level.
+TEST(ChiSquareHomogeneity, AcceptsSameDistribution) {
+  rng::Engine gen(7);
+  const rng::BinomialDist dist(40, 0.3);
+  std::vector<std::uint64_t> a(41, 0), b(41, 0);
+  for (int i = 0; i < 4000; ++i) ++a[dist(gen)];
+  for (int i = 0; i < 4000; ++i) ++b[dist(gen)];
+  EXPECT_GT(chi_square_homogeneity(a, b).p_value, 1e-3);
+  EXPECT_GT(ks_counts(a, b).p_value, 1e-3);
+}
+
+// Power check: clearly different distributions must be rejected.
+TEST(ChiSquareHomogeneity, RejectsDifferentDistribution) {
+  rng::Engine gen(7);
+  const rng::BinomialDist pa(40, 0.3);
+  const rng::BinomialDist pb(40, 0.4);
+  std::vector<std::uint64_t> a(41, 0), b(41, 0);
+  for (int i = 0; i < 4000; ++i) ++a[pa(gen)];
+  for (int i = 0; i < 4000; ++i) ++b[pb(gen)];
+  EXPECT_LT(chi_square_homogeneity(a, b).p_value, 1e-6);
+  EXPECT_LT(ks_counts(a, b).p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace bbb::stats

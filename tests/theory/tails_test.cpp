@@ -87,6 +87,93 @@ TEST(Tails, GeometricSumBoundDominatesEmpirical) {
   EXPECT_LE(emp, geometric_sum_tail_bound(n, eps) + 0.01);
 }
 
+// ------------------------------------------------------- fluid tail curves
+
+TEST(Fluid, Validation) {
+  EXPECT_THROW(fluid_tail_curve(-1.0, 1, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(fluid_tail_curve(1.0, 0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(fluid_tail_curve(1.0, 2, -0.1, 4), std::invalid_argument);
+  EXPECT_THROW(fluid_tail_curve(1.0, 2, 1.1, 4), std::invalid_argument);
+  EXPECT_THROW(fluid_tail_curve(1.0, 1, 0.0, 0), std::invalid_argument);
+  EXPECT_THROW(fluid_max_load_estimate({}, 4), std::invalid_argument);
+  const std::vector<double> tails{0.5};
+  EXPECT_THROW(fluid_max_load_estimate(tails, 0), std::invalid_argument);
+}
+
+TEST(Fluid, TimeZeroIsEmptySystem) {
+  const auto s = fluid_tail_curve(0.0, 2, 1.0, 6);
+  ASSERT_EQ(s.size(), 6u);
+  for (const double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// The analytic pin: at d = 1 the ODE collapses to the Poisson process, so
+// s_k(t) = P(Poi(t) >= k) exactly — RK4 must reproduce rng::PoissonDist::sf
+// to integrator accuracy. This is the bridge that lets the cross-validation
+// suite trust the d >= 2 curves, which have no closed form.
+TEST(Fluid, OneChoiceCurveIsPoissonTail) {
+  for (const double t : {0.5, 1.0, 2.5}) {
+    const rng::PoissonDist poisson(t);
+    const auto s = fluid_tail_curve(t, 1, 0.0, 16);
+    for (std::uint32_t k = 1; k <= 16; ++k) {
+      EXPECT_NEAR(s[k - 1], poisson.sf(k), 1e-8) << "t " << t << " k " << k;
+    }
+  }
+  // beta is irrelevant at d = 1 (both mixture branches are the same probe).
+  const auto a = fluid_tail_curve(1.0, 1, 0.0, 8);
+  const auto b = fluid_tail_curve(1.0, 1, 1.0, 8);
+  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_NEAR(a[k], b[k], 1e-12);
+}
+
+TEST(Fluid, CurvesAreMonotoneProbabilities) {
+  for (const std::uint32_t d : {1u, 2u, 3u}) {
+    const auto s = fluid_tail_curve(2.0, d, 1.0, 20);
+    double prev = 1.0;
+    for (const double v : s) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, prev + 1e-15);
+      prev = v;
+    }
+  }
+}
+
+// Two choices thin the upper tail: greedy[2]'s s_k must sit at or below
+// one-choice's from level 2 on (level 1 goes the other way — greedy fills
+// empty bins faster), and greedy[3] below greedy[2].
+TEST(Fluid, MoreChoicesThinTheTail) {
+  const auto one = fluid_tail_curve(1.0, 1, 0.0, 10);
+  const auto two = fluid_tail_curve(1.0, 2, 1.0, 10);
+  const auto three = fluid_tail_curve(1.0, 3, 1.0, 10);
+  for (std::size_t k = 2; k <= 6; ++k) {
+    EXPECT_LE(two[k - 1], one[k - 1] + 1e-12) << "k " << k;
+    EXPECT_LE(three[k - 1], two[k - 1] + 1e-12) << "k " << k;
+  }
+  EXPECT_GT(two[0], one[0]);  // s_1: d-choice covers more bins
+}
+
+// The (1+beta) mixture interpolates: the fluid max-load estimate at large n
+// is monotone from one-choice (beta = 0) down to full greedy (beta = 1).
+TEST(Fluid, BetaMixtureInterpolatesMaxLoad) {
+  const std::uint64_t n = 1ULL << 40;
+  std::uint32_t prev = 0xffffffffu;
+  for (const double beta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto s = fluid_tail_curve(1.0, 2, beta, 64);
+    const std::uint32_t est = fluid_max_load_estimate(s, n);
+    EXPECT_LE(est, prev) << "beta " << beta;
+    prev = est;
+  }
+}
+
+// Pins for the headline numbers (also asserted end-to-end in
+// tests/law/engine_test.cpp through run_law_experiment).
+TEST(Fluid, MaxLoadEstimatePins) {
+  const std::uint64_t n = 1ULL << 40;
+  EXPECT_EQ(fluid_max_load_estimate(fluid_tail_curve(1.0, 1, 0.0, 64), n), 14u);
+  EXPECT_EQ(fluid_max_load_estimate(fluid_tail_curve(1.0, 2, 1.0, 64), n), 5u);
+  // A curve that never decays below 1/(2n) reports k_max + 1 (saturation).
+  const std::vector<double> flat(4, 1.0);
+  EXPECT_EQ(fluid_max_load_estimate(flat, 100), 5u);
+}
+
 TEST(Tails, HoeffdingDominatesEmpiricalCoinFlips) {
   constexpr std::uint64_t n = 400;
   rng::Engine gen(88);

@@ -35,6 +35,7 @@
 #include "bbb/core/rule.hpp"
 #include "bbb/dyn/engine.hpp"
 #include "bbb/io/argparse.hpp"
+#include "bbb/law/engine.hpp"
 #include "bbb/rng/engine.hpp"
 #include "bbb/rng/xoshiro256.hpp"
 
@@ -153,6 +154,33 @@ Case bench_stream(const std::string& spec, bbb::core::StateLayout layout,
   return c;
 }
 
+/// Law-tier occupancy-profile generation rate: replicated one-choice
+/// profile draws at m = n, reported in balls/s — directly comparable to
+/// the stream.* cases, which pay per ball the hard way. The check echoes
+/// the mean max load so a correctness drift (not just a perf drift) in
+/// the sampler shows in the trajectory.
+Case bench_law_profile(std::uint64_t n, std::uint32_t reps, std::uint64_t seed) {
+  Case c;
+  c.id = "law.one-choice.profile";
+  c.kind = "law";
+  c.layout = "none";
+  c.n = n;
+  bbb::law::LawConfig cfg;
+  cfg.protocol_spec = "one-choice";
+  cfg.m = n;
+  cfg.n = n;
+  cfg.replicates = reps;
+  cfg.seed = seed;
+  cfg.keep_records = false;
+  const double t0 = now_seconds();
+  const bbb::law::LawSummary s = bbb::law::run_law_experiment(cfg);
+  const double t1 = now_seconds();
+  c = finish(std::move(c), t0, t1, cfg.m * reps);
+  c.check = s.max_load.mean();
+  c.check_name = "max_load";
+  return c;
+}
+
 /// Dynamic churn steady state: one replicate, measured events per second.
 Case bench_dyn_churn(const std::string& alloc_spec, std::uint32_t n,
                      std::uint64_t events, std::uint64_t seed) {
@@ -242,6 +270,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bbb_bench: dyn churn...\n");
     cases.push_back(bench_dyn_churn("greedy[2]", dyn_n, dyn_events, seed));
     cases.push_back(bench_dyn_churn("adaptive-net", dyn_n, dyn_events, seed));
+    std::fprintf(stderr, "bbb_bench: law-tier profile sampling...\n");
+    cases.push_back(bench_law_profile(smoke ? (1ULL << 16) : (1ULL << 22),
+                                      smoke ? 8 : 32, seed));
 
     // -- JSON record ---------------------------------------------------------
     std::string out;

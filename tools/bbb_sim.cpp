@@ -14,6 +14,7 @@
 #include "bbb/io/argparse.hpp"
 #include "bbb/io/csv.hpp"
 #include "bbb/io/table.hpp"
+#include "bbb/law/one_choice.hpp"
 #include "bbb/rng/streams.hpp"
 #include "bbb/sim/runner.hpp"
 
@@ -28,6 +29,10 @@ int main(int argc, char** argv) {
   args.add_flag("layout", std::string("wide"),
                 "BinState storage: wide|compact (compact streams place_one "
                 "over 8-bit lanes, ~1 byte/bin — the n=2^30 tier)");
+  args.add_flag("tier", std::string("exact"),
+                "exact|law (law samples the one-choice occupancy law "
+                "directly — O(sqrt(m)) per replicate; see bbb_law for "
+                "astronomical n and the fluid d-choice curves)");
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
   args.add_flag("histogram", std::uint64_t{0}, "1 = print a load histogram");
   args.add_flag("csv", std::string(""), "dump per-replicate rows to this file");
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
     cfg.replicates = static_cast<std::uint32_t>(args.get_u64("reps"));
     cfg.seed = args.get_u64("seed");
     cfg.layout = bbb::core::parse_state_layout(args.get_string("layout"));
+    cfg.tier = bbb::sim::parse_tier(args.get_string("tier"));
     const auto format = bbb::io::parse_format(args.get_string("format"));
 
     bbb::par::ThreadPool pool(static_cast<std::size_t>(args.get_u64("threads")));
@@ -92,7 +98,16 @@ int main(int argc, char** argv) {
     if (args.get_u64("histogram") != 0) {
       // One representative run for the histogram (replicate 0's seed).
       bbb::rng::Engine gen = bbb::rng::SeedSequence(cfg.seed).engine(0);
-      if (cfg.layout == bbb::core::StateLayout::kWide) {
+      if (cfg.tier == bbb::sim::Tier::kLaw) {
+        // Law tier: the sampled profile IS the histogram.
+        const auto profile = bbb::law::sample_one_choice_profile(cfg.m, cfg.n, gen);
+        bbb::stats::IntHistogram hist;
+        for (std::size_t i = 0; i < profile.counts().size(); ++i) {
+          if (profile.counts()[i] > 0) hist.add(profile.base() + i, profile.counts()[i]);
+        }
+        std::puts("\nload histogram (replicate 0):");
+        std::fputs(hist.render_ascii(48).c_str(), stdout);
+      } else if (cfg.layout == bbb::core::StateLayout::kWide) {
         const auto protocol = bbb::core::make_protocol(cfg.protocol_spec);
         const auto res = protocol->run(cfg.m, cfg.n, gen);
         std::puts("\nload histogram (replicate 0):");
