@@ -101,10 +101,12 @@ std::uint32_t BinState::overflow_load(std::uint32_t bin) const noexcept {
 }
 
 void BinState::overflow_store(std::uint32_t bin, std::uint32_t nl) {
-  overflow_[bin] = nl;
+  if (overflow_.insert_or_assign(bin, nl).second) ++compact_promotions_;
 }
 
-void BinState::overflow_erase(std::uint32_t bin) { overflow_.erase(bin); }
+void BinState::overflow_erase(std::uint32_t bin) {
+  if (overflow_.erase(bin) == 1) ++compact_demotions_;
+}
 
 void BinState::throw_zero_weight(const char* fn) {
   throw std::invalid_argument("BinState::" + std::string(fn) +
@@ -214,6 +216,8 @@ void BinState::clear() noexcept {
   } else {
     std::fill(lanes_.begin(), lanes_.end(), std::uint8_t{0});
     overflow_.clear();
+    compact_promotions_ = 0;
+    compact_demotions_ = 0;
   }
   balls_ = 0;
   levels_.reset(n());

@@ -319,6 +319,20 @@ class BinState {
   /// (property-tested in tests/core/bin_state_test.cpp).
   void clear() noexcept;
 
+  // -- layout diagnostics ----------------------------------------------------
+
+  /// Compact layout: bins promoted into the 32-bit overflow side-table
+  /// (load reached kCompactLaneMax) — state.compact.promotions. Always 0
+  /// in the wide layout. Reset by clear() like every other derived count.
+  [[nodiscard]] std::uint64_t compact_promotions() const noexcept {
+    return compact_promotions_;
+  }
+  /// Compact layout: promotions undone (load dropped back below the lane
+  /// ceiling) — state.compact.demotions.
+  [[nodiscard]] std::uint64_t compact_demotions() const noexcept {
+    return compact_demotions_;
+  }
+
  private:
   /// Histogram of bin loads for one group of bins, with incremental
   /// max/min. A move of one bin from level `from` to `to` rescans at most
@@ -419,6 +433,12 @@ class BinState {
   std::vector<std::uint32_t> class_of_;  // bin -> index into classes_
   std::vector<CapacityClass> classes_;   // one entry per distinct capacity
   std::optional<rng::AliasTable> cap_sampler_;  // only when heterogeneous
+
+  // Cold side-table traffic counters, appended last so the hot members
+  // above keep their pre-instrumentation offsets (a mid-class insertion
+  // measurably shifted the compact streaming path's cache-line layout).
+  std::uint64_t compact_promotions_ = 0;  // side-table inserts (cold path)
+  std::uint64_t compact_demotions_ = 0;   // side-table erases (cold path)
 };
 
 }  // namespace bbb::core

@@ -58,10 +58,22 @@ class ProbeLookahead {
   /// placements a function of the wrong seed. (Same observable effect as
   /// the documented "engine ends ahead of straight-line consumption".)
   void set_enabled(bool on) noexcept {
+    if (!on) {
+      discarded_words_ += fill_ - pos_;
+      pos_ = fill_ = 0;
+    }
     enabled_ = on;
-    if (!on) pos_ = fill_ = 0;
   }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Buffer refills performed — ~one per kCapacity consumed words; the
+  /// obs layer reports it as core.lookahead.refills.
+  [[nodiscard]] std::uint64_t refills() const noexcept { return refills_; }
+  /// Buffered words thrown away by disengaging (engine draws that never
+  /// reached a uniform_below) — core.lookahead.discarded_words.
+  [[nodiscard]] std::uint64_t discarded_words() const noexcept {
+    return discarded_words_;
+  }
 
   /// Next raw word: buffered residue first, then the live engine.
   template <rng::Engine64 Engine>
@@ -78,6 +90,7 @@ class ProbeLookahead {
   void top_up(Engine& gen, std::uint32_t need, PrefetchFn&& prefetch) {
     if (need > kCapacity) need = kCapacity;  // d > 32: best effort, still FIFO
     if (!enabled_ || fill_ - pos_ >= need) return;
+    ++refills_;  // cold: reached once per ~kCapacity consumed words
     const std::uint32_t residue = fill_ - pos_;
     for (std::uint32_t k = 0; k < residue; ++k) buf_[k] = buf_[pos_ + k];
     pos_ = 0;
@@ -94,6 +107,11 @@ class ProbeLookahead {
   std::uint32_t pos_ = 0;
   std::uint32_t fill_ = 0;
   bool enabled_ = false;
+  // Cold counters appended after the hot members (buf_/pos_/fill_ keep
+  // their pre-instrumentation offsets; refills_ is touched once per
+  // ~kCapacity consumed words, discarded_words_ only on disengage).
+  std::uint64_t refills_ = 0;
+  std::uint64_t discarded_words_ = 0;
 };
 
 /// Engine64 adapter that drains a ProbeLookahead in FIFO order, falling

@@ -24,6 +24,9 @@ class OneChoiceRule final : public PlacementRule {
   void set_engine_exclusive(bool exclusive) noexcept override {
     lookahead_.set_enabled(exclusive);
   }
+  [[nodiscard]] const ProbeLookahead* lookahead() const noexcept override {
+    return &lookahead_;
+  }
 
  protected:
   std::uint32_t do_place(BinState& state, std::uint32_t weight,

@@ -99,6 +99,7 @@ std::uint32_t StreamingAllocator::place_weighted(std::uint32_t weight,
   }
   // Centralized unit-explode fallback for rules without atomic weighted
   // placement: w independent unit decisions.
+  ++explode_fallbacks_;
   std::uint32_t bin = 0;
   for (std::uint32_t w = 0; w < weight; ++w) bin = rule_->place_one(state_, gen);
   return bin;

@@ -49,6 +49,8 @@
 
 namespace bbb::core {
 
+class ProbeLookahead;
+
 /// One streaming decision rule. Instances are single-run: a rule carries
 /// placement state (probe counters, caches) and must not be shared across
 /// BinStates or replicates.
@@ -135,6 +137,13 @@ class PlacementRule {
   /// False once any placement failed or a pass budget was exhausted.
   [[nodiscard]] bool completed() const noexcept { return completed_; }
 
+  /// The rule's probe lookahead, for post-run counter harvesting
+  /// (refills, discarded words); nullptr for rules without one. The obs
+  /// layer reads it after the work — never on the placement path.
+  [[nodiscard]] virtual const ProbeLookahead* lookahead() const noexcept {
+    return nullptr;
+  }
+
  protected:
   /// The decision rule proper: pick a bin, mutate `state` (adding the full
   /// `weight` there), count probes. Rules without `supports_weights()` are
@@ -217,11 +226,17 @@ class StreamingAllocator {
   [[nodiscard]] std::uint64_t total_placed() const noexcept {
     return rule_->total_placed();
   }
+  /// Weighted chains the rule could not commit atomically, exploded into
+  /// unit placements here — core.weighted.explode_fallbacks.
+  [[nodiscard]] std::uint64_t explode_fallbacks() const noexcept {
+    return explode_fallbacks_;
+  }
 
  private:
   BinState state_;
   std::unique_ptr<PlacementRule> rule_;
   std::string name_prefix_;
+  std::uint64_t explode_fallbacks_ = 0;
 };
 
 }  // namespace bbb::core

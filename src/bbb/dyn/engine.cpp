@@ -1,14 +1,22 @@
 #include "bbb/dyn/engine.hpp"
 
+#include <chrono>
 #include <deque>
 #include <stdexcept>
 
+#include "bbb/obs/trace_sink.hpp"
 #include "bbb/par/parallel_for.hpp"
 #include "bbb/rng/streams.hpp"
 
 namespace bbb::dyn {
 
 namespace {
+
+[[nodiscard]] std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
 
 /// Live balls in arrival order: O(1) push, O(1) uniform victim (swap with
 /// the back), O(1) oldest victim (pop the front). Only maintained for
@@ -49,6 +57,7 @@ std::string DynConfig::describe() const {
   if (layout != core::StateLayout::kWide) {
     desc += " layout=" + std::string(core::to_string(layout));
   }
+  desc += obs.describe();
   return desc;
 }
 
@@ -110,6 +119,17 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
   double weight_sum = 0.0;
   double prev_time = 0.0;
 
+  // Per-event timing only at obs level full: dyn events are microsecond-
+  // scale (registry + metric bookkeeping per event), so two extra clock
+  // reads behind this predictable branch are proportionate here in a way
+  // they would not be in the nanosecond batch placement loop. The clock
+  // reads never touch `gen`: placements stay bit-for-bit identical.
+  const bool timing = config.obs.full_on();
+  const bool heartbeats =
+      config.obs.full_on() && config.obs.sink && config.obs.heartbeat_seconds > 0;
+  obs::Heartbeat heartbeat(config.obs.heartbeat_seconds);
+  const auto wall_start = std::chrono::steady_clock::now();
+
   const std::uint64_t total_events = config.warmup + config.events;
   for (std::uint64_t e = 1; e <= total_events; ++e) {
     const WorkloadContext ctx{alloc->state().balls(), alloc->state().nonempty_bins()};
@@ -145,6 +165,8 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
     prev_time = ev.time;
 
     if (ev.kind == EventKind::kArrival) {
+      const auto place_start = timing ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
       if (atomic_weights && ev.weight > 1) {
         const std::uint32_t bin = alloc->place_weighted(ev.weight, gen);
         // Departures are still per unit ball: register each chain link.
@@ -157,7 +179,10 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
           if (track_balls) registry.push(bin);
         }
       }
+      if (timing) rep.place_ns.record(elapsed_ns(place_start));
     } else if (ctx.balls > 0) {
+      const auto remove_start = timing ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{};
       std::uint32_t bin = 0;
       switch (select) {
         case DepartSelect::kUniformBall:
@@ -171,12 +196,26 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
           break;
       }
       alloc->remove(bin);
+      if (timing) rep.remove_ns.record(elapsed_ns(remove_start));
     } else {
       // The shipped generators never emit a departure when the system is
       // empty (that clock has rate zero); count instead of silently
       // swallowing so a broken custom generator is visible — the event
       // still advanced the clock and consumed a measured slot.
       ++rep.dropped_departures;
+    }
+
+    if (heartbeats && (e & 0xFFF) == 0 && heartbeat.due()) {
+      // Wall-clock progress signal for long churn runs (warmup included —
+      // that is exactly when a giant run looks hung). Observational only.
+      const BinState& state = alloc->state();
+      obs::JsonLine line("heartbeat", "dyn");
+      line.field("replicate", static_cast<std::uint64_t>(replicate_index))
+          .field("done", e)
+          .field("total", total_events)
+          .field("balls", state.balls())
+          .field("gap", static_cast<std::uint64_t>(state.gap()));
+      config.obs.sink->write(std::move(line));
     }
 
     if (e == config.warmup) {
@@ -217,6 +256,10 @@ DynReplicate run_dynamic_replicate(const DynConfig& config,
           ? static_cast<double>(alloc->probes() - probes_at_start) /
                 static_cast<double>(placed)
           : 0.0;
+  if (config.obs.counters_on()) {
+    rep.counters = obs::harvest(*alloc);
+    rep.wall_ns = elapsed_ns(wall_start);
+  }
   return rep;
 }
 
@@ -233,6 +276,23 @@ DynSummary run_dynamic(const DynConfig& config, par::ThreadPool& pool) {
                                config.layout)
           ->name();
   const std::string workload_name = make_workload(config.workload_spec, config.n)->name();
+
+  const bool obs_on = config.obs.counters_on();
+  if (obs_on && config.obs.sink) {
+    obs::JsonLine line("run_start", "dyn");
+    line.begin_object("config")
+        .field("describe", config.describe())
+        .field("allocator", alloc_name)
+        .field("workload", workload_name)
+        .field("n", static_cast<std::uint64_t>(config.n))
+        .field("warmup", config.warmup)
+        .field("events", config.events)
+        .field("replicates", static_cast<std::uint64_t>(config.replicates))
+        .field("seed", config.seed)
+        .field("layout", core::to_string(config.layout))
+        .end_object();
+    config.obs.sink->write(std::move(line));
+  }
 
   DynSummary summary;
   summary.config = config;
@@ -256,6 +316,53 @@ DynSummary run_dynamic(const DynConfig& config, par::ThreadPool& pool) {
     summary.dropped_departures += rep.dropped_departures;
     for (std::size_t k = 0; k < summary.tail.size() && k < rep.tail.size(); ++k) {
       summary.tail[k].add(rep.tail[k]);
+    }
+  }
+
+  if (obs_on) {
+    // Counters sum, per-replicate latency histograms merge losslessly —
+    // in replicate order, so the snapshot is thread-count independent.
+    obs::MetricsRegistry registry;
+    obs::CoreCounters total;
+    obs::LatencyHistogram& wall = registry.histogram("dyn.replicate.wall_ns");
+    for (const DynReplicate& rep : summary.replicates) {
+      total.accumulate(rep.counters);
+      wall.record(rep.wall_ns);
+    }
+    if (config.obs.full_on()) {
+      // The event histograms only exist at level full; registering them
+      // empty at level counters would clutter the summary table.
+      obs::LatencyHistogram& place = registry.histogram("dyn.event.place_latency_ns");
+      obs::LatencyHistogram& remove =
+          registry.histogram("dyn.event.remove_latency_ns");
+      for (const DynReplicate& rep : summary.replicates) {
+        place.merge(rep.place_ns);
+        remove.merge(rep.remove_ns);
+      }
+    }
+    obs::fold_into(registry, total);
+    registry.add_counter("dyn.event.dropped_departures", summary.dropped_departures);
+    registry.set_gauge("dyn.gauge.gap", summary.gap.mean());
+    registry.set_gauge("dyn.gauge.psi", summary.psi.mean());
+    summary.obs = registry.snapshot();
+
+    if (config.obs.sink) {
+      for (std::uint32_t r = 0; r < summary.replicates.size(); ++r) {
+        const DynReplicate& rep = summary.replicates[r];
+        obs::JsonLine line("replicate", "dyn");
+        line.field("replicate", static_cast<std::uint64_t>(r))
+            .begin_object("metrics")
+            .field("probes", rep.counters.probes)
+            .field("mean_gap", rep.mean_gap)
+            .field("peak_max", static_cast<std::uint64_t>(rep.peak_max))
+            .field("dropped_departures", rep.dropped_departures)
+            .field("wall_ns", rep.wall_ns)
+            .end_object();
+        config.obs.sink->write(std::move(line));
+      }
+      obs::JsonLine line("summary", "dyn");
+      obs::append_metrics(line, summary.obs);
+      config.obs.sink->write(std::move(line));
     }
   }
   return summary;

@@ -32,6 +32,8 @@
 
 #include "bbb/dyn/allocator.hpp"
 #include "bbb/dyn/workload.hpp"
+#include "bbb/obs/harvest.hpp"
+#include "bbb/obs/obs.hpp"
 #include "bbb/par/thread_pool.hpp"
 #include "bbb/stats/running_stats.hpp"
 
@@ -57,6 +59,13 @@ struct DynConfig {
   std::uint32_t tail_max = 12;    ///< track frac(load >= k) for k <= tail_max
   std::uint32_t replicates = 8;
   std::uint64_t seed = 42;
+  /// Observability settings. `counters` harvests the core's passive
+  /// counters per replicate; `full` additionally times every place/remove
+  /// into per-replicate latency histograms (the one layer where per-event
+  /// timing is proportionate: dyn events cost microseconds, not the
+  /// nanoseconds of a batch placement) and emits heartbeats. Never
+  /// affects placements or the randomness stream.
+  obs::ObsConfig obs;
 
   /// Human-readable one-line description for logs and table titles.
   [[nodiscard]] std::string describe() const;
@@ -92,6 +101,15 @@ struct DynReplicate {
   std::uint64_t dropped_departures = 0;
   std::vector<double> tail;         ///< tail[k] = time-avg frac bins load >= k
   std::vector<DynSnapshot> snapshots;
+  /// Core counters harvested after the replicate (obs level >= counters).
+  obs::CoreCounters counters;
+  /// Replicate wall time (obs level >= counters).
+  std::uint64_t wall_ns = 0;
+  /// Per-event latency histograms over the whole replicate, filled only
+  /// at obs level full: every arrival's place() / place_weighted() call
+  /// and every applied departure's remove() call.
+  obs::LatencyHistogram place_ns;
+  obs::LatencyHistogram remove_ns;
 };
 
 /// Aggregated outcome of one dynamic experiment.
@@ -108,6 +126,10 @@ struct DynSummary {
   std::uint64_t dropped_departures = 0;   ///< summed over replicates
   std::vector<stats::RunningStats> tail;  ///< per-k fold of replicate tails
   std::vector<DynReplicate> replicates;   ///< raw rows, replicate order
+  /// Metric snapshot (counters summed, place/remove latency histograms
+  /// merged in replicate order, steady-state gap/Ψ gauges); empty when
+  /// the config's obs level is off.
+  obs::Snapshot obs;
 
   /// Mean steady-state Psi / n — the smoothness number bench_dyn_churn
   /// reports (Corollary 3.5 says O(1) for the batch protocol).

@@ -1,12 +1,14 @@
 #include "bbb/law/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 #include "bbb/law/one_choice.hpp"
 #include "bbb/law/profile.hpp"
+#include "bbb/obs/trace_sink.hpp"
 #include "bbb/rng/streams.hpp"
 #include "bbb/theory/tails.hpp"
 
@@ -15,7 +17,7 @@ namespace bbb::law {
 std::string LawConfig::describe() const {
   std::ostringstream os;
   os << protocol_spec << " m=" << m << " n=" << n << " reps=" << replicates
-     << " seed=" << seed << " tier=law";
+     << " seed=" << seed << " tier=law" << obs.describe();
   return os.str();
 }
 
@@ -173,9 +175,53 @@ LawSummary run_law_experiment(const LawConfig& config) {
   if (config.replicates == 0) {
     throw std::invalid_argument("run_law_experiment: replicates must be positive");
   }
+  const bool obs_on = config.obs.counters_on();
+  if (obs_on && config.obs.sink) {
+    obs::JsonLine line("run_start", "law");
+    line.begin_object("config")
+        .field("describe", config.describe())
+        .field("protocol", summary.protocol_name)
+        .field("m", config.m)
+        .field("n", config.n)
+        .field("replicates", static_cast<std::uint64_t>(config.replicates))
+        .field("seed", config.seed)
+        .end_object();
+    config.obs.sink->write(std::move(line));
+  }
+  obs::MetricsRegistry registry;
   for (std::uint32_t r = 0; r < config.replicates; ++r) {
+    const auto start = std::chrono::steady_clock::now();
     rng::Engine gen = rng::SeedSequence(config.seed).engine(r);
-    fold_profile(sample_one_choice_profile(config.m, config.n, gen), summary);
+    const OccupancyProfile profile =
+        sample_one_choice_profile(config.m, config.n, gen);
+    fold_profile(profile, summary);
+    if (obs_on) {
+      // One sampled profile per replicate — the wall time of the
+      // Poissonize-and-correct sampler is the law tier's whole cost.
+      const auto wall_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      registry.histogram("law.replicate.wall_ns").record(wall_ns);
+      if (config.obs.sink) {
+        obs::JsonLine line("replicate", "law");
+        line.field("replicate", static_cast<std::uint64_t>(r))
+            .begin_object("metrics")
+            .field("max_load", static_cast<std::uint64_t>(profile.max_load()))
+            .field("gap", static_cast<std::uint64_t>(profile.gap()))
+            .field("wall_ns", wall_ns)
+            .end_object();
+        config.obs.sink->write(std::move(line));
+      }
+    }
+  }
+  if (obs_on) {
+    summary.obs = registry.snapshot();
+    if (config.obs.sink) {
+      obs::JsonLine line("summary", "law");
+      obs::append_metrics(line, summary.obs);
+      config.obs.sink->write(std::move(line));
+    }
   }
   return summary;
 }

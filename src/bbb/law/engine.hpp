@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "bbb/obs/metrics.hpp"
+#include "bbb/obs/obs.hpp"
 #include "bbb/stats/running_stats.hpp"
 
 namespace bbb::law {
@@ -34,6 +36,10 @@ struct LawConfig {
   std::uint32_t replicates = 20;             ///< sampled runs (ignored by fluid specs)
   std::uint64_t seed = 42;                   ///< master seed
   bool keep_records = true;                  ///< retain raw per-replicate rows
+  /// Observability settings. The law tier has no probe stream to count;
+  /// `counters`/`full` record per-replicate sampler wall times and emit
+  /// run/replicate/summary trace events. Never affects the sampled law.
+  obs::ObsConfig obs;
 
   /// Human-readable "spec m=... n=... reps=..." line for logs.
   [[nodiscard]] std::string describe() const;
@@ -75,6 +81,9 @@ struct LawSummary {
   std::uint32_t fluid_min_load = 0;
   /// Raw rows in replicate order (sampled specs with keep_records only).
   std::vector<LawReplicate> records;
+  /// Metric snapshot (law.replicate.wall_ns histogram over the sampled
+  /// replicates); empty when the config's obs level is off.
+  obs::Snapshot obs;
 };
 
 /// Run a law-tier experiment.

@@ -1,0 +1,74 @@
+#include "bbb/obs/cli.hpp"
+
+#include <cinttypes>
+#include <stdexcept>
+
+#include "bbb/obs/trace_sink.hpp"
+
+namespace bbb::obs {
+
+void add_obs_flags(io::ArgParser& parser) {
+  parser.add_flag("obs", "off",
+                  "instrumentation level: off | counters | full (see "
+                  "docs/OBSERVABILITY.md)");
+  parser.add_flag("obs-out", "",
+                  "write schema-versioned JSON-lines run events to this file "
+                  "(requires --obs != off)");
+  parser.add_flag("heartbeat", 0.0,
+                  "emit a heartbeat event roughly every SECS seconds while a "
+                  "replicate streams (requires --obs=full and --obs-out)");
+}
+
+ObsConfig parse_obs_flags(const io::ArgParser& parser) {
+  ObsConfig config;
+  config.level = parse_obs_level(parser.get_string("obs"));
+  const std::string& out = parser.get_string("obs-out");
+  const double heartbeat = parser.get_double("heartbeat");
+  if (heartbeat < 0.0) {
+    throw std::invalid_argument("--heartbeat must be >= 0");
+  }
+  if (config.level == ObsLevel::kOff) {
+    // A sink or heartbeat with instrumentation off would silently record
+    // nothing; fail loudly instead of shipping an empty file.
+    if (!out.empty()) {
+      throw std::invalid_argument("--obs-out requires --obs=counters or --obs=full");
+    }
+    if (heartbeat > 0.0) {
+      throw std::invalid_argument("--heartbeat requires --obs=full");
+    }
+    return config;
+  }
+  if (heartbeat > 0.0 && config.level != ObsLevel::kFull) {
+    throw std::invalid_argument("--heartbeat requires --obs=full");
+  }
+  if (!out.empty()) config.sink = TraceSink::open(out);
+  config.heartbeat_seconds = heartbeat;
+  return config;
+}
+
+void print_summary(const Snapshot& snapshot, std::FILE* out) {
+  if (snapshot.empty()) return;
+  std::fprintf(out, "obs summary (%zu metrics):\n", snapshot.entries.size());
+  for (const SnapshotEntry& entry : snapshot.entries) {
+    switch (entry.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        std::fprintf(out, "  %-36s %20" PRIu64 "\n", entry.name.c_str(),
+                     entry.counter);
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        std::fprintf(out, "  %-36s %20.6g\n", entry.name.c_str(), entry.gauge);
+        break;
+      case SnapshotEntry::Kind::kHistogram: {
+        const LatencyHistogram& h = entry.histogram;
+        std::fprintf(out,
+                     "  %-36s count=%" PRIu64 " mean=%.1f p50=%" PRIu64
+                     " p99=%" PRIu64 " p999=%" PRIu64 " max=%" PRIu64 "\n",
+                     entry.name.c_str(), h.count(), h.mean(), h.p50(), h.p99(),
+                     h.p999(), h.max());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace bbb::obs

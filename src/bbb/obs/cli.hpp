@@ -1,0 +1,37 @@
+#pragma once
+/// \file cli.hpp
+/// The shared `--obs` surface of every bbb binary. All five CLIs register
+/// the same three flags and parse them through here, so the observability
+/// vocabulary cannot drift between tools:
+///
+///   --obs=off|counters|full   instrumentation level (default off)
+///   --obs-out=FILE            JSON-lines event stream (requires --obs on)
+///   --heartbeat=SECS          heartbeat cadence for --obs=full runs
+///
+/// plus the stderr summary table (`print_summary`) each tool emits after
+/// its normal output when any instrumentation was on — stderr, so piping
+/// a tool's stdout (CSV, JSON) stays clean.
+
+#include <cstdio>
+
+#include "bbb/io/argparse.hpp"
+#include "bbb/obs/metrics.hpp"
+#include "bbb/obs/obs.hpp"
+
+namespace bbb::obs {
+
+/// Register --obs / --obs-out / --heartbeat on `parser`.
+void add_obs_flags(io::ArgParser& parser);
+
+/// Read the three flags back into an ObsConfig, opening the trace sink
+/// when --obs-out was given. \throws std::invalid_argument for an unknown
+/// level, --obs-out or --heartbeat with --obs=off (silently collecting
+/// nothing would be a lying flag), or a negative heartbeat;
+/// std::runtime_error when the sink path cannot be opened.
+[[nodiscard]] ObsConfig parse_obs_flags(const io::ArgParser& parser);
+
+/// Human-readable metric table (name-sorted; histograms as
+/// count/mean/p50/p99/p999/max). No-op when the snapshot is empty.
+void print_summary(const Snapshot& snapshot, std::FILE* out);
+
+}  // namespace bbb::obs

@@ -1,0 +1,80 @@
+#include "bbb/obs/harvest.hpp"
+
+#include "bbb/core/bin_state.hpp"
+#include "bbb/core/probe.hpp"
+
+namespace bbb::obs {
+
+void CoreCounters::accumulate(const CoreCounters& other) noexcept {
+  probes += other.probes;
+  balls_placed += other.balls_placed;
+  reallocations += other.reallocations;
+  rounds += other.rounds;
+  lookahead_refills += other.lookahead_refills;
+  lookahead_discarded_words += other.lookahead_discarded_words;
+  compact_promotions += other.compact_promotions;
+  compact_demotions += other.compact_demotions;
+  explode_fallbacks += other.explode_fallbacks;
+}
+
+CoreCounters harvest(const core::StreamingAllocator& alloc) {
+  CoreCounters c = harvest(alloc.rule(), &alloc.state());
+  c.explode_fallbacks = alloc.explode_fallbacks();
+  return c;
+}
+
+CoreCounters harvest(const core::PlacementRule& rule, const core::BinState* state) {
+  CoreCounters c;
+  c.probes = rule.probes();
+  c.balls_placed = rule.total_placed();
+  c.reallocations = rule.reallocations();
+  c.rounds = rule.rounds();
+  if (const core::ProbeLookahead* la = rule.lookahead(); la != nullptr) {
+    c.lookahead_refills = la->refills();
+    c.lookahead_discarded_words = la->discarded_words();
+  }
+  if (state != nullptr) {
+    c.compact_promotions = state->compact_promotions();
+    c.compact_demotions = state->compact_demotions();
+  }
+  return c;
+}
+
+CoreCounters harvest(const core::AllocationResult& result) {
+  CoreCounters c;
+  c.probes = result.probes;
+  c.balls_placed = result.balls;
+  c.reallocations = result.reallocations;
+  c.rounds = result.rounds;
+  return c;
+}
+
+void fold_into(MetricsRegistry& registry, const CoreCounters& counters) {
+  registry.add_counter("core.probe.count", counters.probes);
+  registry.add_counter("core.ball.placed", counters.balls_placed);
+  if (counters.reallocations != 0) {
+    registry.add_counter("core.rule.reallocations", counters.reallocations);
+  }
+  if (counters.rounds != 0) {
+    registry.add_counter("core.rule.rounds", counters.rounds);
+  }
+  if (counters.lookahead_refills != 0) {
+    registry.add_counter("core.lookahead.refills", counters.lookahead_refills);
+  }
+  if (counters.lookahead_discarded_words != 0) {
+    registry.add_counter("core.lookahead.discarded_words",
+                         counters.lookahead_discarded_words);
+  }
+  if (counters.compact_promotions != 0) {
+    registry.add_counter("state.compact.promotions", counters.compact_promotions);
+  }
+  if (counters.compact_demotions != 0) {
+    registry.add_counter("state.compact.demotions", counters.compact_demotions);
+  }
+  if (counters.explode_fallbacks != 0) {
+    registry.add_counter("core.weighted.explode_fallbacks",
+                         counters.explode_fallbacks);
+  }
+}
+
+}  // namespace bbb::obs

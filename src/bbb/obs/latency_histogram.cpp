@@ -1,0 +1,106 @@
+#include "bbb/obs/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace bbb::obs {
+
+namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+std::uint32_t LatencyHistogram::bucket_index(std::uint64_t value) noexcept {
+  // Values below one full octave of sub-buckets are their own bucket
+  // (exact representation), everything above is log-linear: the octave
+  // index (exponent) selects a group of kSubBuckets buckets, the top
+  // kSubBits mantissa bits below the leading one select within it.
+  if (value < kSubBuckets) return static_cast<std::uint32_t>(value);
+  const auto exponent = static_cast<std::uint32_t>(std::bit_width(value) - 1);
+  const auto mantissa =
+      static_cast<std::uint32_t>((value >> (exponent - kSubBits)) & (kSubBuckets - 1));
+  return ((exponent - kSubBits + 1) << kSubBits) | mantissa;
+}
+
+std::uint64_t LatencyHistogram::bucket_lower(std::uint32_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::uint32_t exponent = (index >> kSubBits) + kSubBits - 1;
+  const std::uint64_t mantissa = index & (kSubBuckets - 1);
+  return (std::uint64_t{1} << exponent) | (mantissa << (exponent - kSubBits));
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::uint32_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::uint32_t exponent = (index >> kSubBits) + kSubBits - 1;
+  if (exponent == 63 && (index & (kSubBuckets - 1)) == kSubBuckets - 1) {
+    return kU64Max;  // top bucket of the top octave
+  }
+  return bucket_lower(index) + ((std::uint64_t{1} << (exponent - kSubBits)) - 1);
+}
+
+void LatencyHistogram::record_n(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::uint32_t index = bucket_index(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  buckets_[index] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += count;
+  // Saturating sum: value * count, clamped at uint64 max. An overflow in
+  // the multiplication itself saturates directly.
+  const bool mul_overflow = value != 0 && count > kU64Max / value;
+  const std::uint64_t add = mul_overflow ? kU64Max : value * count;
+  if (saturated_ || mul_overflow || add > kU64Max - sum_) {
+    sum_ = kU64Max;
+    saturated_ = true;
+  } else {
+    sum_ += add;
+  }
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  if (saturated_ || other.saturated_ || other.sum_ > kU64Max - sum_) {
+    sum_ = kU64Max;
+    saturated_ = true;
+  } else {
+    sum_ += other.sum_;
+  }
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target order statistic, 1-based: ceil(q * count), at least 1.
+  const double scaled = q * static_cast<double>(count_);
+  auto rank = static_cast<std::uint64_t>(std::ceil(scaled));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  // The extreme order statistics ARE the tracked exact min/max — report
+  // them directly instead of a bucket edge.
+  if (rank == 1) return min_;
+  if (rank == count_) return max_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::uint64_t upper = bucket_upper(static_cast<std::uint32_t>(i));
+      // The observed extremes are exact; never report outside them.
+      return std::clamp(upper, min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace bbb::obs

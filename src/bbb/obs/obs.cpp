@@ -1,0 +1,44 @@
+#include "bbb/obs/obs.hpp"
+
+#include <stdexcept>
+
+#include "bbb/obs/trace_sink.hpp"
+
+namespace bbb::obs {
+
+std::string_view to_string(ObsLevel level) noexcept {
+  switch (level) {
+    case ObsLevel::kOff:
+      return "off";
+    case ObsLevel::kCounters:
+      return "counters";
+    case ObsLevel::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+ObsLevel parse_obs_level(std::string_view text) {
+  if (text == "off") return ObsLevel::kOff;
+  if (text == "counters") return ObsLevel::kCounters;
+  if (text == "full") return ObsLevel::kFull;
+  throw std::invalid_argument("parse_obs_level: expected 'off', 'counters', or "
+                              "'full', got '" +
+                              std::string(text) + "'");
+}
+
+std::string ObsConfig::describe() const {
+  if (level == ObsLevel::kOff) return "";
+  std::string out = " obs=" + std::string(to_string(level));
+  if (sink) out += " obs-out=" + sink->path();
+  if (heartbeat_seconds > 0.0) {
+    // Trim trailing zeros so "1.5" and "2" both read naturally.
+    std::string hb = std::to_string(heartbeat_seconds);
+    while (!hb.empty() && hb.back() == '0') hb.pop_back();
+    if (!hb.empty() && hb.back() == '.') hb.pop_back();
+    out += " heartbeat=" + hb;
+  }
+  return out;
+}
+
+}  // namespace bbb::obs

@@ -1,0 +1,131 @@
+#pragma once
+/// \file trace_sink.hpp
+/// Structured run-event stream: schema-versioned JSON-lines records
+/// (`--obs-out=FILE`) that tools/validate_obs.py checks against
+/// tools/obs_schema.json. One line per event, one event per write, so a
+/// run killed mid-stream still leaves every completed line parseable —
+/// the property that matters for giant-scale runs whose heartbeats are
+/// the only progress signal.
+///
+/// Event vocabulary (schema "bbb-obs-v1"):
+///   * run_start  — tool name + full config description, first line of a run
+///   * replicate  — one per finished replicate, with its metric snapshot
+///   * heartbeat  — periodic progress inside a replicate (wall-clock
+///                  cadence; count is intentionally nondeterministic)
+///   * summary    — final merged metric snapshot, last line of a run
+///
+/// Every record carries `schema`, `event`, `tool`, and a per-sink `seq`
+/// that increases strictly monotonically — the validator enforces this,
+/// which catches interleaved writers and lost lines.
+///
+/// `JsonLine` is a deliberately tiny escaping writer (no DOM, no
+/// dependency): fields append in call order, nested objects via
+/// begin_object/end_object. The sink assigns `seq` under its mutex at
+/// write time, so concurrent emitters (the future sharded tier) cannot
+/// produce duplicate or out-of-order sequence numbers.
+
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bbb/obs/metrics.hpp"
+
+namespace bbb::obs {
+
+/// Schema identifier stamped on every record.
+inline constexpr std::string_view kObsSchema = "bbb-obs-v1";
+
+/// Single-line JSON object builder with string escaping and nested
+/// objects. Build order = output order; finish() closes all open scopes.
+class JsonLine {
+ public:
+  /// Starts `{"schema":"bbb-obs-v1","event":EVENT,"tool":TOOL`.
+  JsonLine(std::string_view event, std::string_view tool);
+
+  JsonLine& field(std::string_view key, std::string_view value);
+  JsonLine& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonLine& field(std::string_view key, std::uint64_t value);
+  JsonLine& field(std::string_view key, std::int64_t value);
+  /// Doubles print with %.17g (round-trip exact); non-finite values are
+  /// written as 0 — JSON has no inf/nan, and no bbb metric is legitimately
+  /// non-finite.
+  JsonLine& field(std::string_view key, double value);
+  JsonLine& field(std::string_view key, bool value);
+
+  JsonLine& begin_object(std::string_view key);
+  JsonLine& end_object();
+
+  /// Close every open scope and return the completed line (no newline).
+  /// The builder is spent afterwards.
+  [[nodiscard]] std::string finish();
+
+ private:
+  void key_prefix(std::string_view key);
+
+  std::string out_;
+  std::vector<bool> has_fields_;  // one flag per open object scope
+};
+
+/// Append the snapshot as `"metrics":{...}`: counters and gauges as
+/// numbers, histograms as {count,min,max,mean,p50,p99,p999} objects.
+void append_metrics(JsonLine& line, const Snapshot& snapshot);
+
+/// Append-mode JSON-lines writer. Thread-safe; every write is one line
+/// followed by a flush.
+class TraceSink {
+ public:
+  /// Open `path` for writing (truncates). \throws std::runtime_error on
+  /// failure.
+  [[nodiscard]] static std::shared_ptr<TraceSink> open(const std::string& path);
+
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Stamp `seq`, close, write, flush.
+  void write(JsonLine&& line);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Number of records written so far.
+  [[nodiscard]] std::uint64_t records_written() const noexcept;
+
+ private:
+  TraceSink(std::FILE* file, std::string path);
+
+  std::mutex mutex_;
+  std::FILE* file_;
+  std::string path_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Wall-clock cadence gate for heartbeat events. due() flips true once
+/// per elapsed interval; interval <= 0 never fires. Cheap enough to poll
+/// every few thousand iterations of a streaming loop.
+class Heartbeat {
+ public:
+  explicit Heartbeat(double interval_seconds) noexcept
+      : interval_(interval_seconds),
+        last_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] bool due() noexcept {
+    if (interval_ <= 0.0) return false;
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(now - last_).count();
+    if (elapsed < interval_) return false;
+    last_ = now;
+    return true;
+  }
+
+ private:
+  double interval_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace bbb::obs

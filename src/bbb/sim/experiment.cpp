@@ -32,6 +32,7 @@ std::string ExperimentConfig::describe() const {
   if (tier != Tier::kExact) {
     os << " tier=" << to_string(tier);
   }
+  os << obs.describe();
   return os.str();
 }
 

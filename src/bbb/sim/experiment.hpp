@@ -7,6 +7,8 @@
 #include <string>
 
 #include "bbb/core/bin_state.hpp"
+#include "bbb/obs/harvest.hpp"
+#include "bbb/obs/obs.hpp"
 
 namespace bbb::sim {
 
@@ -54,6 +56,10 @@ struct ExperimentConfig {
   /// statistics are always folded; switch this off in large sweeps so a
   /// grid of thousands of configs does not retain every raw row in memory.
   bool keep_records = true;
+  /// Observability settings (level, trace sink, heartbeat cadence). Off by
+  /// default: replicates then run the uninstrumented path of PRs 1-6 and
+  /// RunSummary::obs stays empty. Never affects placements (see obs.hpp).
+  obs::ObsConfig obs;
 
   /// Human-readable "spec m=... n=... reps=..." line for logs.
   [[nodiscard]] std::string describe() const;
@@ -70,6 +76,12 @@ struct ReplicateRecord {
   double reallocations = 0.0;  ///< post-placement moves (CRS, cuckoo)
   double rounds = 0.0;         ///< synchronous rounds (parallel protocols)
   bool completed = true;
+  /// Exact core counters (probes, lookahead, compact side-table traffic)
+  /// harvested after the replicate — populated only when the experiment's
+  /// obs level is counters or full; all-zero otherwise.
+  obs::CoreCounters counters;
+  /// Replicate wall time; populated under the same condition.
+  std::uint64_t wall_ns = 0;
 };
 
 }  // namespace bbb::sim

@@ -1,15 +1,27 @@
 #include "bbb/sim/runner.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "bbb/core/metrics.hpp"
 #include "bbb/core/protocols/registry.hpp"
 #include "bbb/law/one_choice.hpp"
 #include "bbb/law/profile.hpp"
+#include "bbb/obs/trace_sink.hpp"
 #include "bbb/par/parallel_for.hpp"
 #include "bbb/rng/streams.hpp"
 
 namespace bbb::sim {
+
+namespace {
+
+[[nodiscard]] std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+
+}  // namespace
 
 double RunSummary::probes_per_ball() const {
   return config.m > 0 ? probes.mean() / static_cast<double>(config.m) : 0.0;
@@ -26,11 +38,31 @@ namespace {
 /// batch-only post-passes (self-balancing sweeps).
 ReplicateRecord run_streaming_replicate(const ExperimentConfig& config,
                                         std::uint32_t replicate_index) {
+  const auto start = std::chrono::steady_clock::now();
   const auto alloc = core::make_streaming_allocator(config.protocol_spec, config.n,
                                                     config.m, config.layout);
   rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
   alloc->set_engine_exclusive(true);
-  for (std::uint64_t i = 0; i < config.m; ++i) (void)alloc->place(gen);
+  if (config.obs.full_on() && config.obs.sink && config.obs.heartbeat_seconds > 0) {
+    // Heartbeat variant of the place loop, kept out of the default path so
+    // --obs=off (and plain --obs=counters) runs the bare loop below. The
+    // wall-clock poll sits behind a 64Ki-ball stride; heartbeats observe
+    // (balls done, current gap) and never touch `gen`.
+    obs::Heartbeat heartbeat(config.obs.heartbeat_seconds);
+    for (std::uint64_t i = 0; i < config.m; ++i) {
+      (void)alloc->place(gen);
+      if ((i & 0xFFFF) == 0xFFFF && heartbeat.due()) {
+        obs::JsonLine line("heartbeat", "sim");
+        line.field("replicate", static_cast<std::uint64_t>(replicate_index))
+            .field("done", i + 1)
+            .field("total", config.m)
+            .field("gap", static_cast<std::uint64_t>(alloc->state().gap()));
+        config.obs.sink->write(std::move(line));
+      }
+    }
+  } else {
+    for (std::uint64_t i = 0; i < config.m; ++i) (void)alloc->place(gen);
+  }
   alloc->finalize(gen);
 
   const core::BinState& state = alloc->state();
@@ -45,6 +77,10 @@ ReplicateRecord run_streaming_replicate(const ExperimentConfig& config,
   rec.gap = state.gap();
   rec.psi = state.psi();
   rec.log_phi = state.log_phi();
+  if (config.obs.counters_on()) {
+    rec.counters = obs::harvest(*alloc);
+    rec.wall_ns = elapsed_ns(start);
+  }
   return rec;
 }
 
@@ -63,6 +99,7 @@ ReplicateRecord run_law_replicate(const ExperimentConfig& config,
         canonical + "' (use greedy/mixed through law::run_law_experiment's "
         "fluid curves instead)");
   }
+  const auto start = std::chrono::steady_clock::now();
   rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
   const law::OccupancyProfile profile =
       law::sample_one_choice_profile(config.m, config.n, gen);
@@ -74,6 +111,13 @@ ReplicateRecord run_law_replicate(const ExperimentConfig& config,
   rec.gap = profile.gap();
   rec.psi = profile.psi();
   rec.log_phi = profile.log_phi();
+  if (config.obs.counters_on()) {
+    // A sampled profile issues no real probes; report the one-choice cost
+    // identity (one probe per ball) so cross-tier accounting lines up.
+    rec.counters.probes = config.m;
+    rec.counters.balls_placed = config.m;
+    rec.wall_ns = elapsed_ns(start);
+  }
   return rec;
 }
 
@@ -87,6 +131,7 @@ ReplicateRecord run_replicate(const ExperimentConfig& config,
   if (config.layout != core::StateLayout::kWide) {
     return run_streaming_replicate(config, replicate_index);
   }
+  const auto start = std::chrono::steady_clock::now();
   const auto protocol = core::make_protocol(config.protocol_spec);
   rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
   const core::AllocationResult result = protocol->run(config.m, config.n, gen);
@@ -103,6 +148,13 @@ ReplicateRecord run_replicate(const ExperimentConfig& config,
   rec.gap = metrics.gap;
   rec.psi = metrics.psi;
   rec.log_phi = metrics.log_phi;
+  if (config.obs.counters_on()) {
+    // The wide batch path runs an opaque Protocol::run, so only the
+    // result-level counters exist here (no lookahead/side-table internals
+    // — and no mid-replicate heartbeats; the streaming layout has both).
+    rec.counters = obs::harvest(result);
+    rec.wall_ns = elapsed_ns(start);
+  }
   return rec;
 }
 
@@ -117,6 +169,22 @@ RunSummary run_experiment(const ExperimentConfig& config, par::ThreadPool& pool)
         "run_experiment: tier=law supports only the one-choice spec");
   }
 
+  const bool obs_on = config.obs.counters_on();
+  if (obs_on && config.obs.sink) {
+    obs::JsonLine line("run_start", "sim");
+    line.begin_object("config")
+        .field("describe", config.describe())
+        .field("protocol", canonical)
+        .field("m", config.m)
+        .field("n", static_cast<std::uint64_t>(config.n))
+        .field("replicates", static_cast<std::uint64_t>(config.replicates))
+        .field("seed", config.seed)
+        .field("layout", core::to_string(config.layout))
+        .field("tier", to_string(config.tier))
+        .end_object();
+    config.obs.sink->write(std::move(line));
+  }
+
   RunSummary summary;
   summary.config = config;
   summary.protocol_name = canonical;
@@ -127,6 +195,7 @@ RunSummary run_experiment(const ExperimentConfig& config, par::ThreadPool& pool)
       });
 
   // Fold in replicate order: summaries are independent of scheduling.
+  const auto fold_start = std::chrono::steady_clock::now();
   for (const ReplicateRecord& rec : summary.records) {
     summary.probes.add(rec.probes);
     summary.max_load.add(rec.max_load);
@@ -138,6 +207,43 @@ RunSummary run_experiment(const ExperimentConfig& config, par::ThreadPool& pool)
     summary.rounds.add(rec.rounds);
     if (!rec.completed) ++summary.failures;
   }
+  const std::uint64_t fold_ns = elapsed_ns(fold_start);
+
+  if (obs_on) {
+    // Counters sum, wall times merge into one histogram — all in
+    // replicate order, so the snapshot (like every folded statistic) is
+    // identical for any thread count.
+    obs::MetricsRegistry registry;
+    obs::CoreCounters total;
+    obs::LatencyHistogram& wall = registry.histogram("sim.replicate.wall_ns");
+    for (const ReplicateRecord& rec : summary.records) {
+      total.accumulate(rec.counters);
+      wall.record(rec.wall_ns);
+    }
+    obs::fold_into(registry, total);
+    registry.set_gauge("sim.fold.wall_ns", static_cast<double>(fold_ns));
+    summary.obs = registry.snapshot();
+
+    if (config.obs.sink) {
+      for (std::uint32_t r = 0; r < summary.records.size(); ++r) {
+        const ReplicateRecord& rec = summary.records[r];
+        obs::JsonLine line("replicate", "sim");
+        line.field("replicate", static_cast<std::uint64_t>(r))
+            .begin_object("metrics")
+            .field("probes", rec.counters.probes)
+            .field("max_load", rec.max_load)
+            .field("gap", rec.gap)
+            .field("wall_ns", rec.wall_ns)
+            .field("completed", rec.completed)
+            .end_object();
+        config.obs.sink->write(std::move(line));
+      }
+      obs::JsonLine line("summary", "sim");
+      obs::append_metrics(line, summary.obs);
+      config.obs.sink->write(std::move(line));
+    }
+  }
+
   if (!config.keep_records) {
     summary.records.clear();
     summary.records.shrink_to_fit();

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "bbb/obs/metrics.hpp"
 #include "bbb/par/thread_pool.hpp"
 #include "bbb/sim/experiment.hpp"
 #include "bbb/stats/running_stats.hpp"
@@ -32,6 +33,10 @@ struct RunSummary {
   /// Raw rows in replicate order; empty when the config set
   /// keep_records = false (the folded statistics above are unaffected).
   std::vector<ReplicateRecord> records;
+  /// Metric snapshot (counters summed across replicates, wall-time
+  /// histograms merged in replicate order); empty when the config's obs
+  /// level is off.
+  obs::Snapshot obs;
 
   /// probes / m — the per-ball allocation cost the paper's Table 1 compares.
   [[nodiscard]] double probes_per_ball() const;

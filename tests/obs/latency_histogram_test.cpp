@@ -1,0 +1,230 @@
+#include "bbb/obs/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/xoshiro256.hpp"
+#include "bbb/stats/quantile.hpp"
+
+namespace bbb::obs {
+namespace {
+
+/// The histogram's contract: quantile(q) is the upper edge of the bucket
+/// holding the ceil(q * count)-th smallest observation, so it can exceed
+/// that order statistic by at most one bucket width — a relative
+/// 2^{1-kSubBits} above the exact range, zero below it.
+std::uint64_t allowed_slack(std::uint64_t order_stat) {
+  if (order_stat < LatencyHistogram::kSubBuckets) return 0;
+  return order_stat >> (LatencyHistogram::kSubBits - 1);
+}
+
+/// Rank-based order statistic matching the histogram's ceil-rank rule.
+std::uint64_t order_statistic(std::vector<std::uint64_t> data, double q) {
+  std::sort(data.begin(), data.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(data.size())));
+  return data[std::min(std::max<std::size_t>(rank, 1), data.size()) - 1];
+}
+
+TEST(LatencyHistogram, EmptyState) {
+  const LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Values below kSubBuckets own a bucket each: every quantile is exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) h.record(v);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kSubBuckets - 1);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), LatencyHistogram::kSubBuckets - 1);
+  // Rank ceil(0.5 * 32) = 16 -> the 16th smallest value, which is 15.
+  EXPECT_EQ(h.p50(), 15u);
+}
+
+TEST(LatencyHistogram, BucketEdgesRoundTrip) {
+  // Every probe value must land in a bucket whose [lower, upper] range
+  // contains it, and indices must be monotone in the value.
+  const std::uint64_t probes[] = {
+      0,        1,
+      31,       32,
+      33,       63,
+      64,       100,
+      255,      256,
+      1000,     4096,
+      65535,    1u << 20,
+      (1ull << 33) + 12345, 1ull << 62,
+      std::numeric_limits<std::uint64_t>::max()};
+  std::uint32_t prev_index = 0;
+  for (const std::uint64_t v : probes) {
+    const std::uint32_t i = LatencyHistogram::bucket_index(v);
+    EXPECT_LE(LatencyHistogram::bucket_lower(i), v) << "value " << v;
+    EXPECT_GE(LatencyHistogram::bucket_upper(i), v) << "value " << v;
+    EXPECT_GE(i, prev_index) << "value " << v;
+    prev_index = i;
+  }
+}
+
+TEST(LatencyHistogram, GoldenQuantilesVsExact) {
+  // Log-uniform latencies spanning six orders of magnitude — the shape
+  // this histogram exists for. Every extracted quantile must sit within
+  // one bucket width above the matching rank statistic and agree with
+  // stats::exact_quantile to the documented relative error.
+  rng::Engine gen(7);
+  std::vector<std::uint64_t> values;
+  LatencyHistogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t magnitude = 1ull << (rng::uniform_below(gen, 20));
+    const std::uint64_t v = magnitude + rng::uniform_below(gen, magnitude);
+    values.push_back(v);
+    h.record(v);
+  }
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t stat = order_statistic(values, q);
+    const std::uint64_t got = h.quantile(q);
+    EXPECT_GE(got, stat) << "q=" << q;
+    EXPECT_LE(got, stat + allowed_slack(stat)) << "q=" << q;
+
+    // Cross-check against the library's exact interpolating quantile:
+    // within one bucket width of it (interpolation can land anywhere
+    // between adjacent order statistics).
+    std::vector<double> as_double(values.begin(), values.end());
+    const double exact = stats::exact_quantile(std::move(as_double), q);
+    const double width = std::max(
+        1.0, exact / static_cast<double>(1u << (LatencyHistogram::kSubBits - 1)));
+    EXPECT_NEAR(static_cast<double>(got), exact, width + 1.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, QuantileClampsToObservedRange) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(1003);
+  // Both values share a bucket whose upper edge exceeds 1003; the exact
+  // max must win.
+  EXPECT_EQ(h.quantile(1.0), 1003u);
+  EXPECT_EQ(h.quantile(0.0), 1000u);
+  EXPECT_LE(h.p50(), 1003u);
+  EXPECT_GE(h.p50(), 1000u);
+}
+
+TEST(LatencyHistogram, RecordNMatchesRepeatedRecord) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record_n(777, 1000);
+  for (int i = 0; i < 1000; ++i) b.record(777);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.sum(), 777000u);
+}
+
+TEST(LatencyHistogram, MergeIsLossless) {
+  rng::Engine gen(11);
+  LatencyHistogram whole;
+  LatencyHistogram first;
+  LatencyHistogram second;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng::uniform_below(gen, 1u << 24);
+    whole.record(v);
+    (i % 2 == 0 ? first : second).record(v);
+  }
+  first.merge(second);
+  EXPECT_EQ(first, whole);
+}
+
+TEST(LatencyHistogram, MergeCommutesAndAssociates) {
+  rng::Engine gen(13);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram c;
+  for (int i = 0; i < 3000; ++i) {
+    a.record(rng::uniform_below(gen, 1u << 10));
+    b.record((1ull << 30) + rng::uniform_below(gen, 1u << 30));
+    c.record(rng::uniform_below(gen, 1u << 20));
+  }
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+
+  LatencyHistogram ab_c = ab;
+  ab_c.merge(c);
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h;
+  h.record(42);
+  h.record(9001);
+  const LatencyHistogram before = h;
+  h.merge(LatencyHistogram{});
+  EXPECT_EQ(h, before);
+
+  LatencyHistogram empty;
+  empty.merge(before);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(LatencyHistogram, TopOctaveAndMaxValue) {
+  LatencyHistogram h;
+  const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+  h.record(top);
+  h.record(top - 1);
+  h.record(1ull << 63);
+  EXPECT_EQ(h.max(), top);
+  EXPECT_EQ(h.min(), 1ull << 63);
+  EXPECT_EQ(h.quantile(1.0), top);
+  // The top bucket's upper edge saturates at uint64 max instead of
+  // wrapping past it.
+  const std::uint32_t i = LatencyHistogram::bucket_index(top);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(i), top);
+}
+
+TEST(LatencyHistogram, SumSaturatesInsteadOfWrapping) {
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max();
+  LatencyHistogram h;
+  h.record(huge);
+  EXPECT_FALSE(h.saturated());
+  EXPECT_EQ(h.sum(), huge);
+  h.record(huge);
+  EXPECT_TRUE(h.saturated());
+  EXPECT_EQ(h.sum(), huge);  // pinned, not wrapped
+  EXPECT_EQ(h.count(), 2u);
+  // The mean degrades to a lower bound but stays finite and positive.
+  EXPECT_GT(h.mean(), 0.0);
+
+  // record_n with a count that overflows the multiplication saturates too.
+  LatencyHistogram m;
+  m.record_n(1ull << 40, 1ull << 40);
+  EXPECT_TRUE(m.saturated());
+  EXPECT_EQ(m.sum(), huge);
+  EXPECT_EQ(m.count(), 1ull << 40);
+}
+
+TEST(LatencyHistogram, QuantileArgumentIsClamped) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(1.5), h.quantile(1.0));
+  EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+}  // namespace
+}  // namespace bbb::obs

@@ -1,0 +1,175 @@
+#include "bbb/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bbb::obs {
+namespace {
+
+TEST(Counter, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, OwnsItsCacheLine) {
+  // The padding contract behind "no false sharing": one atom per line.
+  static_assert(alignof(Counter) == 64);
+  static_assert(alignof(Gauge) == 64);
+}
+
+TEST(Handles, NullHandlesAreNoOps) {
+  CounterHandle c;
+  GaugeHandle g;
+  HistogramHandle h;
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(g.enabled());
+  EXPECT_FALSE(h.enabled());
+  // Must be callable without any backing object — the disabled hot path.
+  c.add(5);
+  c.increment();
+  g.set(1.5);
+  h.record(100);
+}
+
+TEST(Handles, BoundHandlesForward) {
+  Counter counter;
+  Gauge gauge;
+  LatencyHistogram histogram;
+  CounterHandle c(&counter);
+  GaugeHandle g(&gauge);
+  HistogramHandle h(&histogram);
+  EXPECT_TRUE(c.enabled());
+  c.add(3);
+  g.set(2.25);
+  h.record(64);
+  EXPECT_EQ(counter.value(), 3u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.25);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(MetricsRegistry, FindOrCreateSharesTheMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("core.probe.count");
+  Counter& b = reg.counter("core.probe.count");
+  EXPECT_EQ(&a, &b);
+  a.add(10);
+  EXPECT_EQ(reg.counter("core.probe.count").value(), 10u);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAcrossKinds) {
+  MetricsRegistry reg;
+  reg.add_counter("z.counter", 1);
+  reg.set_gauge("a.gauge", 0.5);
+  reg.histogram("m.hist").record(100);
+  reg.add_counter("b.counter", 2);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 4u);
+  std::vector<std::string> names;
+  for (const auto& e : snap.entries) names.push_back(e.name);
+  const std::vector<std::string> want{"a.gauge", "b.counter", "m.hist", "z.counter"};
+  EXPECT_EQ(names, want);
+}
+
+TEST(MetricsRegistry, SnapshotCopiesState) {
+  MetricsRegistry reg;
+  reg.add_counter("c", 5);
+  const Snapshot snap = reg.snapshot();
+  reg.add_counter("c", 100);  // must not retro-change the snapshot
+  EXPECT_EQ(snap.counter_value("c"), 5u);
+  EXPECT_EQ(reg.snapshot().counter_value("c"), 105u);
+}
+
+TEST(Snapshot, FindAndCounterValue) {
+  MetricsRegistry reg;
+  reg.add_counter("present", 7);
+  reg.set_gauge("g", 1.25);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_NE(snap.find("present"), nullptr);
+  EXPECT_EQ(snap.find("present")->kind, SnapshotEntry::Kind::kCounter);
+  EXPECT_EQ(snap.find("absent"), nullptr);
+  EXPECT_EQ(snap.counter_value("present"), 7u);
+  EXPECT_EQ(snap.counter_value("absent"), 0u);
+  ASSERT_NE(snap.find("g"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("g")->gauge, 1.25);
+}
+
+TEST(Snapshot, MergeAddsCountersTakesGaugesMergesHistograms) {
+  MetricsRegistry first;
+  first.add_counter("shared.counter", 10);
+  first.add_counter("only.first", 1);
+  first.set_gauge("shared.gauge", 1.0);
+  first.histogram("shared.hist").record(100);
+
+  MetricsRegistry second;
+  second.add_counter("shared.counter", 32);
+  second.add_counter("only.second", 2);
+  second.set_gauge("shared.gauge", 2.0);
+  second.histogram("shared.hist").record(200);
+
+  Snapshot merged = first.snapshot();
+  merged.merge(second.snapshot());
+
+  EXPECT_EQ(merged.counter_value("shared.counter"), 42u);
+  EXPECT_EQ(merged.counter_value("only.first"), 1u);
+  EXPECT_EQ(merged.counter_value("only.second"), 2u);
+  // Gauges: the other snapshot is the later sample, last write wins.
+  EXPECT_DOUBLE_EQ(merged.find("shared.gauge")->gauge, 2.0);
+  const SnapshotEntry* hist = merged.find("shared.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->histogram.count(), 2u);
+  EXPECT_EQ(hist->histogram.min(), 100u);
+  EXPECT_EQ(hist->histogram.max(), 200u);
+
+  // The union stays name-sorted (Snapshot::find binary-searches).
+  for (std::size_t i = 1; i < merged.entries.size(); ++i) {
+    EXPECT_LT(merged.entries[i - 1].name, merged.entries[i].name);
+  }
+}
+
+TEST(Snapshot, MergeWithEmptyIsIdentity) {
+  MetricsRegistry reg;
+  reg.add_counter("c", 3);
+  Snapshot snap = reg.snapshot();
+  snap.merge(Snapshot{});
+  EXPECT_EQ(snap.counter_value("c"), 3u);
+
+  Snapshot empty;
+  empty.merge(snap);
+  EXPECT_EQ(empty.counter_value("c"), 3u);
+}
+
+TEST(MetricsRegistry, ConcurrentCountingIsExact) {
+  // Obtain once, update lock-free from many threads: totals exact.
+  MetricsRegistry reg;
+  Counter& counter = reg.counter("hot");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, ReferencesSurviveLaterInsertions) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("aa");
+  // Flood the map so any rebalancing would move nodes if it could.
+  for (int i = 0; i < 256; ++i) reg.add_counter("fill." + std::to_string(i), 1);
+  first.add(9);
+  EXPECT_EQ(reg.snapshot().counter_value("aa"), 9u);
+}
+
+}  // namespace
+}  // namespace bbb::obs

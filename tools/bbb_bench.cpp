@@ -36,6 +36,9 @@
 #include "bbb/dyn/engine.hpp"
 #include "bbb/io/argparse.hpp"
 #include "bbb/law/engine.hpp"
+#include "bbb/obs/cli.hpp"
+#include "bbb/obs/harvest.hpp"
+#include "bbb/obs/trace_sink.hpp"
 #include "bbb/rng/engine.hpp"
 #include "bbb/rng/xoshiro256.hpp"
 
@@ -52,6 +55,11 @@ struct Case {
   double ns_per_op = 0.0;        // 1e9 * seconds / work
   double check = 0.0;            // correctness echo (max load, psi/n, ...)
   std::string check_name;
+  // Stream cases harvest the core's passive counters after the timed
+  // region (nine integer reads — never inside the measurement) and carry
+  // them into the record's per-case "obs" block.
+  bbb::obs::CoreCounters counters;
+  bool has_counters = false;
 };
 
 double now_seconds() {
@@ -151,6 +159,8 @@ Case bench_stream(const std::string& spec, bbb::core::StateLayout layout,
   c = finish(std::move(c), t0, t1, m);
   c.check = static_cast<double>(alloc.state().max_load());
   c.check_name = "max_load";
+  c.counters = bbb::obs::harvest(alloc);
+  c.has_counters = true;
   return c;
 }
 
@@ -235,10 +245,21 @@ int main(int argc, char** argv) {
   args.add_flag("seed", std::uint64_t{42}, "seed for every case");
   args.add_flag("smoke", std::uint64_t{0},
                 "1 = CI sizes (seconds); 0 = the pinned giant-scale sizes");
+  bbb::obs::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
     const bool smoke = args.get_u64("smoke") != 0;
     const std::uint64_t seed = args.get_u64("seed");
+    const bbb::obs::ObsConfig obs = bbb::obs::parse_obs_flags(args);
+    if (obs.sink) {
+      bbb::obs::JsonLine line("run_start", "bench");
+      line.begin_object("config")
+          .field("smoke", smoke)
+          .field("seed", seed)
+          .field("label", args.get_string("label"))
+          .end_object();
+      obs.sink->write(std::move(line));
+    }
 
     // The pinned suite shapes. Smoke keeps every case id identical and
     // only shrinks sizes, so a smoke record validates against the same
@@ -277,7 +298,9 @@ int main(int argc, char** argv) {
     // -- JSON record ---------------------------------------------------------
     std::string out;
     out += "{\n";
-    out += "  \"schema\": \"bbb-bench-v1\",\n";
+    // v2 = v1 plus the per-case "obs" block on stream cases; validators
+    // and compare_bench.py accept both, so old BENCH_*.json stay valid.
+    out += "  \"schema\": \"bbb-bench-v2\",\n";
     out += "  \"label\": \"";
     json_escape_into(out, args.get_string("label"));
     out += "\",\n  \"commit\": \"";
@@ -307,11 +330,30 @@ int main(int argc, char** argv) {
                     "    {\"id\": \"%s\", \"kind\": \"%s\", \"layout\": \"%s\", "
                     "\"n\": %" PRIu64 ", \"work\": %" PRIu64
                     ", \"seconds\": %.6f, \"per_second\": %.1f, "
-                    "\"ns_per_op\": %.3f, \"check\": {\"%s\": %.6g}}%s\n",
+                    "\"ns_per_op\": %.3f, \"check\": {\"%s\": %.6g}",
                     c.id.c_str(), c.kind.c_str(), c.layout.c_str(), c.n, c.work,
                     c.seconds, c.per_second, c.ns_per_op, c.check_name.c_str(),
-                    c.check, i + 1 < cases.size() ? "," : "");
+                    c.check);
       out += buf;
+      if (c.has_counters) {
+        // Fixed nine-key shape so the schema can require every field.
+        std::snprintf(buf, sizeof(buf),
+                      ", \"obs\": {\"probes\": %" PRIu64 ", \"balls_placed\": %" PRIu64
+                      ", \"reallocations\": %" PRIu64 ", \"rounds\": %" PRIu64
+                      ", \"lookahead_refills\": %" PRIu64
+                      ", \"lookahead_discarded_words\": %" PRIu64
+                      ", \"compact_promotions\": %" PRIu64
+                      ", \"compact_demotions\": %" PRIu64
+                      ", \"explode_fallbacks\": %" PRIu64 "}",
+                      c.counters.probes, c.counters.balls_placed,
+                      c.counters.reallocations, c.counters.rounds,
+                      c.counters.lookahead_refills,
+                      c.counters.lookahead_discarded_words,
+                      c.counters.compact_promotions, c.counters.compact_demotions,
+                      c.counters.explode_fallbacks);
+        out += buf;
+      }
+      out += i + 1 < cases.size() ? "},\n" : "}\n";
     }
     out += "  ]\n}\n";
 
@@ -327,6 +369,39 @@ int main(int argc, char** argv) {
     for (const Case& c : cases) {
       std::printf("  %-34s %12.0f /s  (%.1f ns/op, %s=%.4g)\n", c.id.c_str(),
                   c.per_second, c.ns_per_op, c.check_name.c_str(), c.check);
+    }
+
+    if (obs.counters_on()) {
+      // Aggregate the stream cases' harvested counters into one registry
+      // (the record already carries them per case).
+      bbb::obs::MetricsRegistry registry;
+      bbb::obs::CoreCounters total;
+      for (const Case& c : cases) {
+        if (c.has_counters) total.accumulate(c.counters);
+      }
+      bbb::obs::fold_into(registry, total);
+      const bbb::obs::Snapshot snapshot = registry.snapshot();
+      bbb::obs::print_summary(snapshot, stderr);
+      if (obs.sink) {
+        for (const Case& c : cases) {
+          bbb::obs::JsonLine line("case", "bench");
+          line.field("id", c.id)
+              .field("per_second", c.per_second)
+              .field("ns_per_op", c.ns_per_op);
+          if (c.has_counters) {
+            line.begin_object("metrics")
+                .field("probes", c.counters.probes)
+                .field("balls_placed", c.counters.balls_placed)
+                .field("lookahead_refills", c.counters.lookahead_refills)
+                .field("compact_promotions", c.counters.compact_promotions)
+                .end_object();
+          }
+          obs.sink->write(std::move(line));
+        }
+        bbb::obs::JsonLine line("summary", "bench");
+        bbb::obs::append_metrics(line, snapshot);
+        obs.sink->write(std::move(line));
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbb_bench: %s\n", e.what());

@@ -10,6 +10,7 @@
 
 #include "bbb/io/argparse.hpp"
 #include "bbb/io/table.hpp"
+#include "bbb/obs/cli.hpp"
 #include "bbb/sim/runner.hpp"
 #include "bbb/stats/bootstrap.hpp"
 
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   args.add_flag("seed", std::uint64_t{42}, "master seed");
   args.add_flag("threads", std::uint64_t{0}, "worker threads (0 = hardware)");
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
+  bbb::obs::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
 
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
     cfg.n = static_cast<std::uint32_t>(args.get_u64("n"));
     cfg.replicates = static_cast<std::uint32_t>(args.get_u64("reps"));
     cfg.seed = args.get_u64("seed");
+    cfg.obs = bbb::obs::parse_obs_flags(args);
     const auto format = bbb::io::parse_format(args.get_string("format"));
 
     bbb::par::ThreadPool pool(static_cast<std::size_t>(args.get_u64("threads")));
@@ -100,6 +103,11 @@ int main(int argc, char** argv) {
     std::fputs(table.render(format).c_str(), stdout);
     std::puts("verdict column: 'a lower'/'b lower' only when the 95% bootstrap CI");
     std::puts("of the paired difference excludes zero.");
+    // One merged snapshot (counters sum across both runs) on stderr so
+    // piped stdout stays clean.
+    bbb::obs::Snapshot merged = sa.obs;
+    merged.merge(sb.obs);
+    bbb::obs::print_summary(merged, stderr);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbb_compare: %s\n", e.what());
     return 1;

@@ -17,6 +17,7 @@
 #include "bbb/io/argparse.hpp"
 #include "bbb/io/csv.hpp"
 #include "bbb/io/table.hpp"
+#include "bbb/obs/cli.hpp"
 
 int main(int argc, char** argv) {
   bbb::io::ArgParser args("bbb_dyn",
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
   args.add_flag("list", std::uint64_t{0},
                 "1 = print allocator and workload spec strings and exit");
   args.add_flag("csv", std::string(""), "dump replicate-0 snapshots to this file");
+  args.add_flag("strict", std::uint64_t{0},
+                "1 = exit nonzero (status 2) when any departure event arrived "
+                "with an empty system (dropped_departures > 0)");
+  bbb::obs::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
 
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
     cfg.replicates = static_cast<std::uint32_t>(args.get_u64("reps"));
     cfg.seed = args.get_u64("seed");
     cfg.layout = bbb::core::parse_state_layout(args.get_string("layout"));
+    cfg.obs = bbb::obs::parse_obs_flags(args);
     const auto format = bbb::io::parse_format(args.get_string("format"));
 
     bbb::par::ThreadPool pool(static_cast<std::size_t>(args.get_u64("threads")));
@@ -121,6 +127,15 @@ int main(int argc, char** argv) {
       }
       std::printf("wrote %zu snapshot rows (replicate 0) to %s\n", csv.rows(),
                   csv_path.c_str());
+    }
+
+    // Metric summary on stderr so piped stdout (csv/markdown) stays clean.
+    bbb::obs::print_summary(s.obs, stderr);
+    if (args.get_u64("strict") != 0 && s.dropped_departures > 0) {
+      std::fprintf(stderr,
+                   "bbb_dyn: --strict: %llu dropped departure(s) — failing\n",
+                   static_cast<unsigned long long>(s.dropped_departures));
+      return 2;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbb_dyn: %s\n", e.what());

@@ -21,6 +21,7 @@
 #include "bbb/io/table.hpp"
 #include "bbb/law/engine.hpp"
 #include "bbb/model/poissonized.hpp"
+#include "bbb/obs/cli.hpp"
 #include "bbb/rng/streams.hpp"
 #include "bbb/stats/gof.hpp"
 
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
                 "cross-validate against this many exact-core replicates "
                 "(one-choice only; n must be simulable)");
   args.add_flag("csv", std::string(""), "dump per-replicate rows to this file");
+  bbb::obs::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
 
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
                                    : std::uint64_t{1} << args.get_u64("log2n");
     cfg.replicates = static_cast<std::uint32_t>(args.get_u64("reps"));
     cfg.seed = args.get_u64("seed");
+    cfg.obs = bbb::obs::parse_obs_flags(args);
     const auto format = bbb::io::parse_format(args.get_string("format"));
 
     const bbb::law::LawSummary s = bbb::law::run_law_experiment(cfg);
@@ -91,6 +94,8 @@ int main(int argc, char** argv) {
     std::printf("fluid estimate: max load %u, min load %u (t = m/n = %.6g)\n",
                 s.fluid_max_load, s.fluid_min_load,
                 static_cast<double>(cfg.m) / static_cast<double>(cfg.n));
+    // Metric summary on stderr so piped stdout (csv/markdown) stays clean.
+    bbb::obs::print_summary(s.obs, stderr);
 
     const std::uint64_t tail = args.get_u64("tail");
     if (tail > 0) {

@@ -15,6 +15,7 @@
 #include "bbb/io/csv.hpp"
 #include "bbb/io/table.hpp"
 #include "bbb/law/one_choice.hpp"
+#include "bbb/obs/cli.hpp"
 #include "bbb/rng/streams.hpp"
 #include "bbb/sim/runner.hpp"
 
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   args.add_flag("csv", std::string(""), "dump per-replicate rows to this file");
   args.add_flag("list", std::uint64_t{0},
                 "1 = print every registry spec string and exit");
+  bbb::obs::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
 
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
     cfg.seed = args.get_u64("seed");
     cfg.layout = bbb::core::parse_state_layout(args.get_string("layout"));
     cfg.tier = bbb::sim::parse_tier(args.get_string("tier"));
+    cfg.obs = bbb::obs::parse_obs_flags(args);
     const auto format = bbb::io::parse_format(args.get_string("format"));
 
     bbb::par::ThreadPool pool(static_cast<std::size_t>(args.get_u64("threads")));
@@ -94,6 +97,8 @@ int main(int argc, char** argv) {
     std::printf("paper bound: max load <= ceil(m/n)+1 = %llu (applies to "
                 "threshold/adaptive families)\n",
                 static_cast<unsigned long long>(bbb::core::ceil_div(cfg.m, cfg.n) + 1));
+    // Metric summary on stderr so piped stdout (csv/markdown) stays clean.
+    bbb::obs::print_summary(s.obs, stderr);
 
     if (args.get_u64("histogram") != 0) {
       // One representative run for the histogram (replicate 0's seed).

@@ -15,6 +15,9 @@
 #include "bbb/core/protocols/registry.hpp"
 #include "bbb/io/argparse.hpp"
 #include "bbb/io/csv.hpp"
+#include "bbb/obs/cli.hpp"
+#include "bbb/obs/harvest.hpp"
+#include "bbb/obs/trace_sink.hpp"
 #include "bbb/sim/trace.hpp"
 
 int main(int argc, char** argv) {
@@ -30,6 +33,7 @@ int main(int argc, char** argv) {
   args.add_flag("format", std::string("ascii"), "ascii|markdown|csv");
   args.add_flag("csv", std::string(""), "also dump points to this CSV file");
   args.add_flag("list", std::uint64_t{0}, "1 = print protocol spec strings and exit");
+  bbb::obs::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
 
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
     const auto points = args.get_u64("points");
     const auto format = bbb::io::parse_format(args.get_string("format"));
     if (points == 0) throw std::invalid_argument("--points must be positive");
+    const bbb::obs::ObsConfig obs = bbb::obs::parse_obs_flags(args);
 
     bbb::rng::Engine gen(args.get_u64("seed"));
     // The m hint binds fixed-bound rules (threshold) to this run's total;
@@ -53,12 +58,38 @@ int main(int argc, char** argv) {
     const auto alloc = bbb::core::make_streaming_allocator(
         args.get_string("protocol"), n, m,
         bbb::core::parse_state_layout(args.get_string("layout")));
+    if (obs.sink) {
+      bbb::obs::JsonLine line("run_start", "trace");
+      line.begin_object("config")
+          .field("protocol", alloc->name())
+          .field("m", m)
+          .field("n", static_cast<std::uint64_t>(n))
+          .field("points", points)
+          .field("seed", args.get_u64("seed"))
+          .end_object();
+      obs.sink->write(std::move(line));
+    }
     const auto trace = bbb::sim::trace_allocation(*alloc, gen, m, m / points);
+    // No runner sits between this CLI and the allocator, so harvest the
+    // core's passive counters directly once the stream is complete.
+    bbb::obs::Snapshot obs_snapshot;
+    if (obs.counters_on()) {
+      bbb::obs::MetricsRegistry registry;
+      bbb::obs::fold_into(registry, bbb::obs::harvest(*alloc));
+      obs_snapshot = registry.snapshot();
+      if (obs.sink) {
+        bbb::obs::JsonLine line("summary", "trace");
+        bbb::obs::append_metrics(line, obs_snapshot);
+        obs.sink->write(std::move(line));
+      }
+    }
 
     auto table = bbb::sim::trace_table(trace);
     table.set_title(alloc->name() + " trajectory, m = " + std::to_string(m) +
                     ", n = " + std::to_string(n));
     std::fputs(table.render(format).c_str(), stdout);
+    // Metric summary on stderr so piped stdout (csv/markdown) stays clean.
+    bbb::obs::print_summary(obs_snapshot, stderr);
 
     const std::string csv_path = args.get_string("csv");
     if (!csv_path.empty()) {

@@ -13,6 +13,10 @@ are labelled as such, since their ratios compare apples to oranges.
 import json
 import sys
 
+# Every record version this tool can diff. v2 adds the per-case "obs"
+# block, which the throughput comparison ignores, so v1-vs-v2 diffs work.
+KNOWN_SCHEMAS = ("bbb-bench-v1", "bbb-bench-v2")
+
 
 def main(argv):
     if len(argv) != 3:
@@ -23,9 +27,9 @@ def main(argv):
     with open(argv[2]) as f:
         new = json.load(f)
     for rec, path in ((old, argv[1]), (new, argv[2])):
-        if rec.get("schema") != "bbb-bench-v1":
-            print(f"compare_bench: {path} is not a bbb-bench-v1 record",
-                  file=sys.stderr)
+        if rec.get("schema") not in KNOWN_SCHEMAS:
+            print(f"compare_bench: {path} is not a bbb-bench record "
+                  f"(known: {', '.join(KNOWN_SCHEMAS)})", file=sys.stderr)
             return 2
     if old.get("config") != new.get("config"):
         print("WARNING: configs differ (smoke vs full?) — ratios are not "

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a bbb --obs-out JSON-lines trace against tools/obs_schema.json.
+
+Stdlib only, like tools/validate_bench.py — whose structural checker this
+imports, so the two validators cannot drift apart. Each line must parse as
+JSON, satisfy the common record envelope (schema/event/tool/seq), and
+satisfy the per-event payload schema for its `event`. On top of the
+per-line checks, `seq` must be strictly increasing across the file — the
+one constraint a per-record schema cannot express, and the one that
+catches interleaved or truncated traces.
+
+Usage: python3 tools/validate_obs.py TRACE.jsonl [SCHEMA.json]
+Exit 0 = valid; 1 = invalid (every violation printed); 2 = usage/IO error.
+"""
+
+import collections
+import json
+import os
+import sys
+
+from validate_bench import check
+
+
+def validate_lines(lines, schema):
+    """Validate an iterable of raw trace lines; returns (errors, counts).
+
+    `errors` is a list of human-readable violations ("line N: ..."), empty
+    when the trace is valid; `counts` maps event name -> occurrences.
+    """
+    errors = []
+    counts = collections.Counter()
+    last_seq = None
+    for lineno, raw in enumerate(lines, start=1):
+        if not raw.strip():
+            errors.append(f"line {lineno}: blank line (not a JSON record)")
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {lineno}: not JSON ({e})")
+            continue
+        line_errors = []
+        check(record, schema["record"], f"line {lineno}", line_errors)
+        event = record.get("event")
+        if not line_errors and event in schema["events"]:
+            check(record, schema["events"][event], f"line {lineno}", line_errors)
+        errors.extend(line_errors)
+        if line_errors:
+            continue
+        counts[event] += 1
+        seq = record["seq"]
+        if last_seq is not None and seq <= last_seq:
+            errors.append(f"line {lineno}: seq {seq} not greater than "
+                          f"previous seq {last_seq}")
+        last_seq = seq
+    if not counts and not errors:
+        errors.append("trace is empty (no records)")
+    return errors, counts
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "obs_schema.json")
+    try:
+        with open(trace_path) as f:
+            lines = f.readlines()
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_obs: {e}", file=sys.stderr)
+        return 2
+    errors, counts = validate_lines(lines, schema)
+    if errors:
+        for e in errors:
+            print(f"INVALID {e}")
+        return 1
+    breakdown = ", ".join(f"{n} {ev}" for ev, n in sorted(counts.items()))
+    print(f"OK {trace_path}: {sum(counts.values())} records ({breakdown})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
