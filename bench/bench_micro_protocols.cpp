@@ -116,6 +116,52 @@ void BM_GiantLeft2(benchmark::State& state) {
 }
 BENCHMARK(BM_GiantLeft2);
 
+// Batch placement kernel (core/batch_kernel.hpp): the same giant-scale
+// shape driven through place_batch in 2^16-ball calls. On the compact
+// layout the kernel-capable families run the vectorized wave path
+// (placements bit-identical to the place() loop — the lockstep suite in
+// tests/core/batch_kernel_test.cpp is the proof); on the wide layout the
+// same call degrades to the per-ball base loop, so the wide/compact pair
+// isolates the kernel's contribution from the batching call shape.
+constexpr std::uint32_t kBatchCall = 1 << 16;
+
+void run_giant_batch_bench(benchmark::State& state, const char* spec,
+                           bbb::core::StateLayout layout) {
+  bbb::rng::Engine gen(7);
+  bbb::core::StreamingAllocator alloc(
+      bbb::core::BinState(kGiantBins, layout),
+      bbb::core::make_rule(spec, kGiantBins, kGiantBins));
+  alloc.set_engine_exclusive(true);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kGiantChunk; i += kBatchCall) {
+      alloc.place_batch(kBatchCall, gen);
+    }
+    benchmark::DoNotOptimize(alloc.state().max_load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kGiantChunk);
+}
+
+void BM_BatchOneChoiceCompact(benchmark::State& state) {
+  run_giant_batch_bench(state, "one-choice", bbb::core::StateLayout::kCompact);
+}
+BENCHMARK(BM_BatchOneChoiceCompact);
+
+void BM_BatchGreedy2Compact(benchmark::State& state) {
+  run_giant_batch_bench(state, "greedy[2]", bbb::core::StateLayout::kCompact);
+}
+BENCHMARK(BM_BatchGreedy2Compact);
+
+void BM_BatchGreedy2Wide(benchmark::State& state) {
+  run_giant_batch_bench(state, "greedy[2]", bbb::core::StateLayout::kWide);
+}
+BENCHMARK(BM_BatchGreedy2Wide);
+
+void BM_BatchLeft2Compact(benchmark::State& state) {
+  run_giant_batch_bench(state, "left[2]", bbb::core::StateLayout::kCompact);
+}
+BENCHMARK(BM_BatchLeft2Compact);
+
 // Full batch runs at m = 8n: end-to-end protocol cost including result
 // materialization, reported as balls/second.
 void BM_RunAdaptiveHeavy(benchmark::State& state) {

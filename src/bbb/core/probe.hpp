@@ -81,6 +81,34 @@ class ProbeLookahead {
     return pos_ != fill_ ? buf_[pos_++] : gen();
   }
 
+  /// Bulk form of `next`: exactly `count` words into `dst`, buffered
+  /// residue first, then the live engine — the same word stream next()
+  /// would deliver one call at a time. Splitting the drain from the draw
+  /// lets the compiler keep the engine state in registers across the
+  /// fresh-draw loop, which matters to the batch kernel's wave fill.
+  template <rng::Engine64 Engine>
+  void next_block(Engine& gen, std::uint64_t* dst, std::uint32_t count) {
+    while (pos_ != fill_ && count != 0) {
+      *dst++ = buf_[pos_++];
+      --count;
+    }
+    if (count == 0) return;
+    ++refills_;  // one bulk draw is one buffer-refill's worth of traffic
+    for (; count != 0; --count) *dst++ = gen();
+  }
+
+  /// Hand back words the batch kernel (core/batch_kernel.hpp) drew ahead
+  /// but did not consume (at most a partial ball's worth). They are
+  /// served before any fresh engine draw, so a place_one following a
+  /// place_batch sees exactly the word a pure place_one stream would.
+  /// Precondition: the queue is empty (the kernel drains it before
+  /// drawing fresh words) and count <= kCapacity.
+  void push_residue(const std::uint64_t* words, std::uint32_t count) noexcept {
+    pos_ = 0;
+    fill_ = count;
+    for (std::uint32_t k = 0; k < count; ++k) buf_[k] = words[k];
+  }
+
   /// Ensure at least `need` words are buffered (no-op when disabled or
   /// already full enough); newly drawn words are reported to
   /// `prefetch(offset, word)` where `offset` counts from the front of the

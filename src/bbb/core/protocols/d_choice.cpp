@@ -41,6 +41,16 @@ std::uint32_t DChoiceRule::do_place(BinState& state, std::uint32_t weight,
   return best;
 }
 
+void DChoiceRule::do_place_batch(BinState& state, std::uint64_t count,
+                                 rng::Engine& gen, std::uint32_t* bins_out) {
+  if (d_ == 2 && BatchPlacer::eligible(state, lookahead_)) {
+    batch_.place_greedy2(state, count, lookahead_, gen, probes_, bins_out);
+    total_placed_ += count;
+    return;
+  }
+  PlacementRule::do_place_batch(state, count, gen, bins_out);
+}
+
 DChoiceProtocol::DChoiceProtocol(std::uint32_t d) : d_(d) {
   if (d == 0) throw std::invalid_argument("DChoiceProtocol: d must be positive");
 }

@@ -6,6 +6,7 @@
 /// Max load: m/n + ln ln n / ln d + O(1) (Berenbrink et al. 2006).
 /// Allocation time: exactly d probes per ball.
 
+#include "bbb/core/batch_kernel.hpp"
 #include "bbb/core/probe.hpp"
 #include "bbb/core/protocol.hpp"
 #include "bbb/core/rule.hpp"
@@ -14,7 +15,10 @@ namespace bbb::core {
 
 /// Streaming greedy[d] rule. Under an exclusive engine the uniform-probe
 /// path reads the raw word stream ahead and prefetches upcoming candidate
-/// bins (bit-identical placements, see core/probe.hpp).
+/// bins (bit-identical placements, see core/probe.hpp); for d == 2,
+/// place_batch on an eligible compact state runs the wave kernel
+/// (core/batch_kernel.hpp — d > 2 interleaves data-dependent reservoir
+/// tie draws with the candidate words and stays on the place_one loop).
 class DChoiceRule final : public PlacementRule {
  public:
   /// \throws std::invalid_argument if d == 0.
@@ -29,14 +33,20 @@ class DChoiceRule final : public PlacementRule {
   [[nodiscard]] const ProbeLookahead* lookahead() const noexcept override {
     return &lookahead_;
   }
+  [[nodiscard]] const BatchPlacer* batch_kernel() const noexcept override {
+    return &batch_;
+  }
 
  protected:
   std::uint32_t do_place(BinState& state, std::uint32_t weight,
                          rng::Engine& gen) override;
+  void do_place_batch(BinState& state, std::uint64_t count, rng::Engine& gen,
+                      std::uint32_t* bins_out) override;
 
  private:
   std::uint32_t d_;
   ProbeLookahead lookahead_;
+  BatchPlacer batch_;
 };
 
 /// Batch protocol wrapper: greedy[d].

@@ -80,6 +80,16 @@ std::uint32_t LeftDRule::do_place(BinState& state, std::uint32_t weight,
   return best;
 }
 
+void LeftDRule::do_place_batch(BinState& state, std::uint64_t count,
+                               rng::Engine& gen, std::uint32_t* bins_out) {
+  if (d_ == 2 && BatchPlacer::eligible(state, lookahead_)) {
+    batch_.place_left2(state, count, lookahead_, gen, probes_, bins_out);
+    total_placed_ += count;
+    return;
+  }
+  PlacementRule::do_place_batch(state, count, gen, bins_out);
+}
+
 LeftDProtocol::LeftDProtocol(std::uint32_t d) : d_(d) {
   if (d == 0) throw std::invalid_argument("LeftDProtocol: d must be positive");
 }

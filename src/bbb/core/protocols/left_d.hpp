@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "bbb/core/batch_kernel.hpp"
 #include "bbb/core/probe.hpp"
 #include "bbb/core/protocol.hpp"
 #include "bbb/core/rule.hpp"
@@ -42,15 +43,24 @@ class LeftDRule final : public PlacementRule {
   [[nodiscard]] const ProbeLookahead* lookahead() const noexcept override {
     return &lookahead_;
   }
+  [[nodiscard]] const BatchPlacer* batch_kernel() const noexcept override {
+    return &batch_;
+  }
 
  protected:
   std::uint32_t do_place(BinState& state, std::uint32_t weight,
                          rng::Engine& gen) override;
+  /// d == 2 on an eligible compact state runs the wave kernel (exactly
+  /// two words per ball, deterministic tie-break — see
+  /// core/batch_kernel.hpp); other d stay on the place_one loop.
+  void do_place_batch(BinState& state, std::uint64_t count, rng::Engine& gen,
+                      std::uint32_t* bins_out) override;
 
  private:
   std::uint32_t n_;
   std::uint32_t d_;
   ProbeLookahead lookahead_;
+  BatchPlacer batch_;
   std::vector<rng::AliasTable> group_samplers_;  // lazily built, heterogeneous only
   const BinState* sampled_state_ = nullptr;      // the state the tables were built for
 };

@@ -23,6 +23,16 @@ std::uint32_t OneChoiceRule::do_place(BinState& state, std::uint32_t weight,
   return bin;
 }
 
+void OneChoiceRule::do_place_batch(BinState& state, std::uint64_t count,
+                                   rng::Engine& gen, std::uint32_t* bins_out) {
+  if (BatchPlacer::eligible(state, lookahead_)) {
+    batch_.place_one_choice(state, count, lookahead_, gen, probes_, bins_out);
+    total_placed_ += count;
+    return;
+  }
+  PlacementRule::do_place_batch(state, count, gen, bins_out);
+}
+
 AllocationResult OneChoiceProtocol::run(std::uint64_t m, std::uint32_t n,
                                         rng::Engine& gen) const {
   OneChoiceRule rule;

@@ -13,6 +13,16 @@ void PlacementRule::finalize(BinState& /*state*/, rng::Engine& /*gen*/) {}
 
 void PlacementRule::set_engine_exclusive(bool /*exclusive*/) noexcept {}
 
+const BatchPlacer* PlacementRule::batch_kernel() const noexcept { return nullptr; }
+
+void PlacementRule::do_place_batch(BinState& state, std::uint64_t count,
+                                   rng::Engine& gen, std::uint32_t* bins_out) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t bin = place_one(state, gen);
+    if (bins_out != nullptr) bins_out[i] = bin;
+  }
+}
+
 void PlacementRule::throw_bad_weight(std::uint32_t weight) const {
   if (weight == 0) {
     throw std::invalid_argument("place_one: weight must be positive");
@@ -57,7 +67,10 @@ AllocationResult run_rule(PlacementRule& rule, std::uint64_t m, BinState& state,
     ~ExclusiveGuard() { rule.set_engine_exclusive(false); }
   } guard{rule};
   rule.set_engine_exclusive(true);
-  for (std::uint64_t i = 0; i < m; ++i) (void)rule.place_one(state, gen);
+  // One batched call: identical to the historical place_one loop for
+  // every rule (the base do_place_batch IS that loop), and the entry
+  // point of the vector batch kernel for the rules/states that have one.
+  rule.place_batch(state, m, gen);
   rule.finalize(state, gen);
   AllocationResult res;
   // copy_loads works in either layout (same one copy the by-value member

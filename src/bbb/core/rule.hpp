@@ -49,6 +49,7 @@
 
 namespace bbb::core {
 
+class BatchPlacer;
 class ProbeLookahead;
 
 /// One streaming decision rule. Instances are single-run: a rule carries
@@ -80,6 +81,20 @@ class PlacementRule {
     const std::uint32_t bin = do_place(state, weight, gen);
     total_placed_ += weight;
     return bin;
+  }
+
+  /// Place `count` unit balls as one call — placements, counters, and
+  /// randomness consumption are bit-identical to `count` place_one calls
+  /// (pinned in tests/core/batch_kernel_test.cpp). Rules with a batch
+  /// kernel (one-choice, greedy[2], left[2] — see core/batch_kernel.hpp)
+  /// place vector waves when the state is compact with uniform unit
+  /// capacities and the engine-exclusivity promise is in force; every
+  /// other rule/state combination runs the plain place_one loop. When
+  /// `bins_out` is non-null it receives each ball's chosen bin (the
+  /// caller provides room for `count` entries).
+  void place_batch(BinState& state, std::uint64_t count, rng::Engine& gen,
+                   std::uint32_t* bins_out = nullptr) {
+    do_place_batch(state, count, gen, bins_out);
   }
 
   /// Driver promise that this rule is the engine's *only* consumer until
@@ -144,7 +159,21 @@ class PlacementRule {
     return nullptr;
   }
 
+  /// The rule's batch placement kernel, for post-run counter harvesting
+  /// (waves, fast/fallback balls); nullptr for rules without one.
+  [[nodiscard]] virtual const BatchPlacer* batch_kernel() const noexcept;
+
  protected:
+  /// The batch decision loop behind place_batch. The default is literally
+  /// `count` place_one calls — so total_placed_ advances ball by ball,
+  /// which rules whose acceptance bound reads it as the running ball index
+  /// (doubling-threshold's guess clock, stale-adaptive's broadcast clock)
+  /// depend on mid-batch. Kernel-capable rules override it to place waves
+  /// when eligible; overrides must leave every counter (total_placed_
+  /// included) and the consumed randomness exactly as the loop would.
+  virtual void do_place_batch(BinState& state, std::uint64_t count,
+                              rng::Engine& gen, std::uint32_t* bins_out);
+
   /// The decision rule proper: pick a bin, mutate `state` (adding the full
   /// `weight` there), count probes. Rules without `supports_weights()` are
   /// only ever called with weight == 1 (guarded in place_one).
@@ -192,6 +221,13 @@ class StreamingAllocator {
 
   /// Allocate one unit ball; returns the chosen bin.
   std::uint32_t place(rng::Engine& gen) { return rule_->place_one(state_, gen); }
+
+  /// Allocate `count` unit balls in one call — bit-identical to `count`
+  /// place() calls, vectorized when the rule has a batch kernel and the
+  /// state/exclusivity eligibility holds (see PlacementRule::place_batch).
+  void place_batch(std::uint64_t count, rng::Engine& gen) {
+    rule_->place_batch(state_, count, gen);
+  }
 
   /// Forward the engine-exclusivity promise to the rule (see
   /// PlacementRule::set_engine_exclusive). Call only when nothing else

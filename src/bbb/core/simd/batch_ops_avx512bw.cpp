@@ -1,0 +1,79 @@
+/// \file batch_ops_avx512bw.cpp
+/// AVX-512 backend: 8 words per step. The unsigned 64-bit rejection
+/// compare goes straight to a mask register (vpcmpuq — no sign-bias
+/// dance) and bins pack with a single vpmovqd. Compiled with
+/// -mavx512f -mavx512bw -mavx512vl and only invoked after CPUID
+/// dispatch confirmed AVX-512BW.
+///
+/// Same cross-product decomposition as the AVX2 backend: with
+/// w = hi * 2^32 + lo and b < 2^32,
+///   high64 = (hi*b + (lo*b >> 32)) >> 32
+///   low64  = (hi*b << 32) + lo*b                (mod 2^64)
+
+#include "bbb/core/simd/batch_ops.hpp"
+
+#if defined(BBB_HAVE_AVX512BW_BACKEND)
+
+#include <immintrin.h>
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC expands unmasked AVX-512 intrinsics through
+// _mm512_undefined_epi32(), tripping -Wmaybe-uninitialized at -O3
+// (GCC PR105593). The passthrough lanes are never observable.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace bbb::core::simd {
+
+namespace {
+
+bool map_words_avx512(const std::uint64_t* words, std::uint32_t count,
+                      MapStream even, MapStream odd, std::uint32_t* bins) {
+  const auto eb = static_cast<long long>(even.bound);
+  const auto ob = static_cast<long long>(odd.bound);
+  const __m512i bound = _mm512_setr_epi64(eb, ob, eb, ob, eb, ob, eb, ob);
+  const __m512i base = _mm512_setr_epi64(even.base, odd.base, even.base, odd.base,
+                                         even.base, odd.base, even.base, odd.base);
+  const auto et = static_cast<long long>(even.threshold);
+  const auto ot = static_cast<long long>(odd.threshold);
+  const __m512i thresh = _mm512_setr_epi64(et, ot, et, ot, et, ot, et, ot);
+  const __m512i mask32 = _mm512_set1_epi64(0xFFFFFFFFLL);
+  __mmask8 rej = 0;
+  std::uint32_t k = 0;
+  for (; k + 8 <= count; k += 8) {
+    const __m512i w = _mm512_loadu_si512(words + k);
+    const __m512i lo = _mm512_and_si512(w, mask32);
+    const __m512i hi = _mm512_srli_epi64(w, 32);
+    const __m512i plo = _mm512_mul_epu32(lo, bound);
+    const __m512i phi = _mm512_mul_epu32(hi, bound);
+    const __m512i low64 = _mm512_add_epi64(plo, _mm512_slli_epi64(phi, 32));
+    const __m512i high =
+        _mm512_srli_epi64(_mm512_add_epi64(phi, _mm512_srli_epi64(plo, 32)), 32);
+    rej |= _mm512_cmplt_epu64_mask(low64, thresh);
+    // maskz form: the plain cvt expands through _mm512_undefined_epi32,
+    // which GCC 12 flags -Wmaybe-uninitialized.
+    const __m256i packed =
+        _mm512_maskz_cvtepi64_epi32(0xFF, _mm512_add_epi64(high, base));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(bins + k), packed);
+  }
+  bool reject = rej != 0;
+  // Scalar tail (< 8 words), same semantics as the reference backend;
+  // index parity selects the stream.
+  for (; k < count; ++k) {
+    const MapStream& s = (k & 1u) != 0 ? odd : even;
+    const auto prod = static_cast<__uint128_t>(words[k]) * s.bound;
+    bins[k] = s.base + static_cast<std::uint32_t>(prod >> 64);
+    reject |= static_cast<std::uint64_t>(prod) < s.threshold;
+  }
+  return reject;
+}
+
+constexpr SimdOps kAvx512bwOps{SimdTier::kAvx512bw, &map_words_avx512};
+
+}  // namespace
+
+const SimdOps& avx512bw_ops() noexcept { return kAvx512bwOps; }
+
+}  // namespace bbb::core::simd
+
+#endif  // BBB_HAVE_AVX512BW_BACKEND

@@ -1,0 +1,133 @@
+/// \file batch_ops_scalar.cpp
+/// Portable reference backend for the batch-kernel primitives — the
+/// semantics every vector backend is pinned against. Also the dispatch
+/// home: CPUID detection, the BBB_SIMD_MAX environment clamp, and the
+/// test override all live here, in the one TU that is always built.
+
+#include "bbb/core/simd/batch_ops.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace bbb::core::simd {
+
+namespace {
+
+bool map_words_scalar(const std::uint64_t* words, std::uint32_t count,
+                      MapStream even, MapStream odd, std::uint32_t* bins) {
+  bool reject = false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const MapStream& s = (i & 1u) != 0 ? odd : even;
+    const auto prod = static_cast<__uint128_t>(words[i]) * s.bound;
+    bins[i] = s.base + static_cast<std::uint32_t>(prod >> 64);
+    reject |= static_cast<std::uint64_t>(prod) < s.threshold;
+  }
+  return reject;
+}
+
+constexpr SimdOps kScalarOps{SimdTier::kScalar, &map_words_scalar};
+
+/// Highest tier both compiled into this build and supported by the CPU.
+SimdTier detect() noexcept {
+#if defined(BBB_HAVE_AVX512BW_BACKEND) || defined(BBB_HAVE_AVX2_BACKEND)
+#if defined(__GNUC__) || defined(__clang__)
+#if defined(BBB_HAVE_AVX512BW_BACKEND)
+  if (__builtin_cpu_supports("avx512bw")) return SimdTier::kAvx512bw;
+#endif
+#if defined(BBB_HAVE_AVX2_BACKEND)
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+#endif
+#endif
+  return SimdTier::kScalar;
+}
+
+/// BBB_SIMD_MAX read once: an unset/empty variable does not clamp; an
+/// unknown value falls back to scalar (fail safe, never fail fast at
+/// dispatch time — a typo must not crash a long run at its first batch).
+SimdTier env_ceiling() noexcept {
+  const char* env = std::getenv("BBB_SIMD_MAX");
+  if (env == nullptr || *env == '\0') return SimdTier::kAvx512bw;
+  const std::string_view text(env);
+  if (text == "avx512bw") return SimdTier::kAvx512bw;
+  if (text == "avx2") return SimdTier::kAvx2;
+  return SimdTier::kScalar;
+}
+
+SimdTier cached_ceiling() noexcept {
+  static const SimdTier tier = [] {
+    const SimdTier detected = detect();
+    const SimdTier ceiling = env_ceiling();
+    return detected < ceiling ? detected : ceiling;
+  }();
+  return tier;
+}
+
+/// Test override: kAvx512bw + 1 encodes "no override". Relaxed atomics —
+/// tests set it from one thread before driving kernels.
+constexpr auto kNoOverride = static_cast<std::uint8_t>(3);
+std::atomic<std::uint8_t> g_override{kNoOverride};
+
+const SimdOps& ops_for(SimdTier tier) noexcept {
+  switch (tier) {
+#if defined(BBB_HAVE_AVX512BW_BACKEND)
+    case SimdTier::kAvx512bw:
+      return avx512bw_ops();
+#endif
+#if defined(BBB_HAVE_AVX2_BACKEND)
+    case SimdTier::kAvx2:
+      return avx2_ops();
+#endif
+    default:
+      return kScalarOps;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kAvx512bw:
+      return "avx512bw";
+    case SimdTier::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+SimdTier parse_simd_tier(std::string_view text) {
+  if (text == "scalar") return SimdTier::kScalar;
+  if (text == "avx2") return SimdTier::kAvx2;
+  if (text == "avx512bw") return SimdTier::kAvx512bw;
+  throw std::invalid_argument("unknown SIMD tier '" + std::string(text) +
+                              "' (expected scalar|avx2|avx512bw)");
+}
+
+const SimdOps& scalar_ops() noexcept { return kScalarOps; }
+
+SimdTier detected_simd_tier() noexcept { return detect(); }
+
+const SimdOps& active_ops() noexcept {
+  SimdTier tier = cached_ceiling();
+  const std::uint8_t override = g_override.load(std::memory_order_relaxed);
+  if (override != kNoOverride) {
+    const auto clamped = static_cast<SimdTier>(override);
+    if (clamped < tier) tier = clamped;
+  }
+  return ops_for(tier);
+}
+
+SimdTier active_simd_tier() noexcept { return active_ops().tier; }
+
+void set_simd_tier_override(SimdTier tier) noexcept {
+  g_override.store(static_cast<std::uint8_t>(tier), std::memory_order_relaxed);
+}
+
+void clear_simd_tier_override() noexcept {
+  g_override.store(kNoOverride, std::memory_order_relaxed);
+}
+
+}  // namespace bbb::core::simd

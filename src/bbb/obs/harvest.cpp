@@ -1,5 +1,6 @@
 #include "bbb/obs/harvest.hpp"
 
+#include "bbb/core/batch_kernel.hpp"
 #include "bbb/core/bin_state.hpp"
 #include "bbb/core/probe.hpp"
 
@@ -15,6 +16,10 @@ void CoreCounters::accumulate(const CoreCounters& other) noexcept {
   compact_promotions += other.compact_promotions;
   compact_demotions += other.compact_demotions;
   explode_fallbacks += other.explode_fallbacks;
+  batch_batches += other.batch_batches;
+  batch_waves += other.batch_waves;
+  batch_fast_balls += other.batch_fast_balls;
+  batch_fallback_balls += other.batch_fallback_balls;
 }
 
 CoreCounters harvest(const core::StreamingAllocator& alloc) {
@@ -32,6 +37,12 @@ CoreCounters harvest(const core::PlacementRule& rule, const core::BinState* stat
   if (const core::ProbeLookahead* la = rule.lookahead(); la != nullptr) {
     c.lookahead_refills = la->refills();
     c.lookahead_discarded_words = la->discarded_words();
+  }
+  if (const core::BatchPlacer* bk = rule.batch_kernel(); bk != nullptr) {
+    c.batch_batches = bk->batches();
+    c.batch_waves = bk->waves();
+    c.batch_fast_balls = bk->fast_balls();
+    c.batch_fallback_balls = bk->fallback_balls();
   }
   if (state != nullptr) {
     c.compact_promotions = state->compact_promotions();
@@ -74,6 +85,13 @@ void fold_into(MetricsRegistry& registry, const CoreCounters& counters) {
   if (counters.explode_fallbacks != 0) {
     registry.add_counter("core.weighted.explode_fallbacks",
                          counters.explode_fallbacks);
+  }
+  if (counters.batch_batches != 0) {
+    registry.add_counter("core.batch.batches", counters.batch_batches);
+    registry.add_counter("core.batch.waves", counters.batch_waves);
+    registry.add_counter("core.batch.fast_balls", counters.batch_fast_balls);
+    registry.add_counter("core.batch.fallback_balls",
+                         counters.batch_fallback_balls);
   }
 }
 

@@ -20,6 +20,10 @@
 ///   state.compact.promotions         8-bit lane -> overflow side-table
 ///   state.compact.demotions          overflow side-table -> 8-bit lane
 ///   core.weighted.explode_fallbacks  weighted chains placed unit-by-unit
+///   core.batch.batches               kernel-path place_batch calls
+///   core.batch.waves                 batch-kernel waves processed
+///   core.batch.fast_balls            balls committed by the vector path
+///   core.batch.fallback_balls        balls re-run on the exact scalar path
 
 #include <cstdint>
 
@@ -41,6 +45,10 @@ struct CoreCounters {
   std::uint64_t compact_promotions = 0;
   std::uint64_t compact_demotions = 0;
   std::uint64_t explode_fallbacks = 0;
+  std::uint64_t batch_batches = 0;
+  std::uint64_t batch_waves = 0;
+  std::uint64_t batch_fast_balls = 0;
+  std::uint64_t batch_fallback_balls = 0;
 
   /// Element-wise sum (fold across replicates).
   void accumulate(const CoreCounters& other) noexcept;

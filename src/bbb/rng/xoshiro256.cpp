@@ -14,18 +14,6 @@ Xoshiro256PlusPlus::Xoshiro256PlusPlus(std::uint64_t seed) noexcept {
 Xoshiro256PlusPlus::Xoshiro256PlusPlus(const std::array<std::uint64_t, 4>& state) noexcept
     : s_(state) {}
 
-Xoshiro256PlusPlus::result_type Xoshiro256PlusPlus::operator()() noexcept {
-  const std::uint64_t result = std::rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = std::rotl(s_[3], 45);
-  return result;
-}
-
 namespace {
 
 // Jump polynomials from the reference implementation (Blackman & Vigna).

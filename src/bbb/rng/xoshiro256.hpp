@@ -9,6 +9,7 @@
 /// non-overlapping subsequences can be handed to parallel workers.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 namespace bbb::rng {
@@ -26,8 +27,21 @@ class Xoshiro256PlusPlus {
   /// Construct from full 256-bit state. Must not be all zero.
   explicit Xoshiro256PlusPlus(const std::array<std::uint64_t, 4>& state) noexcept;
 
-  /// Next uniform 64-bit word.
-  result_type operator()() noexcept;
+  /// Next uniform 64-bit word. Defined inline: one rotate + a handful of
+  /// xors, called once per probe word from every inner loop in the
+  /// library — an out-of-line definition would put a call/return on the
+  /// hottest path there is.
+  result_type operator()() noexcept {
+    const std::uint64_t result = std::rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+  }
 
   /// Advance 2^128 steps. Partitions the period into non-overlapping halves;
   /// calling jump() k times on copies yields k independent parallel streams.

@@ -1,5 +1,6 @@
 #include "bbb/sim/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -49,19 +50,23 @@ ReplicateRecord run_streaming_replicate(const ExperimentConfig& config,
     // wall-clock poll sits behind a 64Ki-ball stride; heartbeats observe
     // (balls done, current gap) and never touch `gen`.
     obs::Heartbeat heartbeat(config.obs.heartbeat_seconds);
-    for (std::uint64_t i = 0; i < config.m; ++i) {
-      (void)alloc->place(gen);
-      if ((i & 0xFFFF) == 0xFFFF && heartbeat.due()) {
+    // The heartbeat stride doubles as the batch size: placements are
+    // bit-identical to the place() loop (see PlacementRule::place_batch),
+    // and kernel-capable rules vectorize each 64Ki chunk.
+    for (std::uint64_t i = 0; i < config.m; i += 0x10000) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(0x10000, config.m - i);
+      alloc->place_batch(chunk, gen);
+      if (heartbeat.due()) {
         obs::JsonLine line("heartbeat", "sim");
         line.field("replicate", static_cast<std::uint64_t>(replicate_index))
-            .field("done", i + 1)
+            .field("done", i + chunk)
             .field("total", config.m)
             .field("gap", static_cast<std::uint64_t>(alloc->state().gap()));
         config.obs.sink->write(std::move(line));
       }
     }
   } else {
-    for (std::uint64_t i = 0; i < config.m; ++i) (void)alloc->place(gen);
+    alloc->place_batch(config.m, gen);
   }
   alloc->finalize(gen);
 

@@ -33,6 +33,7 @@
 #include "bbb/core/bin_state.hpp"
 #include "bbb/core/protocols/registry.hpp"
 #include "bbb/core/rule.hpp"
+#include "bbb/core/simd/batch_ops.hpp"
 #include "bbb/dyn/engine.hpp"
 #include "bbb/io/argparse.hpp"
 #include "bbb/law/engine.hpp"
@@ -141,7 +142,12 @@ Case bench_metric_read(bbb::core::StateLayout layout, std::uint32_t n,
   return c;
 }
 
-/// Streaming throughput of one rule family at giant n, lookahead on.
+/// Streaming throughput of one rule family at giant n, lookahead on. The
+/// timed region is one place_batch call: kernel-capable rules (one-choice,
+/// greedy[2], left[2] on the compact layout) run the vectorized wave path,
+/// every other family falls through to the per-ball loop — so the same
+/// case id tracks whichever path that family actually ships with, and the
+/// check echo (max_load) certifies the placements stayed bit-identical.
 Case bench_stream(const std::string& spec, bbb::core::StateLayout layout,
                   std::uint32_t n, std::uint64_t m, std::uint64_t seed) {
   Case c;
@@ -154,7 +160,7 @@ Case bench_stream(const std::string& spec, bbb::core::StateLayout layout,
                                       bbb::core::make_rule(spec, n, m));
   alloc.set_engine_exclusive(true);
   const double t0 = now_seconds();
-  for (std::uint64_t i = 0; i < m; ++i) (void)alloc.place(gen);
+  alloc.place_batch(m, gen);
   const double t1 = now_seconds();
   c = finish(std::move(c), t0, t1, m);
   c.check = static_cast<double>(alloc.state().max_load());
@@ -298,9 +304,11 @@ int main(int argc, char** argv) {
     // -- JSON record ---------------------------------------------------------
     std::string out;
     out += "{\n";
-    // v2 = v1 plus the per-case "obs" block on stream cases; validators
-    // and compare_bench.py accept both, so old BENCH_*.json stay valid.
-    out += "  \"schema\": \"bbb-bench-v2\",\n";
+    // v2 = v1 plus the per-case "obs" block on stream cases; v3 = v2 plus
+    // machine.simd (the dispatch tier the streaming cases ran under) and
+    // the optional core.batch.* obs keys. Validators and compare_bench.py
+    // accept all three, so old BENCH_*.json stay valid.
+    out += "  \"schema\": \"bbb-bench-v3\",\n";
     out += "  \"label\": \"";
     json_escape_into(out, args.get_string("label"));
     out += "\",\n  \"commit\": \"";
@@ -317,7 +325,13 @@ int main(int argc, char** argv) {
 #else
     out += "    \"compiler\": \"unknown\",\n";
 #endif
-    out += "    \"pointer_bits\": " + std::to_string(8 * sizeof(void*)) + "\n";
+    out += "    \"pointer_bits\": " + std::to_string(8 * sizeof(void*)) + ",\n";
+    // The tier the batch kernel actually dispatched to on this machine —
+    // CPUID detection clamped by BBB_SIMD_MAX and the compiled backends —
+    // so two records are known (in)comparable before reading any numbers.
+    out += "    \"simd\": \"";
+    out += bbb::core::simd::to_string(bbb::core::simd::active_simd_tier());
+    out += "\"\n";
     out += "  },\n";
     out += "  \"config\": {\"smoke\": ";
     out += smoke ? "true" : "false";
@@ -344,7 +358,7 @@ int main(int argc, char** argv) {
                       ", \"lookahead_discarded_words\": %" PRIu64
                       ", \"compact_promotions\": %" PRIu64
                       ", \"compact_demotions\": %" PRIu64
-                      ", \"explode_fallbacks\": %" PRIu64 "}",
+                      ", \"explode_fallbacks\": %" PRIu64,
                       c.counters.probes, c.counters.balls_placed,
                       c.counters.reallocations, c.counters.rounds,
                       c.counters.lookahead_refills,
@@ -352,6 +366,20 @@ int main(int argc, char** argv) {
                       c.counters.compact_promotions, c.counters.compact_demotions,
                       c.counters.explode_fallbacks);
         out += buf;
+        if (c.counters.batch_batches != 0) {
+          // v3-only optional keys: present exactly when the batch kernel
+          // engaged, so v2 consumers of kernel-less records see no change.
+          std::snprintf(buf, sizeof(buf),
+                        ", \"batch_batches\": %" PRIu64
+                        ", \"batch_waves\": %" PRIu64
+                        ", \"batch_fast_balls\": %" PRIu64
+                        ", \"batch_fallback_balls\": %" PRIu64,
+                        c.counters.batch_batches, c.counters.batch_waves,
+                        c.counters.batch_fast_balls,
+                        c.counters.batch_fallback_balls);
+          out += buf;
+        }
+        out += "}";
       }
       out += i + 1 < cases.size() ? "},\n" : "}\n";
     }

@@ -14,8 +14,9 @@ import json
 import sys
 
 # Every record version this tool can diff. v2 adds the per-case "obs"
-# block, which the throughput comparison ignores, so v1-vs-v2 diffs work.
-KNOWN_SCHEMAS = ("bbb-bench-v1", "bbb-bench-v2")
+# block and v3 adds machine.simd plus batch_* obs keys; the throughput
+# comparison ignores both, so any cross-version diff works.
+KNOWN_SCHEMAS = ("bbb-bench-v1", "bbb-bench-v2", "bbb-bench-v3")
 
 
 def main(argv):

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Unit tests for the bench-record tools: validate_bench.py (v1 and v2
-records, including the v2 per-case "obs" block) and compare_bench.py
-(diffing across schema versions).
+"""Unit tests for the bench-record tools: validate_bench.py (v1, v2, and
+v3 records, including the v2 per-case "obs" block and the v3 machine.simd
+/ batch_* additions) and compare_bench.py (diffing across schema
+versions).
 
 Run directly (python3 tools/test_bench_tools.py) or through ctest.
 """
@@ -58,6 +59,16 @@ def v2_record():
     return rec
 
 
+def v3_record():
+    rec = v2_record()
+    rec["schema"] = "bbb-bench-v3"
+    rec["machine"]["simd"] = "avx2"
+    rec["cases"][0]["obs"].update(
+        {"batch_batches": 1, "batch_waves": 1024, "batch_fast_balls": 131072,
+         "batch_fallback_balls": 0})
+    return rec
+
+
 def check_errors(record):
     errors = []
     validate_bench.check(record, load_schema(), "$", errors)
@@ -71,10 +82,18 @@ class ValidateBench(unittest.TestCase):
     def test_v2_record_valid(self):
         self.assertEqual(check_errors(v2_record()), [])
 
+    def test_v3_record_valid(self):
+        self.assertEqual(check_errors(v3_record()), [])
+
     def test_unknown_schema_version_invalid(self):
         rec = v1_record()
-        rec["schema"] = "bbb-bench-v3"
-        self.assertTrue(any("bbb-bench-v3" in e for e in check_errors(rec)))
+        rec["schema"] = "bbb-bench-v4"
+        self.assertTrue(any("bbb-bench-v4" in e for e in check_errors(rec)))
+
+    def test_bad_simd_tier_invalid(self):
+        rec = v3_record()
+        rec["machine"]["simd"] = "neon"
+        self.assertTrue(any("simd" in e for e in check_errors(rec)))
 
     def test_obs_missing_counter_invalid(self):
         rec = v2_record()
@@ -117,9 +136,14 @@ class CompareBench(unittest.TestCase):
         code, _ = self.run_compare(v2_record(), v2_record())
         self.assertEqual(code, 0)
 
+    def test_v2_vs_v3_compares(self):
+        code, out = self.run_compare(v2_record(), v3_record())
+        self.assertEqual(code, 0)
+        self.assertIn("1.00x", out)
+
     def test_unknown_schema_rejected(self):
         bad = v1_record()
-        bad["schema"] = "bbb-bench-v3"
+        bad["schema"] = "bbb-bench-v4"
         code, _ = self.run_compare(bad, v2_record())
         self.assertEqual(code, 2)
 
