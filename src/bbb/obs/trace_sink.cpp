@@ -165,7 +165,10 @@ TraceSink::~TraceSink() {
 
 void TraceSink::write(JsonLine&& line) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  line.field("seq", seq_++);
+  // The mutex serializes writers, so relaxed ordering suffices: the
+  // increment itself never races, and readers only need the count, not
+  // happens-before with the file contents.
+  line.field("seq", seq_.fetch_add(1, std::memory_order_relaxed));
   const std::string text = line.finish();
   std::fwrite(text.data(), 1, text.size(), file_);
   std::fputc('\n', file_);
@@ -173,9 +176,7 @@ void TraceSink::write(JsonLine&& line) {
 }
 
 std::uint64_t TraceSink::records_written() const noexcept {
-  // seq_ only grows; a torn read is impossible on any supported target,
-  // and this accessor is test/diagnostic-only anyway.
-  return seq_;
+  return seq_.load(std::memory_order_relaxed);
 }
 
 }  // namespace bbb::obs

@@ -24,6 +24,7 @@
 /// write time, so concurrent emitters (the future sharded tier) cannot
 /// produce duplicate or out-of-order sequence numbers.
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <chrono>
@@ -102,7 +103,14 @@ class TraceSink {
   std::mutex mutex_;
   std::FILE* file_;
   std::string path_;
-  std::uint64_t seq_ = 0;
+  // Atomic, not mutex-guarded: records_written() is called from outside
+  // the writer threads (progress polling while replicate heartbeats
+  // stream), and an unsynchronized uint64 read beside the locked
+  // increment in write() is a data race — TSan caught exactly that
+  // (regression: ObsTsanStress.RecordsWrittenRacesWithWriters). Ordering
+  // against the file contents is still the mutex's job; the atomic only
+  // makes the count itself safely readable.
+  std::atomic<std::uint64_t> seq_{0};
 };
 
 /// Wall-clock cadence gate for heartbeat events. due() flips true once

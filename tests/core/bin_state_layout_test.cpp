@@ -60,8 +60,8 @@ TEST(BinStateLayout, ParseAndPrintRoundTrip) {
   EXPECT_EQ(parse_state_layout("compact"), StateLayout::kCompact);
   EXPECT_EQ(to_string(StateLayout::kWide), "wide");
   EXPECT_EQ(to_string(StateLayout::kCompact), "compact");
-  EXPECT_THROW(parse_state_layout("narrow"), std::invalid_argument);
-  EXPECT_THROW(parse_state_layout(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_state_layout("narrow"), std::invalid_argument);
+  EXPECT_THROW((void)parse_state_layout(""), std::invalid_argument);
 }
 
 TEST(BinStateLayout, CompactRejectsWideOnlyApi) {

@@ -145,7 +145,7 @@ TEST(LawEngine, FluidMinLoadRisesWithDensity) {
 TEST(SimTier, ParseAndDescribeRoundTrip) {
   EXPECT_EQ(sim::parse_tier("exact"), sim::Tier::kExact);
   EXPECT_EQ(sim::parse_tier("law"), sim::Tier::kLaw);
-  EXPECT_THROW(sim::parse_tier("LAW"), std::invalid_argument);
+  EXPECT_THROW((void)sim::parse_tier("LAW"), std::invalid_argument);
   EXPECT_EQ(sim::to_string(sim::Tier::kLaw), "law");
 
   sim::ExperimentConfig cfg;

@@ -40,7 +40,9 @@ TEST_P(ProtocolInvariantTest, ConservationOfBalls) {
       std::accumulate(res.loads.begin(), res.loads.end(), std::uint64_t{0});
   EXPECT_EQ(total, res.balls);
   EXPECT_LE(res.balls, m);
-  if (res.completed) EXPECT_EQ(res.balls, m);
+  if (res.completed) {
+    EXPECT_EQ(res.balls, m);
+  }
 }
 
 TEST_P(ProtocolInvariantTest, DeterministicForSameSeed) {
@@ -107,7 +109,9 @@ std::vector<GridCase> build_grid() {
   // d <= n; batched cannot place more than capacity * n balls; cuckoo's
   // outcome is degenerate (all buckets full) above ~0.8 load factor.
   const auto feasible = [](const std::string& spec, std::uint64_t m, std::uint32_t n) {
-    if (spec.rfind("left[", 0) == 0) return n >= spec[5] - '0';
+    if (spec.rfind("left[", 0) == 0) {
+      return n >= static_cast<std::uint32_t>(spec[5] - '0');
+    }
     if (spec.rfind("cuckoo", 0) == 0) return n >= 2 && m <= 3ULL * n;
     if (spec.rfind("batched[", 0) == 0) return m <= 4ULL * n;
     return true;

@@ -35,10 +35,10 @@ TEST(KsStatistic, Symmetry) {
 }
 
 TEST(KsStatistic, RejectsEmptyAndNaN) {
-  EXPECT_THROW(ks_statistic({}, {1.0}), std::invalid_argument);
-  EXPECT_THROW(ks_statistic({1.0}, {}), std::invalid_argument);
-  EXPECT_THROW(ks_statistic({1.0, kNaN}, {1.0}), std::invalid_argument);
-  EXPECT_THROW(ks_statistic({1.0}, {kNaN}), std::invalid_argument);
+  EXPECT_THROW((void)ks_statistic({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)ks_statistic({1.0}, {}), std::invalid_argument);
+  EXPECT_THROW((void)ks_statistic({1.0, kNaN}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)ks_statistic({1.0}, {kNaN}), std::invalid_argument);
 }
 
 // ------------------------------------------------------------------ ks_counts
@@ -67,10 +67,10 @@ TEST(KsCounts, SymmetryAndScaleInvariance) {
 }
 
 TEST(KsCounts, RejectsBadInput) {
-  EXPECT_THROW(ks_counts({}, {}), std::invalid_argument);
-  EXPECT_THROW(ks_counts({1, 2}, {1}), std::invalid_argument);
-  EXPECT_THROW(ks_counts({0, 0}, {1, 2}), std::invalid_argument);
-  EXPECT_THROW(ks_counts({1, 2}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)ks_counts({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)ks_counts({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)ks_counts({0, 0}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)ks_counts({1, 2}, {0, 0}), std::invalid_argument);
 }
 
 // ------------------------------------------------------ chi_square_homogeneity
@@ -112,11 +112,11 @@ TEST(ChiSquareHomogeneity, PoolsSparseCells) {
 }
 
 TEST(ChiSquareHomogeneity, RejectsBadInput) {
-  EXPECT_THROW(chi_square_homogeneity({}, {}), std::invalid_argument);
-  EXPECT_THROW(chi_square_homogeneity({1, 2}, {1}), std::invalid_argument);
-  EXPECT_THROW(chi_square_homogeneity({0, 0}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_homogeneity({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_homogeneity({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_homogeneity({0, 0}, {1, 2}), std::invalid_argument);
   // One giant cell: nothing to compare after pooling.
-  EXPECT_THROW(chi_square_homogeneity({100}, {100}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_homogeneity({100}, {100}), std::invalid_argument);
 }
 
 // Same-distribution calibration: two independent binomial-count rows should

@@ -95,9 +95,9 @@ TEST(Fluid, Validation) {
   EXPECT_THROW(fluid_tail_curve(1.0, 2, -0.1, 4), std::invalid_argument);
   EXPECT_THROW(fluid_tail_curve(1.0, 2, 1.1, 4), std::invalid_argument);
   EXPECT_THROW(fluid_tail_curve(1.0, 1, 0.0, 0), std::invalid_argument);
-  EXPECT_THROW(fluid_max_load_estimate({}, 4), std::invalid_argument);
+  EXPECT_THROW((void)fluid_max_load_estimate({}, 4), std::invalid_argument);
   const std::vector<double> tails{0.5};
-  EXPECT_THROW(fluid_max_load_estimate(tails, 0), std::invalid_argument);
+  EXPECT_THROW((void)fluid_max_load_estimate(tails, 0), std::invalid_argument);
 }
 
 TEST(Fluid, TimeZeroIsEmptySystem) {

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the bbb tree (profile: .clang-tidy at repo root).
+
+Stdlib only. Reads compile_commands.json (exported by every CMake
+configure — CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level lists
+file), selects the first-party TUs, and runs clang-tidy over them in
+parallel, applying the per-file suppression ledger in
+tools/clang_tidy_suppressions.json:
+
+    { "src/bbb/foo/bar.cpp": [
+        { "check": "bugprone-xyz", "reason": "why this file is exempt" } ] }
+
+Ledger entries become `--checks=-<check>` for that file only — a narrow,
+reviewable alternative to NOLINT scatter or profile-wide disables.
+
+The container this repo usually builds in has no clang-tidy; without the
+binary the script prints SKIPPED and exits 0 so local runs and ctest stay
+green. CI passes --require (after installing clang-tidy), which turns a
+missing binary into a hard failure instead of a silent skip.
+
+Usage: python3 tools/run_clang_tidy.py [--build-dir DIR] [--require]
+                                       [--include-tests] [PATH_SUBSTR ...]
+Positional args filter TUs by substring (e.g. `core/` or `probe`).
+Exit 0 = clean or skipped; 1 = findings; 2 = setup error.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LEDGER = os.path.join(REPO, "tools", "clang_tidy_suppressions.json")
+FIRST_PARTY = ("src/", "bench/", "examples/", "tools/")
+CANDIDATE_BINARIES = ("clang-tidy", "clang-tidy-20", "clang-tidy-19",
+                      "clang-tidy-18", "clang-tidy-17", "clang-tidy-16")
+DEFAULT_BUILD_DIRS = ("build", "build-debug", "build-tsan", "build-sanitize")
+
+
+def find_binary():
+    override = os.environ.get("CLANG_TIDY")
+    if override:
+        return override if shutil.which(override) else None
+    for name in CANDIDATE_BINARIES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def find_compile_db(build_dir):
+    if build_dir:
+        candidates = [build_dir]
+    else:
+        candidates = [os.path.join(REPO, d) for d in DEFAULT_BUILD_DIRS]
+    for d in candidates:
+        path = os.path.join(d, "compile_commands.json")
+        if os.path.exists(path):
+            return d
+    return None
+
+
+def load_ledger():
+    if not os.path.exists(LEDGER):
+        return {}
+    with open(LEDGER, encoding="utf-8") as f:
+        ledger = json.load(f)
+    for rel, entries in ledger.items():
+        for entry in entries:
+            if "check" not in entry or "reason" not in entry:
+                raise ValueError(f"ledger entry for {rel} needs 'check' and "
+                                 "'reason' keys")
+    return ledger
+
+
+def select_tus(build_dir, include_tests, filters):
+    with open(os.path.join(build_dir, "compile_commands.json"),
+              encoding="utf-8") as f:
+        db = json.load(f)
+    prefixes = FIRST_PARTY + (("tests/",) if include_tests else ())
+    files = []
+    for entry in db:
+        path = os.path.normpath(entry["file"])
+        rel = os.path.relpath(path, REPO)
+        if rel.startswith("..") or "_deps" in rel:
+            continue
+        if not rel.startswith(prefixes):
+            continue
+        if filters and not any(s in rel for s in filters):
+            continue
+        if rel not in files:
+            files.append(rel)
+    return sorted(files)
+
+
+def tidy_one(binary, build_dir, rel, ledger):
+    cmd = [binary, "-p", build_dir, "--quiet"]
+    disabled = [e["check"] for e in ledger.get(rel, [])]
+    if disabled:
+        cmd.append("--checks=" + ",".join("-" + c for c in disabled))
+    cmd.append(os.path.join(REPO, rel))
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # clang-tidy exits nonzero iff WarningsAsErrors matched (our profile
+    # promotes everything), so returncode is the per-file verdict.
+    return rel, proc.returncode, proc.stdout.strip()
+
+
+def main(argv):
+    build_dir = None
+    require = False
+    include_tests = False
+    filters = []
+    args = iter(argv[1:])
+    for arg in args:
+        if arg == "--build-dir":
+            build_dir = next(args, None)
+            if build_dir is None:
+                print("--build-dir needs a value", file=sys.stderr)
+                return 2
+        elif arg == "--require":
+            require = True
+        elif arg == "--include-tests":
+            include_tests = True
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            filters.append(arg)
+
+    binary = find_binary()
+    if binary is None:
+        if require:
+            print("run_clang_tidy: no clang-tidy binary found and --require "
+                  "was given", file=sys.stderr)
+            return 2
+        print("run_clang_tidy: SKIPPED (no clang-tidy binary on PATH; "
+              "install one or set CLANG_TIDY, or run in CI)")
+        return 0
+
+    build_dir = find_compile_db(build_dir)
+    if build_dir is None:
+        print("run_clang_tidy: no compile_commands.json found — configure "
+              "a build first (cmake -B build -S .)", file=sys.stderr)
+        return 2
+
+    try:
+        ledger = load_ledger()
+    except (ValueError, json.JSONDecodeError) as err:
+        print(f"run_clang_tidy: bad suppression ledger: {err}", file=sys.stderr)
+        return 2
+
+    files = select_tus(build_dir, include_tests, filters)
+    if not files:
+        print("run_clang_tidy: no matching TUs", file=sys.stderr)
+        return 2
+
+    failures = 0
+    workers = max(1, os.cpu_count() or 1)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        jobs = [pool.submit(tidy_one, binary, build_dir, rel, ledger)
+                for rel in files]
+        for job in jobs:
+            rel, code, output = job.result()
+            if code != 0:
+                failures += 1
+                print(f"== {rel}")
+                print(output)
+    suppressed = sum(len(v) for v in ledger.values())
+    print(f"run_clang_tidy: {len(files)} TUs, {failures} with findings"
+          + (f", {suppressed} ledger suppression(s)" if suppressed else ""))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
