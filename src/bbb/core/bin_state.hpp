@@ -243,6 +243,17 @@ class BinState {
   /// ln Phi with the paper's eps = 1/200, maintained incrementally.
   [[nodiscard]] double log_phi() const noexcept;
 
+  // -- raw potential parts (for merging partitioned states) ----------------
+
+  /// The exact integer part S2 = sum l_i^2 of psi(). A state partitioned
+  /// across shards merges as sum_s S2_s - t^2/n — bit-identical to the
+  /// unpartitioned psi() (the shard engine's merged reads rely on this).
+  [[nodiscard]] std::uint64_t sum_squares() const noexcept { return sum_sq_; }
+
+  /// The raw potential weight W = sum (1+eps)^{-l_i} behind log_phi();
+  /// additive across a bin partition the same way.
+  [[nodiscard]] double phi_weight() const noexcept { return phi_weight_; }
+
   // -- capacities ----------------------------------------------------------
 
   /// True when every bin has the same capacity (probing proportional to

@@ -18,6 +18,7 @@
 #include "bbb/core/protocols/skewed_adaptive.hpp"
 #include "bbb/core/protocols/stale_adaptive.hpp"
 #include "bbb/core/protocols/threshold.hpp"
+#include "bbb/shard/engine.hpp"
 
 namespace bbb::core {
 
@@ -120,6 +121,18 @@ void reject_weighted_prefix(const SpecPrefix& prefix, const std::string& spec) {
 std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
   const SpecPrefix prefix = split_spec_prefix(spec, kKind);
   reject_weighted_prefix(prefix, spec);
+  if (prefix.shards != 0) {
+    if (!prefix.capacities.empty()) {
+      // The shard engine partitions a *uniform* state; a capacitated
+      // sharded run would need per-shard capacity profiles it cannot cut.
+      throw std::invalid_argument("protocol spec '" + spec +
+                                  "': 'shards[t]:' cannot combine with "
+                                  "'capacities='");
+    }
+    shard::ShardOptions opt;
+    opt.shards = prefix.shards;
+    return std::make_unique<shard::ShardedProtocol>(prefix.rest, opt);
+  }
   if (!prefix.capacities.empty()) {
     // Validate the inner spec eagerly (and capture its canonical name).
     auto inner = make_protocol(prefix.rest);
@@ -187,6 +200,14 @@ std::unique_ptr<PlacementRule> make_rule(const std::string& spec, std::uint32_t 
                                          std::uint64_t m_hint) {
   const SpecPrefix prefix = split_spec_prefix(spec, kKind);
   reject_weighted_prefix(prefix, spec);
+  if (prefix.shards != 0) {
+    // A rule is one shard's decision logic; the engine owning the worker
+    // threads and the ring mesh is a different object.
+    throw std::invalid_argument(
+        "protocol spec '" + spec +
+        "': 'shards[t]:' builds a multi-threaded engine, not a streaming "
+        "rule — run it via make_protocol (or shard::ShardedAllocator)");
+  }
   if (!prefix.capacities.empty()) {
     // A bare rule has no state to carry the capacities; pairing it with a
     // uniform BinState would silently drop them.
@@ -251,6 +272,12 @@ std::unique_ptr<StreamingAllocator> make_streaming_allocator(const std::string& 
                                                              StateLayout layout) {
   const SpecPrefix prefix = split_spec_prefix(spec, kKind);
   reject_weighted_prefix(prefix, spec);
+  if (prefix.shards != 0) {
+    throw std::invalid_argument(
+        "protocol spec '" + spec +
+        "': 'shards[t]:' builds a multi-threaded engine, not a streaming "
+        "allocator — run it via make_protocol (or shard::ShardedAllocator)");
+  }
   auto rule = make_rule(prefix.rest, n, m_hint);
   if (prefix.capacities.empty()) {
     return std::make_unique<StreamingAllocator>(BinState(n, layout), std::move(rule));
@@ -279,7 +306,8 @@ std::vector<std::string> protocol_specs() {
           "batched[capacity]",
           "self-balancing",
           "cuckoo[d,k]",
-          "capacities=c0,c1,...:spec"};
+          "capacities=c0,c1,...:spec",
+          "shards[t]:spec"};
 }
 
 }  // namespace bbb::core

@@ -42,6 +42,13 @@
 /// other rule runs its classic uniform-probe logic over the capacitated
 /// state (the uniform-probe baseline on unequal servers).
 ///
+/// A spec may instead carry the sharded-engine prefix
+///   shards[t]:spec               e.g. shards[4]:greedy[2]
+/// which runs the rule on t worker threads over the SPSC ring mesh of
+/// shard/engine.hpp — exactly distribution-equal to the sequential rule
+/// (t = 1 is bit-identical). Cannot combine with `capacities=`; t > 1
+/// supports one-choice / greedy[d] / left[d].
+///
 /// The three adaptive spellings are identical on arrivals-only streams;
 /// net and total only diverge once departures arrive (see adaptive.hpp).
 

@@ -104,7 +104,40 @@ SpecPrefix split_spec_prefix(const std::string& spec, const std::string& kind) {
   out.rest = spec;
   constexpr const char* kWeighted = "weighted:";
   constexpr const char* kCapacities = "capacities=";
+  constexpr const char* kShards = "shards[";
   for (;;) {
+    if (out.rest.rfind(kShards, 0) == 0) {
+      // Only a full "shards[t]:" head is a modifier; a bare "shards[8]"
+      // (no terminating "]:") falls through to the name[args] parser and
+      // its unknown-protocol error.
+      const auto close = out.rest.find("]:");
+      if (close == std::string::npos) break;
+      if (out.shards != 0) {
+        throw std::invalid_argument(kind + " spec '" + spec +
+                                    "': duplicate 'shards[t]:' prefix");
+      }
+      const std::string tok =
+          out.rest.substr(std::string(kShards).size(),
+                          close - std::string(kShards).size());
+      if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument(kind + " spec '" + spec +
+                                    "': bad shard count '" + tok + "'");
+      }
+      std::uint64_t value = 0;
+      try {
+        value = std::stoull(tok);
+      } catch (const std::exception&) {
+        throw std::invalid_argument(kind + " spec '" + spec +
+                                    "': bad shard count '" + tok + "'");
+      }
+      if (value == 0 || value > std::numeric_limits<std::uint32_t>::max()) {
+        throw std::invalid_argument(kind + " spec '" + spec + "': shard count '" +
+                                    tok + "' out of range");
+      }
+      out.shards = static_cast<std::uint32_t>(value);
+      out.rest.erase(0, close + 2);
+      continue;
+    }
     if (out.rest.rfind(kWeighted, 0) == 0) {
       if (out.weighted) {
         throw std::invalid_argument(kind + " spec '" + spec +

@@ -11,7 +11,11 @@
 ///                               is cycled over the n bins of the run
 ///                               (protocol/allocator registries);
 ///   weighted:rest               atomic weighted arrivals — a whole chain
-///                               lands in one bin (workload registry).
+///                               lands in one bin (workload registry);
+///   shards[t]:rest              the sharded multi-core engine — t worker
+///                               threads over an SPSC ring mesh, exactly
+///                               distribution-equal to the sequential rule
+///                               (protocol registry; see shard/engine.hpp).
 
 #include <cstdint>
 #include <string>
@@ -64,13 +68,15 @@ struct ParsedSpec {
 struct SpecPrefix {
   std::vector<std::uint32_t> capacities;  ///< empty = no capacities= prefix
   bool weighted = false;                  ///< weighted: prefix present
+  std::uint32_t shards = 0;               ///< 0 = no shards[t]: prefix
   std::string rest;
 };
 
-/// Peel `weighted:` and `capacities=...:` prefixes (in any order, each at
-/// most once) off `spec`.
+/// Peel `weighted:`, `capacities=...:`, and `shards[t]:` prefixes (in any
+/// order, each at most once) off `spec`.
 /// \throws std::invalid_argument for malformed prefixes (empty or
-///         non-integer capacity lists, zero capacities, duplicates).
+///         non-integer capacity lists, zero capacities or shard counts,
+///         duplicates).
 [[nodiscard]] SpecPrefix split_spec_prefix(const std::string& spec,
                                            const std::string& kind);
 

@@ -95,4 +95,20 @@ void fold_into(MetricsRegistry& registry, const CoreCounters& counters) {
   }
 }
 
+void fold_into(MetricsRegistry& registry, const shard::ShardCounters& counters) {
+  if (counters.messages == 0 && counters.rounds == 0) return;
+  if (counters.rounds != 0) {
+    registry.add_counter("shard.sync_rounds", counters.rounds);
+  }
+  if (counters.cross_shard_probes != 0) {
+    registry.add_counter("shard.probe.cross_shard", counters.cross_shard_probes);
+  }
+  if (counters.deferred_balls != 0) {
+    registry.add_counter("shard.ball.deferred", counters.deferred_balls);
+  }
+  registry.add_counter("shard.message.count", counters.messages);
+  registry.set_gauge("shard.ring.highwater",
+                     static_cast<double>(counters.ring_highwater));
+}
+
 }  // namespace bbb::obs

@@ -24,12 +24,18 @@
 ///   core.batch.waves                 batch-kernel waves processed
 ///   core.batch.fast_balls            balls committed by the vector path
 ///   core.batch.fallback_balls        balls re-run on the exact scalar path
+///   shard.sync_rounds                synchronized rounds, summed over shards
+///   shard.probe.cross_shard          probes routed to another shard's bins
+///   shard.ball.deferred              balls replayed in the cleanup sub-phase
+///   shard.message.count              SPSC ring messages pushed (req+rep+commit)
+///   shard.ring.highwater             max outbound-ring occupancy observed
 
 #include <cstdint>
 
 #include "bbb/core/protocol.hpp"
 #include "bbb/core/rule.hpp"
 #include "bbb/obs/metrics.hpp"
+#include "bbb/shard/counters.hpp"
 
 namespace bbb::obs {
 
@@ -76,5 +82,11 @@ struct CoreCounters {
 /// machinery was in play (probes/placed always; the rest only when
 /// nonzero) so summaries stay compact.
 void fold_into(MetricsRegistry& registry, const CoreCounters& counters);
+
+/// Fold a sharded run's aggregated counters under the shard.* names above.
+/// Registered only when the shard engine actually ran (messages or rounds
+/// nonzero), so unsharded summaries stay free of shard rows; highwater is
+/// a gauge (max across replicates), the rest are summed counters.
+void fold_into(MetricsRegistry& registry, const shard::ShardCounters& counters);
 
 }  // namespace bbb::obs

@@ -1,0 +1,738 @@
+#include "bbb/shard/engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "bbb/core/metrics.hpp"
+#include "bbb/core/protocols/registry.hpp"
+#include "bbb/core/spec.hpp"
+#include "bbb/par/spin_barrier.hpp"
+#include "bbb/par/spsc_ring.hpp"
+#include "bbb/rng/streams.hpp"
+#include "bbb/shard/messages.hpp"
+
+namespace bbb::shard {
+
+namespace {
+
+/// Thrown inside a worker when another worker set the abort flag; carries
+/// no information (the original error lives in that worker's slot).
+struct Aborted {};
+
+/// Chunk size of the single-shard command stream — the same 64Ki stride
+/// the sim runner's heartbeat path uses, so the ring is genuinely
+/// exercised on long runs without measurable per-chunk overhead.
+constexpr std::uint64_t kSingleChunk = 0x10000;
+
+template <typename M>
+void push_spin(par::SpscRing<M>& ring, M msg, const std::atomic<bool>& abort) {
+  while (!ring.try_push(msg)) {
+    if (abort.load(std::memory_order_relaxed)) throw Aborted{};
+    std::this_thread::yield();
+  }
+}
+
+template <typename M>
+[[nodiscard]] M pop_spin(par::SpscRing<M>& ring, const std::atomic<bool>& abort) {
+  M msg;
+  while (!ring.try_pop(msg)) {
+    if (abort.load(std::memory_order_relaxed)) throw Aborted{};
+    std::this_thread::yield();
+  }
+  return msg;
+}
+
+}  // namespace
+
+/// One worker's shard: its bins, its RNG substream, and all per-round
+/// scratch. Every field is touched by exactly one thread during a phase
+/// (the deferred vector is read by worker 0 in the cleanup phase, after a
+/// barrier published it).
+struct ShardedAllocator::Worker {
+  core::BinState state;
+  rng::Engine eng{0};
+  std::uint32_t first = 0;  ///< first global bin
+  std::uint32_t nbins = 0;
+
+  // Per-round scratch, sized once to the maximum slice.
+  std::vector<std::uint32_t> probe_bins;   ///< slice * d global bins
+  std::vector<std::uint32_t> probe_loads;  ///< slice * d round-start loads
+  std::vector<std::uint8_t> defer_flag;    ///< per ball
+  std::vector<std::uint64_t> aux;          ///< greedy tie-break words
+  std::vector<std::uint32_t> probe_epoch;  ///< per local bin: round stamp
+  std::vector<std::uint32_t> probe_first;  ///< per local bin: first prober
+
+  struct Deferred {
+    std::uint64_t gid = 0;  ///< global ball index (round-major order)
+    std::uint64_t aux = 0;
+    std::array<std::uint32_t, kMaxShardD> bins{};
+  };
+  std::vector<Deferred> deferred;
+  std::vector<std::uint32_t> local_commits;  ///< local bin ids
+
+  ShardCounters counters;
+  std::exception_ptr error;
+
+  Worker(std::uint32_t bins, core::StateLayout layout) : state(bins, layout), nbins(bins) {}
+};
+
+/// The T*T ring mesh plus the round barrier and cleanup handshake.
+struct ShardedAllocator::Mesh {
+  std::uint32_t shards;
+  std::vector<std::unique_ptr<par::SpscRing<ProbeRequest>>> req;
+  std::vector<std::unique_ptr<par::SpscRing<ProbeReply>>> rep;
+  std::vector<std::unique_ptr<par::SpscRing<Commit>>> com;
+  par::SpinBarrier barrier;
+  std::atomic<std::uint64_t> cleanup_done{0};  ///< rounds fully cleaned up
+  std::atomic<bool> abort{false};
+
+  Mesh(std::uint32_t t, std::size_t probe_cap, std::size_t commit_cap)
+      : shards(t), barrier(t) {
+    req.reserve(static_cast<std::size_t>(t) * t);
+    rep.reserve(static_cast<std::size_t>(t) * t);
+    com.reserve(static_cast<std::size_t>(t) * t);
+    for (std::uint32_t i = 0; i < t * t; ++i) {
+      req.push_back(std::make_unique<par::SpscRing<ProbeRequest>>(probe_cap));
+      rep.push_back(std::make_unique<par::SpscRing<ProbeReply>>(probe_cap));
+      com.push_back(std::make_unique<par::SpscRing<Commit>>(commit_cap));
+    }
+  }
+
+  [[nodiscard]] par::SpscRing<ProbeRequest>& rq(std::uint32_t from, std::uint32_t to) {
+    return *req[static_cast<std::size_t>(from) * shards + to];
+  }
+  [[nodiscard]] par::SpscRing<ProbeReply>& rp(std::uint32_t from, std::uint32_t to) {
+    return *rep[static_cast<std::size_t>(from) * shards + to];
+  }
+  [[nodiscard]] par::SpscRing<Commit>& cm(std::uint32_t from, std::uint32_t to) {
+    return *com[static_cast<std::size_t>(from) * shards + to];
+  }
+
+  void sync() {
+    if (!barrier.arrive_and_wait(abort)) throw Aborted{};
+  }
+};
+
+ShardedAllocator::ShardedAllocator(const std::string& inner_spec, std::uint32_t n,
+                                   ShardOptions opt)
+    : topo_(n, opt.shards), opt_(opt) {
+  // Route the spec through the registry for argument validation and the
+  // canonical name, whatever the shard count.
+  auto rule = core::make_rule(inner_spec, n, opt.m_hint);
+  inner_name_ = rule->name();
+
+  if (topo_.shards() == 1) {
+    rule_ = std::move(rule);
+    single_state_ = std::make_unique<core::BinState>(n, opt_.layout);
+    return;
+  }
+
+  const core::ParsedSpec s = core::parse_spec(inner_spec, "protocol");
+  if (s.name == "one-choice") {
+    kind_ = Kind::kOneChoice;
+    d_ = 1;
+  } else if (s.name == "greedy") {
+    kind_ = Kind::kGreedy;
+    d_ = core::spec_arg_u32(s, 0, inner_spec, "protocol");
+  } else if (s.name == "left") {
+    kind_ = Kind::kLeft;
+    d_ = core::spec_arg_u32(s, 0, inner_spec, "protocol");
+  } else {
+    throw std::invalid_argument(
+        "sharded engine: multi-shard mode implements the probe-based rules "
+        "one-choice / greedy[d] / left[d]; '" + inner_name_ +
+        "' runs only as shards[1]");
+  }
+  if (d_ == 0) {
+    throw std::invalid_argument("sharded engine: d must be positive");
+  }
+  if (d_ > kMaxShardD) {
+    throw std::invalid_argument("sharded engine: d must be <= " +
+                                std::to_string(kMaxShardD) + " in multi-shard mode");
+  }
+  const std::uint64_t cap = 65535ULL * topo_.shards();
+  round_total_ = std::clamp<std::uint64_t>(opt_.round_balls, topo_.shards(), cap);
+}
+
+ShardedAllocator::~ShardedAllocator() = default;
+
+std::string ShardedAllocator::name() const {
+  return "shards[" + std::to_string(topo_.shards()) + "]:" + inner_name_;
+}
+
+std::pair<std::uint32_t, std::uint32_t> ShardedAllocator::group_range(
+    std::uint32_t g) const noexcept {
+  // left[d]'s partition, verbatim (left_d.cpp): group g = [g*n/d, (g+1)*n/d).
+  const std::uint64_t n = topo_.n();
+  const auto first = static_cast<std::uint32_t>(g * n / d_);
+  const auto last =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(g) + 1) * n / d_);
+  return {first, last};
+}
+
+std::uint32_t ShardedAllocator::decide_slot(const std::uint32_t* loads, std::uint32_t d,
+                                            std::uint64_t aux) const noexcept {
+  if (kind_ == Kind::kOneChoice) return 0;
+  if (kind_ == Kind::kLeft) {
+    // Vöcking's always-go-left: strict < keeps the leftmost minimum.
+    std::uint32_t best = 0;
+    for (std::uint32_t g = 1; g < d; ++g) {
+      if (loads[g] < loads[best]) best = g;
+    }
+    return best;
+  }
+  // greedy[d]: least loaded, ties broken uniformly by the ball's pre-drawn
+  // tie-break word (same distribution as the sequential reservoir draw).
+  std::uint32_t best = 0;
+  std::uint32_t ties = 1;
+  for (std::uint32_t g = 1; g < d; ++g) {
+    if (loads[g] < loads[best]) {
+      best = g;
+      ties = 1;
+    } else if (loads[g] == loads[best]) {
+      ++ties;
+    }
+  }
+  if (ties == 1) return best;
+  const auto pick = static_cast<std::uint32_t>(rng::lemire_map(aux, ties));
+  std::uint32_t seen = 0;
+  for (std::uint32_t g = 0; g < d; ++g) {
+    if (loads[g] == loads[best]) {
+      if (seen == pick) return g;
+      ++seen;
+    }
+  }
+  return best;  // unreachable
+}
+
+void ShardedAllocator::run(std::uint64_t m, rng::Engine& gen) {
+  if (ran_) throw std::logic_error("ShardedAllocator::run: engine is one-shot");
+  ran_ = true;
+  if (topo_.shards() == 1) {
+    run_single(m, gen);
+  } else {
+    run_sharded(m, gen);
+  }
+}
+
+void ShardedAllocator::run_single(std::uint64_t m, rng::Engine& gen) {
+  // The worker owns the engine and the rule for the whole run, so the
+  // engine-exclusivity promise holds and placements are bit-for-bit the
+  // StreamingAllocator place_batch + finalize stream.
+  rule_->set_engine_exclusive(true);
+  par::SpscRing<std::uint64_t> ring(16);
+  std::atomic<bool> worker_done{false};
+  std::exception_ptr error;
+
+  std::thread worker([&] {
+    try {
+      for (;;) {
+        std::uint64_t chunk = 0;
+        if (!ring.try_pop(chunk)) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (chunk == 0) break;
+        rule_->place_batch(*single_state_, chunk, gen);
+        counters_.balls += chunk;
+      }
+      rule_->finalize(*single_state_, gen);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    worker_done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t left = m;
+  bool sentinel_sent = false;
+  while (!sentinel_sent && !worker_done.load(std::memory_order_acquire)) {
+    std::uint64_t msg = left == 0 ? 0 : std::min(kSingleChunk, left);
+    if (!ring.try_push(msg)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ++counters_.messages;
+    const std::size_t occ = ring.size();
+    if (occ > counters_.ring_highwater) counters_.ring_highwater = occ;
+    if (msg == 0) {
+      sentinel_sent = true;
+    } else {
+      left -= msg;
+    }
+  }
+  worker.join();
+  rule_->set_engine_exclusive(false);
+  if (error) std::rethrow_exception(error);
+  counters_.probes = rule_->probes();
+}
+
+void ShardedAllocator::run_sharded(std::uint64_t m, rng::Engine& gen) {
+  // One word of the caller's stream seeds the nested per-shard substreams
+  // (SeedSequence nesting: replicate seed -> shard seeds), so a sharded
+  // run consumes the caller's engine deterministically regardless of T.
+  const std::uint64_t nested = gen();
+  const std::uint32_t t = topo_.shards();
+  const auto slice_max =
+      static_cast<std::uint32_t>((round_total_ + t - 1) / t);  // <= 65535
+  const rng::SeedSequence seq(nested);
+
+  workers_.clear();
+  workers_.reserve(t);
+  for (std::uint32_t s = 0; s < t; ++s) {
+    auto w = std::make_unique<Worker>(topo_.shard_bins(s), opt_.layout);
+    w->first = topo_.first_bin(s);
+    w->eng = seq.engine(s);
+    w->probe_bins.resize(static_cast<std::size_t>(slice_max) * d_);
+    w->probe_loads.resize(static_cast<std::size_t>(slice_max) * d_);
+    w->defer_flag.resize(slice_max);
+    if (kind_ == Kind::kGreedy) w->aux.resize(slice_max);
+    w->probe_epoch.assign(w->nbins, 0);
+    w->probe_first.assign(w->nbins, 0);
+    w->deferred.reserve(64);
+    w->local_commits.reserve(slice_max);
+    workers_.push_back(std::move(w));
+  }
+  // Ring capacities guarantee the bounded phases never block: a sender
+  // pushes at most slice * d probe messages (and slice commits) per round
+  // into any one ring; only cleanup traffic can exceed that, and its
+  // receivers are actively draining.
+  mesh_ = std::make_unique<Mesh>(t, static_cast<std::size_t>(slice_max) * d_ + 8,
+                                 static_cast<std::size_t>(slice_max) + 8);
+
+  std::vector<std::thread> threads;
+  threads.reserve(t);
+  for (std::uint32_t s = 0; s < t; ++s) {
+    threads.emplace_back([this, s, m] { worker_main(s, m); });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (std::uint32_t s = 0; s < t; ++s) {
+    if (workers_[s]->error) std::rethrow_exception(workers_[s]->error);
+  }
+  for (std::uint32_t s = 0; s < t; ++s) counters_ += workers_[s]->counters;
+  sync_rounds_ = (m + round_total_ - 1) / round_total_;
+  mesh_.reset();
+}
+
+void ShardedAllocator::worker_main(std::uint32_t s, std::uint64_t m) {
+  Worker& w = *workers_[s];
+  Mesh& mesh = *mesh_;
+  const std::uint32_t t = topo_.shards();
+  const std::uint32_t n = topo_.n();
+  const std::uint64_t rounds = (m + round_total_ - 1) / round_total_;
+
+  try {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      const std::uint64_t round_base = r * round_total_;
+      const std::uint64_t b = std::min(round_total_, m - round_base);
+      const auto lo = static_cast<std::uint32_t>(s * b / t);
+      const auto hi = static_cast<std::uint32_t>((static_cast<std::uint64_t>(s) + 1) * b / t);
+      const std::uint32_t cnt = hi - lo;
+      const auto stamp = static_cast<std::uint32_t>(r + 1);
+      w.deferred.clear();
+      w.local_commits.clear();
+      std::fill(w.defer_flag.begin(), w.defer_flag.begin() + cnt, std::uint8_t{0});
+
+      // --- phase A: draw probes from this shard's substream, route the
+      // cross-shard ones. Draw order is fixed (ball-major, slot-major), so
+      // the stream depends only on the substream seed.
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        for (std::uint32_t g = 0; g < d_; ++g) {
+          std::uint32_t bin = 0;
+          if (kind_ == Kind::kLeft) {
+            const auto [first, last] = group_range(g);
+            bin = first + static_cast<std::uint32_t>(
+                              rng::uniform_below(w.eng, last - first));
+          } else {
+            bin = static_cast<std::uint32_t>(rng::uniform_below(w.eng, n));
+          }
+          w.probe_bins[static_cast<std::size_t>(i) * d_ + g] = bin;
+        }
+        if (kind_ == Kind::kGreedy) w.aux[i] = w.eng();
+      }
+      w.counters.probes += static_cast<std::uint64_t>(cnt) * d_;
+      w.counters.balls += cnt;
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        for (std::uint32_t g = 0; g < d_; ++g) {
+          const std::uint32_t bin = w.probe_bins[static_cast<std::size_t>(i) * d_ + g];
+          const std::uint32_t owner = topo_.shard_of(bin);
+          if (owner == s) continue;
+          push_spin(mesh.rq(s, owner),
+                    ProbeRequest{topo_.local_of(bin, owner),
+                                 static_cast<std::uint16_t>(i),
+                                 static_cast<std::uint8_t>(g)},
+                    mesh.abort);
+          ++w.counters.cross_shard_probes;
+          ++w.counters.messages;
+        }
+      }
+      for (std::uint32_t to = 0; to < t; ++to) {
+        if (to == s) continue;
+        const std::size_t occ = mesh.rq(s, to).size();
+        if (occ > w.counters.ring_highwater) w.counters.ring_highwater = occ;
+      }
+      mesh.sync();  // A: every request of this round is in its ring
+
+      // --- phase B: answer the probes on bins this shard owns, in global
+      // ball order (sender-major), marking conflicts: a probe on a bin
+      // first probed by an *earlier* ball defers the probing ball. A
+      // conflict check on local bin `lb` by round-ball `rid`:
+      const auto conflicted = [&](std::uint32_t lb, std::uint32_t rid) -> bool {
+        if (w.probe_epoch[lb] != stamp) {
+          w.probe_epoch[lb] = stamp;
+          w.probe_first[lb] = rid;
+          return false;
+        }
+        return w.probe_first[lb] < rid;
+      };
+      for (std::uint32_t from = 0; from < t; ++from) {
+        if (from == s) {
+          // This shard's own balls occupy global slots [lo, hi).
+          for (std::uint32_t i = 0; i < cnt; ++i) {
+            for (std::uint32_t g = 0; g < d_; ++g) {
+              const std::size_t idx = static_cast<std::size_t>(i) * d_ + g;
+              const std::uint32_t bin = w.probe_bins[idx];
+              if (topo_.shard_of(bin) != s) continue;
+              const std::uint32_t lb = bin - w.first;
+              if (conflicted(lb, lo + i)) w.defer_flag[i] = 1;
+              // Round-start load: no commit is applied before phase D.
+              w.probe_loads[idx] = w.state.load(lb);
+            }
+          }
+          continue;
+        }
+        const auto from_lo = static_cast<std::uint32_t>(from * b / t);
+        ProbeRequest rq;
+        while (mesh.rq(from, s).try_pop(rq)) {
+          const std::uint8_t flag = conflicted(rq.bin, from_lo + rq.ball) ? 1 : 0;
+          push_spin(mesh.rp(s, from),
+                    ProbeReply{w.state.load(rq.bin), rq.ball, rq.slot, flag},
+                    mesh.abort);
+          ++w.counters.messages;
+        }
+      }
+      mesh.sync();  // B: every reply is in its ring
+
+      // --- phase C: collect replies, decide every non-conflicted ball on
+      // its round-start loads; winners crossing shards become commits.
+      for (std::uint32_t from = 0; from < t; ++from) {
+        if (from == s) continue;
+        ProbeReply rp;
+        while (mesh.rp(from, s).try_pop(rp)) {
+          w.probe_loads[static_cast<std::size_t>(rp.ball) * d_ + rp.slot] = rp.load;
+          if (rp.conflicted != 0) w.defer_flag[rp.ball] = 1;
+        }
+      }
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        if (w.defer_flag[i] != 0) {
+          Worker::Deferred def;
+          def.gid = round_base + lo + i;
+          def.aux = kind_ == Kind::kGreedy ? w.aux[i] : 0;
+          for (std::uint32_t g = 0; g < d_; ++g) {
+            def.bins[g] = w.probe_bins[static_cast<std::size_t>(i) * d_ + g];
+          }
+          w.deferred.push_back(def);
+          ++w.counters.deferred_balls;
+          continue;
+        }
+        const std::uint32_t slot =
+            decide_slot(w.probe_loads.data() + static_cast<std::size_t>(i) * d_, d_,
+                        kind_ == Kind::kGreedy ? w.aux[i] : 0);
+        const std::uint32_t bin = w.probe_bins[static_cast<std::size_t>(i) * d_ + slot];
+        const std::uint32_t owner = topo_.shard_of(bin);
+        if (owner == s) {
+          w.local_commits.push_back(bin - w.first);
+        } else {
+          push_spin(mesh.cm(s, owner), Commit{topo_.local_of(bin, owner)}, mesh.abort);
+          ++w.counters.messages;
+        }
+      }
+      mesh.sync();  // C: every main-phase commit is in its ring
+
+      // --- phase D: apply the main-phase commits (local then inbound).
+      for (const std::uint32_t lb : w.local_commits) w.state.add_ball(lb);
+      for (std::uint32_t from = 0; from < t; ++from) {
+        if (from == s) continue;
+        Commit cm;
+        while (mesh.cm(from, s).try_pop(cm)) w.state.add_ball(cm.bin);
+      }
+      mesh.sync();  // D: all commits applied; deferred lists published
+
+      // --- phase E: worker 0 replays the deferred balls serially in
+      // global order against current loads; everyone else serves.
+      if (s == 0) {
+        cleanup_round(s, r, d_);
+      } else {
+        serve_cleanup(s, r);
+      }
+      ++w.counters.rounds;
+      mesh.sync();  // E: round complete, rings empty
+    }
+  } catch (const Aborted&) {
+    // Another worker failed; its slot carries the real error.
+  } catch (...) {
+    w.error = std::current_exception();
+    mesh.abort.store(true, std::memory_order_seq_cst);
+  }
+}
+
+void ShardedAllocator::cleanup_round(std::uint32_t s, std::uint64_t round,
+                                     std::uint32_t d) {
+  Worker& w0 = *workers_[s];
+  Mesh& mesh = *mesh_;
+  const std::uint32_t t = topo_.shards();
+
+  // K-way merge of the per-worker deferred lists (each ascending in gid)
+  // processes deferred balls in exact global sequential order.
+  std::vector<std::size_t> idx(t, 0);
+  std::array<std::uint32_t, kMaxShardD> loads{};
+  for (;;) {
+    std::uint32_t pick = t;
+    std::uint64_t best_gid = 0;
+    for (std::uint32_t q = 0; q < t; ++q) {
+      const auto& list = workers_[q]->deferred;
+      if (idx[q] >= list.size()) continue;
+      const std::uint64_t gid = list[idx[q]].gid;
+      if (pick == t || gid < best_gid) {
+        pick = q;
+        best_gid = gid;
+      }
+    }
+    if (pick == t) break;
+    const Worker::Deferred& def = workers_[pick]->deferred[idx[pick]];
+    ++idx[pick];
+
+    // Current loads: local bins read directly, remote ones through the
+    // rings while their owners sit in the serve loop.
+    std::uint32_t pending = 0;
+    for (std::uint32_t g = 0; g < d; ++g) {
+      const std::uint32_t bin = def.bins[g];
+      const std::uint32_t owner = topo_.shard_of(bin);
+      if (owner == s) {
+        loads[g] = w0.state.load(bin - w0.first);
+      } else {
+        push_spin(mesh.rq(s, owner),
+                  ProbeRequest{topo_.local_of(bin, owner), 0,
+                               static_cast<std::uint8_t>(g)},
+                  mesh.abort);
+        ++w0.counters.messages;
+        ++pending;
+      }
+    }
+    for (std::uint32_t g = 0; g < d && pending > 0; ++g) {
+      const std::uint32_t bin = def.bins[g];
+      const std::uint32_t owner = topo_.shard_of(bin);
+      if (owner == s) continue;
+      const ProbeReply rp = pop_spin(mesh.rp(owner, s), mesh.abort);
+      loads[rp.slot] = rp.load;
+      --pending;
+    }
+
+    const std::uint32_t slot = decide_slot(loads.data(), d, def.aux);
+    const std::uint32_t bin = def.bins[slot];
+    const std::uint32_t owner = topo_.shard_of(bin);
+    if (owner == s) {
+      w0.state.add_ball(bin - w0.first);
+    } else {
+      push_spin(mesh.cm(s, owner), Commit{topo_.local_of(bin, owner)}, mesh.abort);
+      ++w0.counters.messages;
+    }
+  }
+  // Release the servers: the store is ordered after every ring push above,
+  // so a server that observes it and drains once more has seen everything.
+  mesh.cleanup_done.store(round + 1, std::memory_order_release);
+}
+
+void ShardedAllocator::serve_cleanup(std::uint32_t s, std::uint64_t round) {
+  Worker& w = *workers_[s];
+  Mesh& mesh = *mesh_;
+  const auto drain_commits = [&]() -> bool {
+    bool progress = false;
+    Commit cm;
+    while (mesh.cm(0, s).try_pop(cm)) {
+      w.state.add_ball(cm.bin);
+      progress = true;
+    }
+    return progress;
+  };
+  const auto serve_once = [&]() -> bool {
+    bool progress = false;
+    ProbeRequest rq;
+    while (mesh.rq(0, s).try_pop(rq)) {
+      // Worker 0 pushes an earlier ball's commit BEFORE a later ball's
+      // load request (program order, release stores), so once a request
+      // is visible every commit that sequentially precedes it is too.
+      // Draining commits here — after popping the request, before
+      // answering — is what makes the reply the exact sequential-time
+      // load; draining them only between requests would race.
+      (void)drain_commits();
+      push_spin(mesh.rp(s, 0), ProbeReply{w.state.load(rq.bin), rq.ball, rq.slot, 0},
+                mesh.abort);
+      ++w.counters.messages;
+      progress = true;
+    }
+    progress = drain_commits() || progress;
+    return progress;
+  };
+  for (;;) {
+    const bool progress = serve_once();
+    if (mesh.cleanup_done.load(std::memory_order_acquire) > round) {
+      (void)serve_once();  // final drain: nothing new can arrive
+      break;
+    }
+    if (!progress) {
+      if (mesh.abort.load(std::memory_order_relaxed)) throw Aborted{};
+      std::this_thread::yield();
+    }
+  }
+}
+
+// -- merged reads ------------------------------------------------------------
+
+std::uint64_t ShardedAllocator::balls() const noexcept {
+  if (single_state_) return single_state_->balls();
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->state.balls();
+  return total;
+}
+
+std::uint64_t ShardedAllocator::probes() const noexcept {
+  if (rule_) return rule_->probes();
+  return counters_.probes;
+}
+
+std::uint32_t ShardedAllocator::max_load() const noexcept {
+  if (single_state_) return single_state_->max_load();
+  std::uint32_t best = 0;
+  for (const auto& w : workers_) best = std::max(best, w->state.max_load());
+  return best;
+}
+
+std::uint32_t ShardedAllocator::min_load() const noexcept {
+  if (single_state_) return single_state_->min_load();
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& w : workers_) best = std::min(best, w->state.min_load());
+  return best;
+}
+
+std::uint32_t ShardedAllocator::gap() const noexcept { return max_load() - min_load(); }
+
+double ShardedAllocator::psi() const noexcept {
+  if (single_state_) return single_state_->psi();
+  std::uint64_t sum_sq = 0;
+  std::uint64_t t = 0;
+  for (const auto& w : workers_) {
+    sum_sq += w->state.sum_squares();
+    t += w->state.balls();
+  }
+  // BinState::psi()'s exact expression over the merged integer parts.
+  const auto td = static_cast<double>(t);
+  return static_cast<double>(sum_sq) - td * td / static_cast<double>(topo_.n());
+}
+
+double ShardedAllocator::log_phi() const noexcept {
+  if (single_state_) return single_state_->log_phi();
+  double weight = 0.0;
+  std::uint64_t t = 0;
+  for (const auto& w : workers_) {
+    weight += w->state.phi_weight();
+    t += w->state.balls();
+  }
+  const double average = static_cast<double>(t) / static_cast<double>(topo_.n());
+  return std::log(weight) + (average + 2.0) * std::log1p(core::kPotentialEpsilon);
+}
+
+std::vector<std::uint32_t> ShardedAllocator::merged_level_counts() const {
+  if (single_state_) {
+    auto counts = single_state_->level_counts();
+    counts.resize(static_cast<std::size_t>(single_state_->max_load()) + 1);
+    return counts;
+  }
+  std::vector<std::uint32_t> merged(static_cast<std::size_t>(max_load()) + 1, 0);
+  for (const auto& w : workers_) {
+    const auto& counts = w->state.level_counts();
+    const std::size_t top =
+        std::min(counts.size(), static_cast<std::size_t>(w->state.max_load()) + 1);
+    for (std::size_t l = 0; l < top; ++l) merged[l] += counts[l];
+  }
+  return merged;
+}
+
+std::vector<std::uint32_t> ShardedAllocator::copy_loads() const {
+  if (single_state_) return single_state_->copy_loads();
+  std::vector<std::uint32_t> loads;
+  loads.reserve(topo_.n());
+  for (const auto& w : workers_) {
+    const std::vector<std::uint32_t> part = w->state.copy_loads();
+    loads.insert(loads.end(), part.begin(), part.end());
+  }
+  return loads;
+}
+
+core::AllocationResult ShardedAllocator::result() const {
+  core::AllocationResult out;
+  out.loads = copy_loads();
+  out.balls = balls();
+  out.probes = probes();
+  if (rule_) {
+    out.reallocations = rule_->reallocations();
+    out.rounds = rule_->rounds();
+    out.completed = rule_->completed();
+  } else {
+    out.rounds = sync_rounds_;
+    out.completed = true;
+  }
+  return out;
+}
+
+const core::BinState& ShardedAllocator::shard_state(std::uint32_t s) const {
+  if (single_state_) {
+    if (s != 0) throw std::out_of_range("shard_state: single-shard engine");
+    return *single_state_;
+  }
+  if (s >= workers_.size()) throw std::out_of_range("shard_state: no such shard");
+  return workers_[s]->state;
+}
+
+// -- ShardedProtocol ---------------------------------------------------------
+
+ShardedProtocol::ShardedProtocol(std::string inner_spec, ShardOptions opt)
+    : inner_spec_(std::move(inner_spec)), opt_(opt) {
+  opt_.layout = core::StateLayout::kWide;  // the batch path materializes loads
+  inner_name_ = core::make_protocol(inner_spec_)->name();
+  if (opt_.shards == 0) {
+    throw std::invalid_argument("protocol spec 'shards[0]:" + inner_spec_ +
+                                "': shard count must be positive");
+  }
+  if (opt_.shards > 1) {
+    // Fail unsupported multi-shard rules at construction, not first run.
+    const core::ParsedSpec s = core::parse_spec(inner_spec_, "protocol");
+    if (s.name != "one-choice" && s.name != "greedy" && s.name != "left") {
+      throw std::invalid_argument(
+          "protocol spec 'shards[" + std::to_string(opt_.shards) + "]:" + inner_spec_ +
+          "': multi-shard mode implements one-choice / greedy[d] / left[d] only");
+    }
+  }
+}
+
+std::string ShardedProtocol::name() const {
+  return "shards[" + std::to_string(opt_.shards) + "]:" + inner_name_;
+}
+
+core::AllocationResult ShardedProtocol::run(std::uint64_t m, std::uint32_t n,
+                                            rng::Engine& gen) const {
+  core::validate_run_args(m, n);
+  ShardOptions opt = opt_;
+  opt.m_hint = m;
+  ShardedAllocator engine(inner_spec_, n, opt);
+  engine.run(m, gen);
+  return engine.result();
+}
+
+}  // namespace bbb::shard

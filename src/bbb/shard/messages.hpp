@@ -1,0 +1,39 @@
+#pragma once
+/// \file messages.hpp
+/// The three message types of the sharded engine's round protocol, sized
+/// to one 64-bit word each so a T*T ring mesh stays cache-cheap. All bin
+/// ids on the wire are *receiver-local* (the sender already did the
+/// routing), and ball ids are *round-local* indices into the sender's
+/// slice of the round — which bounds them by the per-round slice size,
+/// so 16 bits suffice (enforced in engine.cpp when the round size is
+/// chosen).
+
+#include <cstdint>
+
+namespace bbb::shard {
+
+/// "What is the round-start load of your bin `bin`, and was it already
+///  probed by an earlier ball this round?" — sent during the draw phase
+/// for every probe that crosses a shard boundary.
+struct ProbeRequest {
+  std::uint32_t bin = 0;   ///< receiver-local bin index
+  std::uint16_t ball = 0;  ///< sender's round-local ball index
+  std::uint8_t slot = 0;   ///< which of the ball's d probes this is
+};
+
+/// The owner's answer: the load at round start plus the conflict verdict
+/// (a 1 defers the whole ball to the serialized cleanup sub-phase).
+struct ProbeReply {
+  std::uint32_t load = 0;
+  std::uint16_t ball = 0;
+  std::uint8_t slot = 0;
+  std::uint8_t conflicted = 0;
+};
+
+/// "Add one ball to your bin `bin`." Sent in the decision phase for
+/// winners owned by another shard, and by the cleanup coordinator.
+struct Commit {
+  std::uint32_t bin = 0;  ///< receiver-local bin index
+};
+
+}  // namespace bbb::shard

@@ -1,0 +1,97 @@
+#pragma once
+/// \file topology.hpp
+/// The bin partition of the sharded engine: n bins split across T shards
+/// as T contiguous ranges whose sizes differ by at most one (the first
+/// n mod T shards get floor(n/T)+1 bins, the rest floor(n/T)), so every
+/// shard owns at least one bin for any T <= n.
+///
+/// `shard_of(bin)` is the engine's hottest routing call — every probe of
+/// every ball goes through it — so the two divisions it needs are done
+/// with the 64-bit reciprocal trick (Lemire's fastmod lemma: for d >= 2
+/// and x < 2^32, mulhi64(x, floor(2^64/d) + 1) == x / d exactly). The
+/// property test in tests/shard/engine_test.cpp checks it against plain
+/// division across range boundaries and random (n, T, bin) triples.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace bbb::shard {
+
+/// Exact x / d for x < 2^32 via one 64x64->128 multiply.
+class FastDivU32 {
+ public:
+  FastDivU32() = default;
+  explicit FastDivU32(std::uint32_t d) : d_(d) {
+    if (d == 0) throw std::invalid_argument("FastDivU32: divide by zero");
+    magic_ = d == 1 ? 0 : ~0ULL / d + 1;
+  }
+
+  [[nodiscard]] std::uint32_t operator()(std::uint32_t x) const noexcept {
+    if (d_ == 1) return x;
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>((static_cast<unsigned __int128>(x) * magic_) >> 64));
+  }
+
+  [[nodiscard]] std::uint32_t divisor() const noexcept { return d_; }
+
+ private:
+  std::uint64_t magic_ = 0;
+  std::uint32_t d_ = 1;
+};
+
+/// The contiguous balanced partition of [0, n) into T shard ranges.
+class Topology {
+ public:
+  /// \throws std::invalid_argument if n == 0, shards == 0, or shards > n
+  ///         (an empty shard would own a zero-bin BinState).
+  Topology(std::uint32_t n, std::uint32_t shards) : n_(n), shards_(shards) {
+    if (n == 0) throw std::invalid_argument("shard::Topology: n must be positive");
+    if (shards == 0 || shards > n) {
+      throw std::invalid_argument(
+          "shard::Topology: shard count must be in [1, n] so every shard owns "
+          "at least one bin");
+    }
+    base_ = n / shards;
+    extra_ = n % shards;
+    split_ = static_cast<std::uint64_t>(extra_) * (base_ + 1);
+    div_wide_ = FastDivU32(base_ + 1);
+    div_base_ = FastDivU32(base_);  // base_ >= 1 because shards <= n
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+
+  /// First global bin of shard s (== n for s == shards()).
+  [[nodiscard]] std::uint32_t first_bin(std::uint32_t s) const noexcept {
+    const std::uint64_t wide = s < extra_ ? s : extra_;
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(s) * base_ + wide);
+  }
+
+  /// Number of bins shard s owns (always >= 1).
+  [[nodiscard]] std::uint32_t shard_bins(std::uint32_t s) const noexcept {
+    return base_ + (s < extra_ ? 1 : 0);
+  }
+
+  /// Owning shard of a global bin — the per-probe routing call.
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t bin) const noexcept {
+    if (bin < split_) return div_wide_(bin);
+    return extra_ + div_base_(static_cast<std::uint32_t>(bin - split_));
+  }
+
+  /// Shard-local index of a global bin within its owner's range.
+  [[nodiscard]] std::uint32_t local_of(std::uint32_t bin, std::uint32_t owner) const
+      noexcept {
+    return bin - first_bin(owner);
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::uint32_t shards_ = 0;
+  std::uint32_t base_ = 0;   ///< floor(n / shards)
+  std::uint32_t extra_ = 0;  ///< n mod shards — shards [0, extra_) get base_+1
+  std::uint64_t split_ = 0;  ///< first global bin of the base_-sized shards
+  FastDivU32 div_wide_;      ///< by base_ + 1
+  FastDivU32 div_base_;      ///< by base_
+};
+
+}  // namespace bbb::shard

@@ -9,6 +9,7 @@
 #include "bbb/core/bin_state.hpp"
 #include "bbb/obs/harvest.hpp"
 #include "bbb/obs/obs.hpp"
+#include "bbb/shard/counters.hpp"
 
 namespace bbb::sim {
 
@@ -80,6 +81,10 @@ struct ReplicateRecord {
   /// harvested after the replicate — populated only when the experiment's
   /// obs level is counters or full; all-zero otherwise.
   obs::CoreCounters counters;
+  /// Sharded-engine counters (cross-shard probe traffic, deferrals, ring
+  /// occupancy), aggregated over the replicate's shards — populated under
+  /// the same condition, and only for `shards[t]:` specs.
+  shard::ShardCounters shard_counters;
   /// Replicate wall time; populated under the same condition.
   std::uint64_t wall_ns = 0;
 };

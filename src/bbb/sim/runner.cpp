@@ -6,11 +6,13 @@
 
 #include "bbb/core/metrics.hpp"
 #include "bbb/core/protocols/registry.hpp"
+#include "bbb/core/spec.hpp"
 #include "bbb/law/one_choice.hpp"
 #include "bbb/law/profile.hpp"
 #include "bbb/obs/trace_sink.hpp"
 #include "bbb/par/parallel_for.hpp"
 #include "bbb/rng/streams.hpp"
+#include "bbb/shard/engine.hpp"
 
 namespace bbb::sim {
 
@@ -89,6 +91,54 @@ ReplicateRecord run_streaming_replicate(const ExperimentConfig& config,
   return rec;
 }
 
+/// The sharded replicate path, for `shards[t]:` specs in either layout:
+/// run the multi-core engine of shard/engine.hpp directly (rather than
+/// through its opaque Protocol wrapper) so the merged incremental metrics
+/// are read off the per-shard states — no O(n) load materialization — and
+/// the shard counters (cross-shard traffic, deferrals, ring occupancy)
+/// can be harvested. Results are identical to the wrapper: same derived
+/// engine, same consumption.
+ReplicateRecord run_sharded_replicate(const ExperimentConfig& config,
+                                      std::uint32_t shards,
+                                      const std::string& inner_spec,
+                                      std::uint32_t replicate_index) {
+  const auto start = std::chrono::steady_clock::now();
+  shard::ShardOptions opt;
+  opt.shards = shards;
+  opt.layout = config.layout;
+  opt.m_hint = config.m;
+  shard::ShardedAllocator engine(inner_spec, config.n, opt);
+  rng::Engine gen = rng::SeedSequence(config.seed).engine(replicate_index);
+  engine.run(config.m, gen);
+
+  ReplicateRecord rec;
+  rec.probes = static_cast<double>(engine.probes());
+  rec.max_load = engine.max_load();
+  rec.min_load = engine.min_load();
+  rec.gap = engine.gap();
+  rec.psi = engine.psi();
+  rec.log_phi = engine.log_phi();
+  if (const core::PlacementRule* rule = engine.rule(); rule != nullptr) {
+    rec.reallocations = static_cast<double>(rule->reallocations());
+    rec.rounds = static_cast<double>(rule->rounds());
+    rec.completed = rule->completed();
+  } else {
+    rec.rounds = static_cast<double>(engine.sync_rounds());
+  }
+  if (config.obs.counters_on()) {
+    if (const core::PlacementRule* rule = engine.rule(); rule != nullptr) {
+      rec.counters = obs::harvest(*rule, &engine.shard_state(0));
+    } else {
+      rec.counters.probes = engine.probes();
+      rec.counters.balls_placed = engine.balls();
+      rec.counters.rounds = engine.sync_rounds();
+    }
+    rec.shard_counters = engine.counters();
+    rec.wall_ns = elapsed_ns(start);
+  }
+  return rec;
+}
+
 /// The law-tier replicate path: draw the occupancy profile's law directly
 /// instead of simulating m placements. Only one-choice has a sampled law;
 /// the record it fills is distribution-equal (NOT bit-equal) to the exact
@@ -132,6 +182,12 @@ ReplicateRecord run_replicate(const ExperimentConfig& config,
                               std::uint32_t replicate_index) {
   if (config.tier == Tier::kLaw) {
     return run_law_replicate(config, replicate_index);
+  }
+  if (const core::SpecPrefix prefix =
+          core::split_spec_prefix(config.protocol_spec, "protocol");
+      prefix.shards != 0) {
+    return run_sharded_replicate(config, prefix.shards, prefix.rest,
+                                 replicate_index);
   }
   if (config.layout != core::StateLayout::kWide) {
     return run_streaming_replicate(config, replicate_index);
@@ -220,12 +276,15 @@ RunSummary run_experiment(const ExperimentConfig& config, par::ThreadPool& pool)
     // identical for any thread count.
     obs::MetricsRegistry registry;
     obs::CoreCounters total;
+    shard::ShardCounters shard_total;
     obs::LatencyHistogram& wall = registry.histogram("sim.replicate.wall_ns");
     for (const ReplicateRecord& rec : summary.records) {
       total.accumulate(rec.counters);
+      shard_total += rec.shard_counters;
       wall.record(rec.wall_ns);
     }
     obs::fold_into(registry, total);
+    obs::fold_into(registry, shard_total);
     registry.set_gauge("sim.fold.wall_ns", static_cast<double>(fold_ns));
     summary.obs = registry.snapshot();
 

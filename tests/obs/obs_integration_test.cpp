@@ -153,6 +153,7 @@ TEST(ObsIntegration, EveryRegistryFamilyAccountsProbesAndBalls) {
       // accounted as placed < m.
       {"cuckoo[d,k]", "cuckoo[2,16]"},
       {"capacities=c0,c1,...:spec", "capacities=1,2:greedy[2]"},
+      {"shards[t]:spec", "shards[2]:greedy[2]"},
   };
   std::vector<std::string> specs;
   for (const std::string& tmpl : core::protocol_specs()) {

@@ -133,5 +133,54 @@ TEST(RegistryGoldenPins, CuckooD2B4) {
              {.balls = 30, .probes = 60});
 }
 
+// ---------------------------------------------------------------------------
+// shards[t]: — the sharded engine wrapper (src/bbb/shard/)
+// ---------------------------------------------------------------------------
+
+// shards[1]:spec runs the inner family through the single-shard streaming
+// path, which the engine promises is bit-identical to the sequential
+// core. Pinning it as *equality with the sequential result* (itself
+// pinned above) keeps one source of truth per family while still
+// catching any drift in the shards[1] plumbing. batched is excluded: its
+// sequential spelling is the round-synchronous protocol (rounds = 1)
+// while shards[1] runs the streaming rule form — it gets its own literal
+// pin below.
+TEST(RegistryGoldenPins, ShardsSingleMatchesSequentialEveryFamily) {
+  const std::vector<std::string> families = {
+      "one-choice",       "greedy[2]",          "left[2]",
+      "memory[2,1]",      "threshold",          "threshold[2]",
+      "doubling-threshold", "adaptive",         "adaptive-net",
+      "adaptive-total",   "stale-adaptive[8]",  "skewed-adaptive[50]",
+      "self-balancing"};
+  for (const std::string& spec : families) {
+    const AllocationResult seq = run_pinned(spec);
+    const AllocationResult sharded = run_pinned("shards[1]:" + spec);
+    EXPECT_EQ(sharded.loads, seq.loads) << spec;
+    EXPECT_EQ(sharded.balls, seq.balls) << spec;
+    EXPECT_EQ(sharded.probes, seq.probes) << spec;
+    EXPECT_EQ(sharded.reallocations, seq.reallocations) << spec;
+    EXPECT_EQ(sharded.rounds, seq.rounds) << spec;
+  }
+  const AllocationResult seq = run_pinned("cuckoo[2,4]", 30);
+  const AllocationResult sharded = run_pinned("shards[1]:cuckoo[2,4]", 30);
+  EXPECT_EQ(sharded.loads, seq.loads);
+  EXPECT_EQ(sharded.probes, seq.probes);
+}
+
+TEST(RegistryGoldenPins, ShardsSingleBatchedStreamingForm) {
+  // Same placements as the batched[16] protocol pin (the LW batch order
+  // is identical), but the streaming rule form reports rounds = 0.
+  expect_pin(run_pinned("shards[1]:batched[16]"),
+             {9, 12, 9, 5, 9, 11, 13, 11, 11, 10}, {.balls = 100, .probes = 100});
+}
+
+TEST(RegistryGoldenPins, ShardsTwoGreedyD2) {
+  // Multi-shard pin: the conflict-deferred round protocol at t = 2.
+  // rounds here is the engine's sync-round count (one round at m = 100
+  // under the default round size), not an LW round count.
+  expect_pin(run_pinned("shards[2]:greedy[2]"), {9, 9, 11, 10, 9, 8, 10, 12, 10, 12},
+             {.balls = 100, .probes = 200, .rounds = 1});
+}
+
 }  // namespace
 }  // namespace bbb::core

@@ -1,0 +1,239 @@
+/// Unit and property tests for par::SpscRing, the message channel of the
+/// sharded allocation engine. Everything here is single-threaded — the
+/// FIFO/boundary/wrap-around semantics, the batched-equals-scalar
+/// property, move-only payload transport, and destructor draining. The
+/// concurrent half of the contract (one producer, one consumer, release/
+/// acquire publication) lives in tests/shard/shard_stress_test.cpp where
+/// TSan certifies it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bbb/par/spsc_ring.hpp"
+#include "bbb/rng/engine.hpp"
+#include "bbb/rng/streams.hpp"
+
+namespace bbb::par {
+namespace {
+
+TEST(NextPow2, KnownValues) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+  EXPECT_EQ(next_pow2((1ULL << 32) - 1), 1ULL << 32);
+  EXPECT_EQ(next_pow2(1ULL << 62), 1ULL << 62);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwoMinimumTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, PushPopIsFifoAndBounded) {
+  SpscRing<std::uint64_t> ring(4);  // capacity 4
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_TRUE(ring.try_push(v)) << v;
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  // Full: the rejected element is not consumed from the caller.
+  std::uint64_t reject = 99;
+  EXPECT_FALSE(ring.try_push(reject));
+  EXPECT_EQ(reject, 99u);
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    std::uint64_t out = 0;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, v);
+  }
+  std::uint64_t out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WrapAroundPreservesValuesForever) {
+  // Capacity 2, driven far past the index wrap of the slot mask: the
+  // free-running head/tail design must keep FIFO order on every lap.
+  SpscRing<std::uint64_t> ring(2);
+  std::uint64_t next_in = 0;
+  std::uint64_t next_out = 0;
+  for (int lap = 0; lap < 1000; ++lap) {
+    EXPECT_TRUE(ring.try_push(next_in));
+    ++next_in;
+    if (lap % 3 != 0) {  // vary occupancy so both slots are exercised
+      std::uint64_t out = 0;
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, next_out);
+      ++next_out;
+    }
+    if (ring.size() == ring.capacity()) {
+      std::uint64_t out = 0;
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, next_out);
+      ++next_out;
+    }
+  }
+  while (next_out < next_in) {
+    std::uint64_t out = 0;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, next_out);
+    ++next_out;
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, ModelCheckAgainstReferenceDeque) {
+  // Property test: a random single-threaded op sequence on the ring agrees
+  // with a std::deque bounded at the ring's capacity — success/failure of
+  // every push and the value of every pop.
+  SpscRing<std::uint64_t> ring(8);
+  std::deque<std::uint64_t> model;
+  rng::Engine eng = rng::SeedSequence(7).engine(0);
+  std::uint64_t next_value = 0;
+  for (int step = 0; step < 20'000; ++step) {
+    if (rng::uniform_below(eng, 2) == 0) {
+      std::uint64_t v = next_value;
+      const bool ok = ring.try_push(v);
+      EXPECT_EQ(ok, model.size() < ring.capacity()) << "step " << step;
+      if (ok) {
+        model.push_back(next_value);
+        ++next_value;
+      }
+    } else {
+      std::uint64_t out = 0;
+      const bool ok = ring.try_pop(out);
+      EXPECT_EQ(ok, !model.empty()) << "step " << step;
+      if (ok) {
+        EXPECT_EQ(out, model.front()) << "step " << step;
+        model.pop_front();
+      }
+    }
+    EXPECT_EQ(ring.size(), model.size()) << "step " << step;
+  }
+}
+
+TEST(SpscRing, BatchedPushPopEquivalentToScalarLoops) {
+  // push_some/pop_some on ring A, the same traffic via try_push/try_pop on
+  // ring B: identical acceptance counts and identical popped sequences.
+  SpscRing<std::uint64_t> batched(16);
+  SpscRing<std::uint64_t> scalar(16);
+  rng::Engine eng = rng::SeedSequence(11).engine(0);
+  std::uint64_t next_value = 0;
+  std::vector<std::uint64_t> from_batched;
+  std::vector<std::uint64_t> from_scalar;
+  for (int step = 0; step < 5'000; ++step) {
+    const std::size_t k = 1 + rng::uniform_below(eng, 24);  // may exceed room
+    if (rng::uniform_below(eng, 2) == 0) {
+      std::vector<std::uint64_t> src(k);
+      for (std::size_t i = 0; i < k; ++i) src[i] = next_value + i;
+      std::vector<std::uint64_t> src2 = src;
+      const std::size_t pushed = batched.push_some(src.data(), k);
+      std::size_t pushed_scalar = 0;
+      while (pushed_scalar < k && scalar.try_push(src2[pushed_scalar])) {
+        ++pushed_scalar;
+      }
+      ASSERT_EQ(pushed, pushed_scalar) << "step " << step;
+      next_value += pushed;
+    } else {
+      std::vector<std::uint64_t> out(k);
+      const std::size_t popped = batched.pop_some(out.data(), k);
+      from_batched.insert(from_batched.end(), out.begin(), out.begin() + popped);
+      std::size_t popped_scalar = 0;
+      std::uint64_t v = 0;
+      while (popped_scalar < k && scalar.try_pop(v)) {
+        from_scalar.push_back(v);
+        ++popped_scalar;
+      }
+      ASSERT_EQ(popped, popped_scalar) << "step " << step;
+    }
+    ASSERT_EQ(batched.size(), scalar.size()) << "step " << step;
+  }
+  EXPECT_EQ(from_batched, from_scalar);
+}
+
+TEST(SpscRing, MoveOnlyPayloadsTravelIntact) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_TRUE(ring.try_push(std::make_unique<int>(v)));
+  }
+  EXPECT_FALSE(ring.try_push(std::make_unique<int>(99)));
+  for (int v = 0; v < 4; ++v) {
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, v);
+  }
+}
+
+/// A move-only payload that counts live owning instances through an
+/// external counter — the drain-on-destruction oracle.
+struct Counted {
+  int* live = nullptr;
+  Counted() = default;
+  explicit Counted(int* l) : live(l) {
+    if (live != nullptr) ++*live;
+  }
+  Counted(Counted&& o) noexcept : live(std::exchange(o.live, nullptr)) {}
+  Counted& operator=(Counted&& o) noexcept {
+    if (live != nullptr) --*live;
+    live = std::exchange(o.live, nullptr);
+    return *this;
+  }
+  Counted(const Counted&) = delete;
+  Counted& operator=(const Counted&) = delete;
+  ~Counted() {
+    if (live != nullptr) --*live;
+  }
+};
+
+TEST(SpscRing, DestructorDrainsUndrainedPayloads) {
+  int live = 0;
+  {
+    SpscRing<Counted> ring(8);
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_TRUE(ring.try_push(Counted(&live)));
+    }
+    Counted out;
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_TRUE(ring.try_pop(out));
+    // `out` still owns one payload here; 4 remain in the ring.
+    EXPECT_EQ(live, 5);
+  }  // ring destroyed with 4 in flight, then `out`
+  EXPECT_EQ(live, 0);
+}
+
+TEST(SpscRing, DestructorDrainsAcrossWrappedIndices) {
+  int live = 0;
+  {
+    SpscRing<Counted> ring(2);
+    // Spin the indices well past one lap so the drained range straddles
+    // the mask boundary, then leave the ring full.
+    for (int lap = 0; lap < 37; ++lap) {
+      EXPECT_TRUE(ring.try_push(Counted(&live)));
+      Counted out;
+      ASSERT_TRUE(ring.try_pop(out));
+    }
+    EXPECT_TRUE(ring.try_push(Counted(&live)));
+    EXPECT_TRUE(ring.try_push(Counted(&live)));
+    EXPECT_EQ(live, 2);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace bbb::par

@@ -14,6 +14,9 @@
 ///   * stream.* — streaming-allocator throughput per rule family at
 ///     giant n with the probe lookahead on (balls/s, plus the run's
 ///     max load and gap as a correctness echo);
+///   * shard.*  — sharded-engine threads sweep, greedy[2] at t = 1/2/4/8
+///     worker shards (balls/s; the record's machine.hardware_threads says
+///     whether the sweep ran parallel or oversubscribed);
 ///   * dyn.*    — dynamic-engine churn steady state (events/s, psi/n).
 ///
 /// Comparing trajectories: every record carries schema/label/commit/
@@ -41,7 +44,9 @@
 #include "bbb/obs/harvest.hpp"
 #include "bbb/obs/trace_sink.hpp"
 #include "bbb/rng/engine.hpp"
+#include "bbb/rng/streams.hpp"
 #include "bbb/rng/xoshiro256.hpp"
+#include "bbb/shard/engine.hpp"
 
 namespace {
 
@@ -56,6 +61,7 @@ struct Case {
   double ns_per_op = 0.0;        // 1e9 * seconds / work
   double check = 0.0;            // correctness echo (max load, psi/n, ...)
   std::string check_name;
+  std::uint32_t shards = 0;      // shard cases only: worker-thread count
   // Stream cases harvest the core's passive counters after the timed
   // region (nine integer reads — never inside the measurement) and carry
   // them into the record's per-case "obs" block.
@@ -197,6 +203,34 @@ Case bench_law_profile(std::uint64_t n, std::uint32_t reps, std::uint64_t seed) 
   return c;
 }
 
+/// Sharded-engine threads sweep: the same greedy[2] workload at t = 1, 2,
+/// 4, 8 shards (balls/s). t = 1 is the streaming fast path (comparable to
+/// stream.greedy[2].wide); t > 1 pays the round-synchronized conflict
+/// protocol. On a machine with fewer hardware threads than shards the
+/// sweep records honest oversubscribed numbers — machine.hardware_threads
+/// in the record says which regime a trajectory point came from.
+Case bench_shard_sweep(std::uint32_t shards, std::uint32_t n, std::uint64_t m,
+                       std::uint64_t seed) {
+  Case c;
+  c.id = "shard.greedy[2].t" + std::to_string(shards);
+  c.kind = "shard";
+  c.layout = "wide";
+  c.n = n;
+  c.shards = shards;
+  bbb::shard::ShardOptions opt;
+  opt.shards = shards;
+  opt.m_hint = m;
+  bbb::shard::ShardedAllocator engine("greedy[2]", n, opt);
+  bbb::rng::Engine gen = bbb::rng::SeedSequence(seed).engine(0);
+  const double t0 = now_seconds();
+  engine.run(m, gen);
+  const double t1 = now_seconds();
+  c = finish(std::move(c), t0, t1, m);
+  c.check = static_cast<double>(engine.max_load());
+  c.check_name = "max_load";
+  return c;
+}
+
 /// Dynamic churn steady state: one replicate, measured events per second.
 Case bench_dyn_churn(const std::string& alloc_spec, std::uint32_t n,
                      std::uint64_t events, std::uint64_t seed) {
@@ -294,6 +328,10 @@ int main(int argc, char** argv) {
     }
     cases.push_back(
         bench_stream("greedy[2]", StateLayout::kCompact, stream_n, stream_m, seed));
+    std::fprintf(stderr, "bbb_bench: shard threads sweep...\n");
+    for (const std::uint32_t t : {1u, 2u, 4u, 8u}) {
+      cases.push_back(bench_shard_sweep(t, stream_n, stream_m, seed));
+    }
     std::fprintf(stderr, "bbb_bench: dyn churn...\n");
     cases.push_back(bench_dyn_churn("greedy[2]", dyn_n, dyn_events, seed));
     cases.push_back(bench_dyn_churn("adaptive-net", dyn_n, dyn_events, seed));
@@ -306,9 +344,10 @@ int main(int argc, char** argv) {
     out += "{\n";
     // v2 = v1 plus the per-case "obs" block on stream cases; v3 = v2 plus
     // machine.simd (the dispatch tier the streaming cases ran under) and
-    // the optional core.batch.* obs keys. Validators and compare_bench.py
-    // accept all three, so old BENCH_*.json stay valid.
-    out += "  \"schema\": \"bbb-bench-v3\",\n";
+    // the optional core.batch.* obs keys; v4 = v3 plus the "shard" case
+    // kind and the optional per-case "shards" worker count. Validators and
+    // compare_bench.py accept all four, so old BENCH_*.json stay valid.
+    out += "  \"schema\": \"bbb-bench-v4\",\n";
     out += "  \"label\": \"";
     json_escape_into(out, args.get_string("label"));
     out += "\",\n  \"commit\": \"";
@@ -349,6 +388,9 @@ int main(int argc, char** argv) {
                     c.seconds, c.per_second, c.ns_per_op, c.check_name.c_str(),
                     c.check);
       out += buf;
+      if (c.shards != 0) {
+        out += ", \"shards\": " + std::to_string(c.shards);
+      }
       if (c.has_counters) {
         // Fixed nine-key shape so the schema can require every field.
         std::snprintf(buf, sizeof(buf),

@@ -18,7 +18,9 @@ contract a past PR established and the tree now relies on:
   golden-pin-coverage Every protocol family registered in
                       core/protocols/registry.cpp is named in at least one
                       GoldenPins test suite — a family without a
-                      bit-for-bit pin can drift silently.
+                      bit-for-bit pin can drift silently. Prefix families
+                      dispatched on SpecPrefix fields (shards[t]:) count
+                      as families and need pins too.
   no-wild-randomness  std::rand / srand / time( / std::random_device appear
                       nowhere outside src/bbb/rng/ — every random bit flows
                       from the seeded, pinned engines (SeedSequence), or
@@ -66,6 +68,10 @@ WILD_RES = (
 OBS_INCLUDE_RE = re.compile(r'#\s*include\s*[<"]bbb/obs/')
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 REGISTRY_FAMILY_RE = re.compile(r'\bs\.name\s*==\s*"([a-z0-9-]+)"')
+# Prefix-modifier families are dispatched on SpecPrefix fields rather than
+# s.name (e.g. `prefix.shards != 0` builds the sharded engine). They need
+# pins too — a pin text covers one when it names "<family>[".
+PREFIX_FAMILY_RE = re.compile(r"\bprefix\.(shards)\b")
 
 
 def iter_cpp_files(root):
@@ -169,6 +175,10 @@ def registry_families(root):
         for name in REGISTRY_FAMILY_RE.findall(line):
             if name not in families:
                 families.append(name)
+        for name in PREFIX_FAMILY_RE.findall(line):
+            # Search pins for "shards[" — matches any "shards[t]:" spec.
+            if name + "[" not in families:
+                families.append(name + "[")
     return families
 
 

@@ -11,12 +11,14 @@
 
 #include "bbb/core/metrics.hpp"
 #include "bbb/core/protocols/registry.hpp"
+#include "bbb/core/spec.hpp"
 #include "bbb/io/argparse.hpp"
 #include "bbb/io/csv.hpp"
 #include "bbb/io/table.hpp"
 #include "bbb/law/one_choice.hpp"
 #include "bbb/obs/cli.hpp"
 #include "bbb/rng/streams.hpp"
+#include "bbb/shard/engine.hpp"
 #include "bbb/sim/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -27,6 +29,9 @@ int main(int argc, char** argv) {
   args.add_flag("reps", std::uint64_t{10}, "replicates");
   args.add_flag("seed", std::uint64_t{42}, "master seed");
   args.add_flag("threads", std::uint64_t{0}, "worker threads (0 = hardware)");
+  args.add_flag("shards", std::uint64_t{0},
+                "run the sharded multi-core engine with this many worker "
+                "shards (prepends shards[t]: to the protocol spec; 0 = off)");
   args.add_flag("layout", std::string("wide"),
                 "BinState storage: wide|compact (compact streams place_one "
                 "over 8-bit lanes, ~1 byte/bin — the n=2^30 tier)");
@@ -52,6 +57,10 @@ int main(int argc, char** argv) {
 
     bbb::sim::ExperimentConfig cfg;
     cfg.protocol_spec = args.get_string("protocol");
+    if (const std::uint64_t shards = args.get_u64("shards"); shards != 0) {
+      cfg.protocol_spec =
+          "shards[" + std::to_string(shards) + "]:" + cfg.protocol_spec;
+    }
     cfg.m = args.get_u64("m");
     cfg.n = static_cast<std::uint32_t>(args.get_u64("n"));
     cfg.replicates = static_cast<std::uint32_t>(args.get_u64("reps"));
@@ -118,6 +127,24 @@ int main(int argc, char** argv) {
         std::puts("\nload histogram (replicate 0):");
         std::fputs(bbb::core::load_histogram(res.loads).render_ascii(48).c_str(),
                    stdout);
+      } else if (const auto prefix =
+                     bbb::core::split_spec_prefix(cfg.protocol_spec, "protocol");
+                 prefix.shards != 0) {
+        // Compact + sharded: run the engine and read the merged level
+        // counts (still no 32-bit load vector materialized).
+        bbb::shard::ShardOptions opt;
+        opt.shards = prefix.shards;
+        opt.layout = cfg.layout;
+        opt.m_hint = cfg.m;
+        bbb::shard::ShardedAllocator engine(prefix.rest, cfg.n, opt);
+        engine.run(cfg.m, gen);
+        const auto levels = engine.merged_level_counts();
+        bbb::stats::IntHistogram hist;
+        for (std::size_t l = 0; l < levels.size(); ++l) {
+          if (levels[l] > 0) hist.add(l, levels[l]);
+        }
+        std::puts("\nload histogram (replicate 0):");
+        std::fputs(hist.render_ascii(48).c_str(), stdout);
       } else {
         // Compact layout: stream the replicate and build the histogram
         // straight off the state's incremental level counts — O(max load),

@@ -16,7 +16,7 @@ import sys
 # Every record version this tool can diff. v2 adds the per-case "obs"
 # block and v3 adds machine.simd plus batch_* obs keys; the throughput
 # comparison ignores both, so any cross-version diff works.
-KNOWN_SCHEMAS = ("bbb-bench-v1", "bbb-bench-v2", "bbb-bench-v3")
+KNOWN_SCHEMAS = ("bbb-bench-v1", "bbb-bench-v2", "bbb-bench-v3", "bbb-bench-v4")
 
 
 def main(argv):

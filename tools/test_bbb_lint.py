@@ -110,6 +110,23 @@ class GoldenPinCoverage(FixtureTree):
     def test_all_families_pinned_is_clean(self):
         self.assertEqual(bbb_lint.check_golden_pin_coverage(self.root), [])
 
+    def test_unpinned_prefix_family_fires(self):
+        write(self.root, "src/bbb/core/protocols/registry.cpp",
+              'if (s.name == "one-choice") return a();\n'
+              "if (prefix.shards != 0) return sharded();\n")
+        violations = bbb_lint.check_golden_pin_coverage(self.root)
+        self.assertEqual(rules_fired(violations), ["golden-pin-coverage"])
+        self.assertIn("'shards['", violations[0][3])
+
+    def test_pinned_prefix_family_is_clean(self):
+        write(self.root, "src/bbb/core/protocols/registry.cpp",
+              'if (s.name == "one-choice") return a();\n'
+              "if (prefix.shards != 0) return sharded();\n")
+        write(self.root, "tests/protocols/golden_pins_test.cpp",
+              'TEST(RegistryGoldenPins, OneChoice) { run("one-choice"); }\n'
+              'TEST(RegistryGoldenPins, ShardsTwo) { run("shards[2]:one-choice"); }\n')
+        self.assertEqual(bbb_lint.check_golden_pin_coverage(self.root), [])
+
 
 class NoWildRandomness(FixtureTree):
     def test_each_banned_token_fires(self):

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Unit tests for the bench-record tools: validate_bench.py (v1, v2, and
-v3 records, including the v2 per-case "obs" block and the v3 machine.simd
-/ batch_* additions) and compare_bench.py (diffing across schema
-versions).
+"""Unit tests for the bench-record tools: validate_bench.py (v1 through
+v4 records, including the v2 per-case "obs" block, the v3 machine.simd /
+batch_* additions, and the v4 shard threads-sweep cases) and
+compare_bench.py (diffing across schema versions).
 
 Run directly (python3 tools/test_bench_tools.py) or through ctest.
 """
@@ -69,6 +69,17 @@ def v3_record():
     return rec
 
 
+def v4_record():
+    rec = v3_record()
+    rec["schema"] = "bbb-bench-v4"
+    rec["cases"].append(
+        {"id": "shard.greedy[2].t4", "kind": "shard", "layout": "wide",
+         "n": 65536, "work": 131072, "seconds": 0.02,
+         "per_second": 6553600.0, "ns_per_op": 152.6,
+         "check": {"max_load": 5}, "shards": 4})
+    return rec
+
+
 def check_errors(record):
     errors = []
     validate_bench.check(record, load_schema(), "$", errors)
@@ -85,10 +96,23 @@ class ValidateBench(unittest.TestCase):
     def test_v3_record_valid(self):
         self.assertEqual(check_errors(v3_record()), [])
 
+    def test_v4_record_valid(self):
+        self.assertEqual(check_errors(v4_record()), [])
+
     def test_unknown_schema_version_invalid(self):
         rec = v1_record()
-        rec["schema"] = "bbb-bench-v4"
-        self.assertTrue(any("bbb-bench-v4" in e for e in check_errors(rec)))
+        rec["schema"] = "bbb-bench-v5"
+        self.assertTrue(any("bbb-bench-v5" in e for e in check_errors(rec)))
+
+    def test_bad_case_kind_invalid(self):
+        rec = v4_record()
+        rec["cases"][1]["kind"] = "threads"
+        self.assertTrue(any("kind" in e for e in check_errors(rec)))
+
+    def test_zero_shards_invalid(self):
+        rec = v4_record()
+        rec["cases"][1]["shards"] = 0
+        self.assertTrue(any("minimum" in e for e in check_errors(rec)))
 
     def test_bad_simd_tier_invalid(self):
         rec = v3_record()
@@ -141,9 +165,14 @@ class CompareBench(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("1.00x", out)
 
+    def test_v3_vs_v4_compares(self):
+        code, out = self.run_compare(v3_record(), v4_record())
+        self.assertEqual(code, 0)
+        self.assertIn("1.00x", out)
+
     def test_unknown_schema_rejected(self):
         bad = v1_record()
-        bad["schema"] = "bbb-bench-v4"
+        bad["schema"] = "bbb-bench-v5"
         code, _ = self.run_compare(bad, v2_record())
         self.assertEqual(code, 2)
 
